@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Ablations of the HMMS design choices called out in DESIGN.md (not
+ * a paper figure):
+ *
+ *  A. storage optimizations (in-place ReLU, summation-error sharing)
+ *     -> device-general peak;
+ *  B. allocator placement policy (first-fit vs best-fit);
+ *  C. interconnect (NVLink 34.1 GB/s vs PCIe ~12 GB/s, the vDNN-era
+ *     setup) -> offload limit and scheduling degradation;
+ *  D. number of memory streams -> stall time;
+ *  E. split depth x patch grid -> device peak and max batch.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/splitter.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+
+namespace scnn {
+namespace {
+
+Graph
+vggBatch(int64_t batch)
+{
+    return buildVgg19({.batch = batch,
+                       .image = 224,
+                       .classes = 1000,
+                       .width = 1.0,
+                       .batch_norm = false});
+}
+
+void
+storageOptimizationAblation()
+{
+    std::printf("\n[A] storage optimizations (ResNet-18, batch 64)\n");
+    Graph g = buildResNet18(
+        {.batch = 64, .image = 224, .classes = 1000, .width = 1.0});
+    DeviceSpec spec;
+    Table t({"in-place ReLU", "sum-error share", "TSO bytes (GB)",
+             "device peak (GB)"});
+    for (bool relu : {false, true}) {
+        for (bool sum : {false, true}) {
+            auto assignment =
+                assignStorage(g, g.topoOrder(),
+                              {.inplace_relu = relu,
+                               .share_sum_error = sum,
+                               .share_flatten = true});
+            auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
+                                   assignment);
+            auto mem = planStaticMemory(g, assignment, plan);
+            t.addRow({relu ? "on" : "off", sum ? "on" : "off",
+                      formatFloat(assignment.totalBytes() / 1e9, 2),
+                      formatFloat(mem.device_general_peak / 1e9, 2)});
+        }
+    }
+    t.print(std::cout);
+}
+
+void
+allocatorAblation()
+{
+    std::printf("\n[B] allocator placement policy (batch 64)\n");
+    DeviceSpec spec;
+    Table t({"network", "first-fit peak (GB)", "best-fit peak (GB)"});
+    for (const std::string name : {"vgg19", "resnet18", "resnet50"}) {
+        ModelConfig cfg{.batch = 64,
+                        .image = 224,
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm = name != "vgg19"};
+        Graph g = buildModel(name, cfg);
+        auto assignment = assignStorage(g, g.topoOrder());
+        auto plan = planMemory(
+            g, spec,
+            {PlannerKind::Hmms,
+             profileForwardPass(g, spec).offloadable_fraction,
+             {}},
+            assignment);
+        auto ff = planStaticMemory(g, assignment, plan, {},
+                                   {.fit = FitPolicy::FirstFit});
+        auto bf = planStaticMemory(g, assignment, plan, {},
+                                   {.fit = FitPolicy::BestFit});
+        t.addRow({name, formatFloat(ff.device_general_peak / 1e9, 3),
+                  formatFloat(bf.device_general_peak / 1e9, 3)});
+    }
+    t.print(std::cout);
+}
+
+void
+interconnectAblation()
+{
+    std::printf("\n[C] interconnect: NVLink vs PCIe (batch 64)\n");
+    Table t({"network", "link", "offload limit",
+             "HMMS degradation", "layer-wise degradation"});
+    for (const std::string name : {"vgg19", "resnet50"}) {
+        ModelConfig cfg{.batch = 64,
+                        .image = 224,
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm = name != "vgg19"};
+        Graph g = buildModel(name, cfg);
+        auto assignment = assignStorage(g, g.topoOrder());
+        for (auto [label, spec] :
+             {std::pair{"NVLink 34.1", DeviceSpec::p100Nvlink()},
+              std::pair{"PCIe 12.0", DeviceSpec::p100Pcie()}}) {
+            auto prof = profileForwardPass(g, spec);
+            auto run = [&](PlannerKind kind) {
+                auto plan = planMemory(
+                    g, spec, {kind, prof.offloadable_fraction, {}},
+                    assignment);
+                return simulatePlan(g, spec, plan, assignment)
+                    .total_time;
+            };
+            const double base = run(PlannerKind::None);
+            t.addRow({name, label,
+                      formatFloat(100 * prof.offloadable_fraction, 0) +
+                          "%",
+                      formatFloat(
+                          100 * (run(PlannerKind::Hmms) / base - 1),
+                          1) + "%",
+                      formatFloat(100 * (run(PlannerKind::LayerWise) /
+                                             base -
+                                         1),
+                                  1) + "%"});
+        }
+    }
+    t.print(std::cout);
+}
+
+void
+streamCountAblation()
+{
+    std::printf("\n[D] memory stream count (VGG-19, batch 64, full "
+                "offload)\n");
+    Table t({"streams", "iter time (ms)", "stall (ms)"});
+    for (int streams : {1, 2, 4}) {
+        DeviceSpec spec;
+        spec.memory_streams = streams;
+        Graph g = vggBatch(64);
+        auto assignment = assignStorage(g, g.topoOrder());
+        auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                               assignment);
+        auto sim = simulatePlan(g, spec, plan, assignment);
+        t.addRow({std::to_string(streams),
+                  formatFloat(sim.total_time * 1e3, 1),
+                  formatFloat(sim.stall_time * 1e3, 1)});
+    }
+    t.print(std::cout);
+}
+
+void
+splitGeometryAblation()
+{
+    std::printf("\n[E] split depth x grid -> device peak (VGG-19, "
+                "batch 64, HMMS)\n");
+    DeviceSpec spec;
+    Table t({"depth", "grid", "device peak (GB)", "workspace (GB)"});
+    for (double depth : {0.0, 0.25, 0.5, 0.75}) {
+        for (auto [h, w] : {std::pair{2, 2}, std::pair{3, 3}}) {
+            Graph g = vggBatch(64);
+            if (depth > 0)
+                g = splitCnnTransform(
+                    g, {.depth = depth, .splits_h = h, .splits_w = w});
+            auto assignment = assignStorage(g, g.topoOrder());
+            auto plan = planMemory(
+                g, spec,
+                {PlannerKind::Hmms,
+                 profileForwardPass(g, spec).offloadable_fraction,
+                 {}},
+                assignment);
+            auto mem = planStaticMemory(g, assignment, plan);
+            t.addRow({formatFloat(100 * depth, 0) + "%",
+                      std::to_string(h) + "x" + std::to_string(w),
+                      formatFloat(mem.totalDeviceBytes() / 1e9, 2),
+                      formatFloat(mem.workspace_bytes / 1e9, 2)});
+            if (depth == 0.0)
+                break; // grid is irrelevant without a split
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+} // namespace scnn
+
+int
+main()
+{
+    using namespace scnn;
+    bench::printHeader("ablation_hmms",
+                       "design-choice ablations (DESIGN.md), not a "
+                       "paper figure");
+    storageOptimizationAblation();
+    allocatorAblation();
+    interconnectAblation();
+    streamCountAblation();
+    splitGeometryAblation();
+    return 0;
+}

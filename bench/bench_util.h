@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the paper-figure benchmark harnesses.
+ *
+ * The accuracy harnesses (Figures 4-7, Table 1) substitute the
+ * paper's CIFAR-10/ImageNet setups with width-reduced models on the
+ * synthetic dataset (see DESIGN.md): trends, not absolute numbers,
+ * are the reproduction target. Scale knobs can be overridden from
+ * the command line: `<bench> [epochs] [train_samples]`.
+ */
+#ifndef SCNN_BENCH_BENCH_UTIL_H
+#define SCNN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+namespace scnn {
+namespace bench {
+
+/** Common scale knobs for CPU-sized accuracy runs. */
+struct AccuracyScale
+{
+    int epochs = 8;
+    int train_samples = 512;
+    int test_samples = 256;
+    int64_t batch = 32;
+    double width = 0.0625;
+    int64_t image = 32;
+    float noise = 1.6f; ///< calibrated so the baseline lands ~10-15% err
+    uint64_t seed = 7;
+
+    /** Apply `[epochs] [train_samples]` command-line overrides. */
+    void
+    parseArgs(int argc, char **argv)
+    {
+        if (argc > 1)
+            epochs = std::atoi(argv[1]);
+        if (argc > 2)
+            train_samples = std::atoi(argv[2]);
+    }
+};
+
+inline SyntheticDataset
+makeDataset(const AccuracyScale &scale)
+{
+    SyntheticSpec spec;
+    spec.classes = 10;
+    spec.image = scale.image;
+    spec.train_samples = scale.train_samples;
+    spec.test_samples = scale.test_samples;
+    spec.noise = scale.noise;
+    return SyntheticDataset(spec);
+}
+
+inline TrainConfig
+makeTrainConfig(const AccuracyScale &scale, TrainMode mode,
+                const SplitOptions &split = {})
+{
+    TrainConfig cfg;
+    cfg.mode = mode;
+    cfg.split = split;
+    cfg.epochs = scale.epochs;
+    cfg.batch = scale.batch;
+    cfg.sgd = {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 1e-4f};
+    // Paper protocol: step decay late in training.
+    cfg.lr_milestones = {(scale.epochs * 3) / 5,
+                         (scale.epochs * 4) / 5};
+    cfg.seed = scale.seed;
+    return cfg;
+}
+
+inline ModelConfig
+makeModelConfig(const AccuracyScale &scale)
+{
+    return {.batch = scale.batch,
+            .image = scale.image,
+            .classes = 10,
+            .width = scale.width,
+            .batch_norm = true};
+}
+
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================\n");
+}
+
+} // namespace bench
+} // namespace scnn
+
+#endif // SCNN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 1 reproduction: per-layer generated vs. offload-able data
+ * for the forward training pass of VGG-19 and ResNet-18 (ImageNet
+ * shapes, batch 64, NVLink 34.1 GB/s), plus the Section 6.2/6.3
+ * theoretical offload limits for ResNet-50 and the memory-efficient
+ * (recompute-BN) ResNet-18.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/profile.h"
+
+namespace scnn {
+namespace {
+
+void
+profileOne(const std::string &name, const Graph &graph,
+           const DeviceSpec &spec, const BackwardOptions &opt = {})
+{
+    auto prof = profileForwardPass(graph, spec, opt);
+    std::printf("\n--- %s (batch 64, 224x224) ---\n", name.c_str());
+    Table t({"layer", "kind", "time(ms)", "generated(MB)",
+             "offloadable(MB)", "cum.gen(GB)", "cum.off(GB)"});
+    for (const auto &l : prof.layers) {
+        // Figure 1 plots the window/normalization layers; skip the
+        // zero-cost view ops to keep the table readable.
+        if (l.fwd_time == 0.0 && l.generated_bytes == 0.0)
+            continue;
+        t.addRow({l.name, opKindName(l.kind),
+                  formatFloat(l.fwd_time * 1e3, 3),
+                  formatFloat(l.generated_bytes / 1e6, 1),
+                  formatFloat(l.offloadable_bytes / 1e6, 1),
+                  formatFloat(l.cum_generated / 1e9, 2),
+                  formatFloat(l.cum_offloadable / 1e9, 2)});
+    }
+    t.print(std::cout);
+    std::printf("total: generated %.2f GB, offloadable %.2f GB -> "
+                "theoretical offload limit %.0f%%\n",
+                prof.total_generated / 1e9,
+                prof.total_offloadable / 1e9,
+                100.0 * prof.offloadable_fraction);
+}
+
+} // namespace
+} // namespace scnn
+
+int
+main()
+{
+    using namespace scnn;
+    bench::printHeader("fig01_offloadable",
+                       "Figure 1 (generated vs offload-able data) + "
+                       "Sec. 6.2/6.3 offload limits");
+    DeviceSpec spec; // P100 + NVLink 1.0, 34.1 GB/s measured peak
+
+    ModelConfig vgg_cfg{.batch = 64,
+                        .image = 224,
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm = false};
+    profileOne("VGG-19", buildVgg19(vgg_cfg), spec);
+
+    ModelConfig res_cfg{.batch = 64,
+                        .image = 224,
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm = true};
+    profileOne("ResNet-18", buildResNet18(res_cfg), spec);
+
+    std::printf("\n--- offload limits (paper: VGG-19 100%%, "
+                "ResNet-18 55%%, ResNet-50 40%%, mem-eff ResNet-18 "
+                "70%%) ---\n");
+    Table t({"network", "offload limit (measured)", "paper"});
+    auto frac = [&](const Graph &g, BackwardOptions o = {}) {
+        return formatFloat(
+            100.0 * profileForwardPass(g, spec, o).offloadable_fraction,
+            0) + "%";
+    };
+    t.addRow({"VGG-19", frac(buildVgg19(vgg_cfg)), "100%"});
+    t.addRow({"ResNet-18", frac(buildResNet18(res_cfg)), "55%"});
+    t.addRow({"ResNet-50", frac(buildResNet50(res_cfg)), "40%"});
+    t.addRow({"ResNet-18 (recompute BN)",
+              frac(buildResNet18(res_cfg), {.recompute_bn = true}),
+              "70%"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 9 reproduction: nvprof-style execution timelines for VGG-19
+ * under the three offload-scheduling methods. The paper's profiler
+ * screenshots show the layer-wise policy's compute stream repeatedly
+ * blocked on per-layer synchronizations while HMMS's memory streams
+ * run alongside an unbroken compute stream.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "hmms/planner.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+
+int
+main()
+{
+    using namespace scnn;
+    bench::printHeader("fig09_trace",
+                       "Figure 9 (profiling timelines for VGG-19, "
+                       "three schedulers)");
+    DeviceSpec spec;
+    ModelConfig cfg{.batch = 64,
+                    .image = 224,
+                    .classes = 1000,
+                    .width = 1.0,
+                    .batch_norm = false};
+    Graph g = buildVgg19(cfg);
+    auto assignment = assignStorage(g, g.topoOrder());
+    const double cap =
+        profileForwardPass(g, spec).offloadable_fraction;
+
+    for (PlannerKind kind :
+         {PlannerKind::None, PlannerKind::LayerWise, PlannerKind::Hmms}) {
+        auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
+        auto sim = simulatePlan(g, spec, plan, assignment);
+        std::printf("\n--- %s: iteration %.1f ms, stall %.1f ms ---\n",
+                    plannerKindName(kind), sim.total_time * 1e3,
+                    sim.stall_time * 1e3);
+        std::cout << renderTimeline(sim, spec, 96);
+    }
+    std::printf("\npaper shape: layer-wise shows '!' stalls "
+                "throughout; HMMS keeps the compute lane solid while "
+                "'v'/'^' transfers overlap it\n");
+    return 0;
+}

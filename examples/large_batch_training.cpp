@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's headline use case (Section 6.3): how large a batch can
+ * a 16 GB device train? Compares a conventional framework, HMMS
+ * static planning alone, HMMS offloading, and the full
+ * Split-CNN + HMMS stack on VGG-19, printing the memory breakdown of
+ * each configuration at its limit.
+ *
+ * Run: ./example_large_batch_training
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/splitter.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+
+using namespace scnn;
+
+namespace {
+
+struct Config
+{
+    std::string name;
+    bool static_planning;
+    bool offload;
+    bool split;
+};
+
+int64_t
+maxBatch(const Config &c, const DeviceSpec &spec)
+{
+    auto fits = [&](int64_t batch) {
+        ModelConfig mc{.batch = batch,
+                       .image = 224,
+                       .classes = 1000,
+                       .width = 1.0,
+                       .batch_norm = false};
+        Graph g = buildVgg19(mc);
+        if (c.split)
+            g = splitCnnTransform(
+                g, {.depth = 0.75, .splits_h = 2, .splits_w = 2});
+        auto assignment = assignStorage(g, g.topoOrder());
+        const double cap =
+            c.offload
+                ? profileForwardPass(g, spec).offloadable_fraction
+                : 0.0;
+        auto plan = planMemory(
+            g, spec,
+            {c.offload ? PlannerKind::Hmms : PlannerKind::None, cap,
+             {}},
+            assignment);
+        auto mem = planStaticMemory(
+            g, assignment, plan, {},
+            {.naive_lifetimes = !c.static_planning});
+        return mem.fits(spec.memory_capacity);
+    };
+    int64_t lo = 0, hi = 2048;
+    while (lo < hi) {
+        const int64_t mid = (lo + hi + 1) / 2;
+        if (fits(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    DeviceSpec spec;
+    const Config configs[] = {
+        {"conventional framework", false, false, false},
+        {"+ HMMS static planning", true, false, false},
+        {"+ HMMS offloading", true, true, false},
+        {"+ Split-CNN (4 patches, depth 75%)", true, true, true},
+    };
+    std::printf("VGG-19 on a %.0f GB device:\n\n",
+                spec.memory_capacity / 1e9);
+    int64_t first = 0;
+    for (const auto &c : configs) {
+        const int64_t batch = maxBatch(c, spec);
+        if (!first)
+            first = batch;
+        std::printf("  %-36s max batch %5lld  (%.1fx)\n",
+                    c.name.c_str(), static_cast<long long>(batch),
+                    static_cast<double>(batch) / first);
+    }
+    std::printf("\nEach stage compounds: static lifetimes reclaim "
+                "dead intermediates, offloading moves live ones to "
+                "host DRAM, and Split-CNN breaks the remaining "
+                "monolithic allocations (activations, gradients, "
+                "conv workspace) into patch-sized pieces.\n");
+    return 0;
+}

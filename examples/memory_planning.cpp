@@ -1,0 +1,76 @@
+/**
+ * @file
+ * HMMS walkthrough on VGG-19 (batch 64, ImageNet shapes): profiling,
+ * offload/prefetch planning (Algorithm 1), static first-fit memory
+ * planning with the three pools, and a simulated execution timeline.
+ *
+ * Run: ./example_memory_planning
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+
+using namespace scnn;
+
+int
+main()
+{
+    DeviceSpec spec; // P100, 16 GB, NVLink 34.1 GB/s
+    ModelConfig cfg{.batch = 64,
+                    .image = 224,
+                    .classes = 1000,
+                    .width = 1.0,
+                    .batch_norm = false};
+    Graph g = buildVgg19(cfg);
+
+    // Step 2 (Section 4.1): serialize; Step 3 (4.2): assign TSOs.
+    auto topo = g.topoOrder();
+    auto assignment = assignStorage(g, topo);
+    std::printf("storage assignment: %zu TSOs, %d in-place ReLUs, %d "
+                "summation-error shares\n",
+                assignment.tsos.size(), assignment.inplace_relu_count,
+                assignment.sum_error_shares);
+
+    // Profiling stage (Section 4.3).
+    auto prof = profileForwardPass(g, spec);
+    std::printf("profiled: fwd %.1f ms, bwd %.1f ms; generated %.2f "
+                "GB, offload-able %.2f GB -> limit %.0f%%\n",
+                prof.total_fwd_time * 1e3, prof.total_bwd_time * 1e3,
+                prof.total_generated / 1e9,
+                prof.total_offloadable / 1e9,
+                100.0 * prof.offloadable_fraction);
+
+    // Step 4: offload/prefetch planning (Algorithm 1).
+    auto plan = planMemory(
+        g, spec, {PlannerKind::Hmms, prof.offloadable_fraction, {}},
+        assignment);
+    std::printf("plan: %zu TSOs offloaded (%.2f GB of %.2f GB "
+                "candidates) across %d memory streams\n",
+                plan.offloaded.size(), plan.offloaded_bytes / 1e9,
+                plan.candidate_bytes / 1e9, spec.memory_streams);
+
+    // Step 5 (Section 4.4): static memory planning, three pools.
+    auto mem = planStaticMemory(g, assignment, plan);
+    std::printf("pools: device general %.2f GB (incl. %.2f GB "
+                "workspace), device parameter %.2f GB, pinned host "
+                "%.2f GB\n",
+                mem.device_general_peak / 1e9,
+                mem.workspace_bytes / 1e9, mem.param_pool_bytes / 1e9,
+                mem.host_pool_bytes / 1e9);
+    std::printf("fits 16 GB device: %s\n",
+                mem.fits(spec.memory_capacity) ? "yes" : "no");
+
+    // Simulated execution.
+    auto sim = simulatePlan(g, spec, plan, assignment);
+    std::printf("simulated iteration: %.1f ms (compute %.1f ms, "
+                "stall %.1f ms) -> %.1f images/s\n\n",
+                sim.total_time * 1e3, sim.compute_busy * 1e3,
+                sim.stall_time * 1e3, sim.throughput(cfg.batch));
+    std::cout << renderTimeline(sim, spec, 96);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The Section 3.3 deployment story, end to end:
+ *
+ *  1. train a Stochastic Split-CNN (fresh random split each batch),
+ *  2. checkpoint the weights,
+ *  3. load them into the *unsplit* network — no inference-side
+ *     changes needed — recalibrate BatchNorm statistics, and evaluate.
+ *
+ * Run: ./example_stochastic_deployment
+ */
+#include <cstdio>
+
+#include "core/splitter.h"
+#include "data/synthetic.h"
+#include "kernels/activations.h"
+#include "models/models.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+using namespace scnn;
+
+int
+main()
+{
+    SyntheticDataset data({.classes = 4,
+                           .image = 16,
+                           .train_samples = 256,
+                           .test_samples = 128,
+                           .noise = 0.5f});
+
+    // A small ResNet-flavoured model.
+    GraphBuilder b;
+    TensorId x = b.input(Shape{32, 3, 16, 16});
+    x = b.conv2d(x, 8, Window2d::square(3, 1, 1), false, "stem");
+    x = b.batchNorm(x, "stem.bn");
+    x = b.relu(x, "stem.relu");
+    b.markCutPoint(x);
+    TensorId identity = x;
+    TensorId y = b.conv2d(x, 8, Window2d::square(3, 1, 1), false,
+                          "blk.conv");
+    y = b.batchNorm(y, "blk.bn");
+    x = b.relu(b.add({y, identity}, "blk.add"), "blk.relu");
+    b.markCutPoint(x);
+    x = b.globalAvgPool(x, "gap");
+    x = b.flatten(x);
+    x = b.linear(x, 4, true, "fc");
+    Graph model = b.build();
+
+    // 1. Train stochastically split (omega = 0.2, 2x2 patches).
+    TrainConfig cfg;
+    cfg.mode = TrainMode::StochasticSplit;
+    cfg.split = {.depth = 1.0,
+                 .splits_h = 2,
+                 .splits_w = 2,
+                 .omega = 0.2};
+    cfg.epochs = 8;
+    cfg.batch = 32;
+    cfg.sgd.lr = 0.05f;
+    cfg.lr_milestones = {5, 7};
+    TrainResult result = trainModel(model, cfg, data);
+    std::printf("SSCNN training: %.1f%% error on the unsplit network "
+                "after %d epochs (BN recalibrated)\n",
+                result.final_test_error, cfg.epochs);
+
+    // 2/3. Checkpoint -> fresh unsplit deployment.
+    // (trainModel owns its ParamStore; retrain a short run manually
+    // to demonstrate the checkpoint path explicitly.)
+    Rng rng(cfg.seed);
+    ParamStore params(model, rng);
+    Graph split_graph = splitCnnTransform(model, cfg.split, &rng);
+    Executor trainer(split_graph, params);
+    Sgd sgd(model, cfg.sgd);
+    for (int step = 0; step < 32; ++step) {
+        std::vector<int> idx;
+        for (int i = 0; i < 32; ++i)
+            idx.push_back((step * 32 + i) % data.trainSize());
+        std::vector<int64_t> labels;
+        Tensor batch = data.trainBatch(idx, labels);
+        ForwardCache cache;
+        Tensor logits = trainer.forward(batch, true, &cache);
+        Tensor probs;
+        softmaxXentForward(logits, labels, probs);
+        params.zeroGrad();
+        trainer.backward(cache, softmaxXentBackward(probs, labels));
+        sgd.step(params);
+    }
+    const char *path = "/tmp/scnn_deploy.ckpt";
+    saveParams(params, split_graph, path);
+    std::printf("checkpoint written to %s (parameter table shared by "
+                "split and unsplit graphs)\n",
+                path);
+
+    Rng rng2(123);
+    ParamStore deployed(model, rng2); // fresh (different init)
+    loadParams(deployed, model, path);
+    const float err =
+        evaluateTestError(model, deployed, data, cfg.batch);
+    std::printf("deployed on the unsplit network: %.1f%% error — no "
+                "inference-infrastructure changes required\n",
+                err);
+    std::remove(path);
+    return 0;
+}

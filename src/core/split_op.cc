@@ -1,0 +1,86 @@
+#include "core/split_op.h"
+
+#include "kernels/conv2d.h"
+#include "kernels/pool2d.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+SplitScheme2d
+splitWindowOp2d(const Window2d &win, int64_t ih, int64_t iw,
+                const std::vector<int64_t> &out_h_starts,
+                const std::vector<int64_t> &out_w_starts,
+                InputSplitPolicy policy)
+{
+    const WindowParams1d hop{win.kh, win.sh, win.ph_b, win.ph_e};
+    const WindowParams1d wop{win.kw, win.sw, win.pw_b, win.pw_e};
+    SplitScheme2d scheme;
+    scheme.h = splitWindowOp(hop, ih, out_h_starts, policy);
+    scheme.w = splitWindowOp(wop, iw, out_w_starts, policy);
+    return scheme;
+}
+
+Window2d
+patchWindow(const Window2d &win, const SplitScheme2d &scheme, int hi,
+            int wi)
+{
+    SCNN_CHECK(hi >= 0 && hi < scheme.h.parts() && wi >= 0 &&
+                   wi < scheme.w.parts(),
+               "patch index out of range");
+    const SplitPiece1d &ph = scheme.h.pieces[hi];
+    const SplitPiece1d &pw = scheme.w.pieces[wi];
+    Window2d local = win;
+    local.ph_b = ph.pad_b;
+    local.ph_e = ph.pad_e;
+    local.pw_b = pw.pad_b;
+    local.pw_e = pw.pad_e;
+    return local;
+}
+
+Tensor
+slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi, int wi)
+{
+    const SplitPiece1d &ph = scheme.h.pieces[hi];
+    const SplitPiece1d &pw = scheme.w.pieces[wi];
+    // Slice by padding negatively: crop to [in_start, in_end) on both
+    // spatial axes.
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    return pad2d(x, -ph.in_start, ph.in_end - ih, -pw.in_start,
+                 pw.in_end - iw);
+}
+
+Tensor
+splitConv2dForward(const Tensor &x, const Tensor &weight,
+                   const Tensor &bias, const Window2d &win,
+                   const SplitScheme2d &scheme)
+{
+    return runSplitOp(x, win, scheme,
+                      [&](const Tensor &patch, const Window2d &local) {
+                          return conv2dForwardAuto(patch, weight, bias,
+                                                   local);
+                      });
+}
+
+Tensor
+splitMaxPool2dForward(const Tensor &x, const Window2d &win,
+                      const SplitScheme2d &scheme)
+{
+    return runSplitOp(x, win, scheme,
+                      [&](const Tensor &patch, const Window2d &local) {
+                          std::vector<int64_t> argmax;
+                          return maxPool2dForward(patch, local, argmax);
+                      });
+}
+
+Tensor
+splitAvgPool2dForward(const Tensor &x, const Window2d &win,
+                      const SplitScheme2d &scheme)
+{
+    return runSplitOp(x, win, scheme,
+                      [&](const Tensor &patch, const Window2d &local) {
+                          return avgPool2dForward(patch, local);
+                      });
+}
+
+} // namespace scnn

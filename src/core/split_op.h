@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Eager execution of a split window-based operation (Eqs. 4-7):
+ * Split_W(X, I) -> per-patch Op with computed paddings -> concat.
+ *
+ * The 2-D case composes two independent 1-D schemes (height and
+ * width), yielding h.parts() x w.parts() patches as in Figure 2.
+ */
+#ifndef SCNN_CORE_SPLIT_OP_H
+#define SCNN_CORE_SPLIT_OP_H
+
+#include <vector>
+
+#include "core/split_scheme.h"
+#include "kernels/window.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace scnn {
+
+/** A 2-D split scheme: independent splits along H and W. */
+struct SplitScheme2d
+{
+    SplitScheme1d h;
+    SplitScheme1d w;
+
+    int parts() const { return h.parts() * w.parts(); }
+};
+
+/**
+ * Build a 2-D split scheme for a window op over an ih x iw input.
+ *
+ * @param win 2-D window geometry (symmetric or asymmetric padding).
+ * @param ih input height; @p iw input width.
+ * @param out_h_starts output partition along H (O tuple).
+ * @param out_w_starts output partition along W.
+ * @param policy how to pick I within [lb, ub] on both axes.
+ */
+SplitScheme2d splitWindowOp2d(const Window2d &win, int64_t ih, int64_t iw,
+                              const std::vector<int64_t> &out_h_starts,
+                              const std::vector<int64_t> &out_w_starts,
+                              InputSplitPolicy policy =
+                                  InputSplitPolicy::Center);
+
+/** The local window geometry for patch (hi, wi) of a scheme. */
+Window2d patchWindow(const Window2d &win, const SplitScheme2d &scheme,
+                     int hi, int wi);
+
+/** Slice the input patch (hi, wi) out of an NCHW tensor. */
+Tensor slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi,
+                  int wi);
+
+/**
+ * Run a window op patch-by-patch and concatenate the results; the
+ * reference implementation of Eqs. 4-7 used by tests and examples.
+ *
+ * @param x NCHW input.
+ * @param scheme 2-D split scheme built for x's spatial extents.
+ * @param op callable (const Tensor &patch, const Window2d &local)
+ *        -> Tensor running the underlying operation on one patch.
+ */
+template <typename OpFn>
+Tensor
+runSplitOp(const Tensor &x, const Window2d &win,
+           const SplitScheme2d &scheme, OpFn &&op)
+{
+    std::vector<Tensor> rows;
+    rows.reserve(scheme.h.parts());
+    for (int hi = 0; hi < scheme.h.parts(); ++hi) {
+        std::vector<Tensor> cols;
+        cols.reserve(scheme.w.parts());
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            Tensor patch = slicePatch(x, scheme, hi, wi);
+            cols.push_back(op(patch, patchWindow(win, scheme, hi, wi)));
+        }
+        rows.push_back(concatDim(cols, 3));
+    }
+    return concatDim(rows, 2);
+}
+
+/** Split convolution forward (Eqs. 4-7 applied to conv2d). */
+Tensor splitConv2dForward(const Tensor &x, const Tensor &weight,
+                          const Tensor &bias, const Window2d &win,
+                          const SplitScheme2d &scheme);
+
+/** Split max-pool forward. */
+Tensor splitMaxPool2dForward(const Tensor &x, const Window2d &win,
+                             const SplitScheme2d &scheme);
+
+/** Split average-pool forward. */
+Tensor splitAvgPool2dForward(const Tensor &x, const Window2d &win,
+                             const SplitScheme2d &scheme);
+
+} // namespace scnn
+
+#endif // SCNN_CORE_SPLIT_OP_H

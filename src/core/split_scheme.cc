@@ -1,0 +1,223 @@
+#include "core/split_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+std::vector<int64_t>
+SplitScheme1d::inputStarts() const
+{
+    std::vector<int64_t> starts;
+    starts.reserve(pieces.size());
+    for (const auto &p : pieces)
+        starts.push_back(p.in_start);
+    return starts;
+}
+
+std::vector<int64_t>
+SplitScheme1d::outputStarts() const
+{
+    std::vector<int64_t> starts;
+    starts.reserve(pieces.size());
+    for (const auto &p : pieces)
+        starts.push_back(p.out_start);
+    return starts;
+}
+
+std::string
+SplitScheme1d::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+        const auto &p = pieces[i];
+        if (i)
+            os << ", ";
+        os << "{in [" << p.in_start << ',' << p.in_end << ") out ["
+           << p.out_start << ',' << p.out_end << ") pad (" << p.pad_b
+           << ',' << p.pad_e << ")}";
+    }
+    return os.str();
+}
+
+int64_t
+splitLowerBound(const WindowParams1d &op, int64_t o_i)
+{
+    return o_i * op.s - op.p_b;
+}
+
+int64_t
+splitUpperBound(const WindowParams1d &op, int64_t o_i)
+{
+    return (o_i - 1) * op.s + op.k - op.p_b;
+}
+
+namespace {
+
+void
+validateOutputStarts(const WindowParams1d &op, int64_t w,
+                     const std::vector<int64_t> &output_starts,
+                     bool allow_downsample)
+{
+    SCNN_REQUIRE(allow_downsample || op.k >= op.s,
+                 "Split-CNN mandates k >= s, got k=" << op.k
+                                                     << " s=" << op.s);
+    SCNN_REQUIRE(op.k >= 1 && op.s >= 1, "invalid window parameters");
+    SCNN_REQUIRE(!output_starts.empty(), "empty output split scheme");
+    SCNN_REQUIRE(output_starts[0] == 0,
+                 "output split scheme must start at 0");
+    const int64_t l = op.outExtent(w);
+    SCNN_REQUIRE(l >= 1, "op produces empty output for extent " << w);
+    for (size_t i = 1; i < output_starts.size(); ++i) {
+        SCNN_REQUIRE(output_starts[i] > output_starts[i - 1],
+                     "output split scheme must be strictly increasing");
+        SCNN_REQUIRE(output_starts[i] < l,
+                     "output split start " << output_starts[i]
+                                           << " >= output extent " << l);
+    }
+}
+
+} // namespace
+
+std::vector<int64_t>
+computeInputSplitScheme(const WindowParams1d &op, int64_t w,
+                        const std::vector<int64_t> &output_starts,
+                        InputSplitPolicy policy, bool allow_downsample)
+{
+    validateOutputStarts(op, w, output_starts, allow_downsample);
+    const int n = static_cast<int>(output_starts.size());
+
+    std::vector<int64_t> input_starts(n);
+    input_starts[0] = 0;
+    for (int i = 1; i < n; ++i) {
+        const int64_t o_i = output_starts[i];
+        int64_t lb = splitLowerBound(op, o_i);
+        // For k < s (downsampling extension) windows are disjoint and
+        // the only exact split point is lb itself.
+        int64_t ub = op.k >= op.s ? splitUpperBound(op, o_i) : lb;
+        SCNN_CHECK(lb <= ub, "lb > ub; requires k >= s");
+        // Keep every patch non-empty and inside the input.
+        lb = std::max(lb, input_starts[i - 1] + 1);
+        ub = std::min(ub, w - (n - i)); // room for the remaining patches
+        SCNN_REQUIRE(lb <= ub,
+                     "no legal input split for output start "
+                         << o_i << " (input extent " << w << ")");
+        switch (policy) {
+          case InputSplitPolicy::LowerBound:
+            input_starts[i] = lb;
+            break;
+          case InputSplitPolicy::UpperBound:
+            input_starts[i] = ub;
+            break;
+          case InputSplitPolicy::Center:
+            input_starts[i] = (lb + ub + 1) / 2;
+            break;
+        }
+    }
+    return input_starts;
+}
+
+SplitScheme1d
+buildSplitScheme(const WindowParams1d &op, int64_t w,
+                 const std::vector<int64_t> &output_starts,
+                 const std::vector<int64_t> &input_starts,
+                 bool allow_downsample)
+{
+    validateOutputStarts(op, w, output_starts, allow_downsample);
+    SCNN_REQUIRE(input_starts.size() == output_starts.size(),
+                 "I and O tuple size mismatch");
+    SCNN_REQUIRE(input_starts[0] == 0, "I_0 must be 0");
+    const int n = static_cast<int>(output_starts.size());
+    const int64_t l = op.outExtent(w);
+
+    SplitScheme1d scheme;
+    scheme.pieces.resize(n);
+    for (int i = 0; i < n; ++i) {
+        SplitPiece1d &piece = scheme.pieces[i];
+        piece.in_start = input_starts[i];
+        piece.in_end = (i + 1 < n) ? input_starts[i + 1] : w;
+        piece.out_start = output_starts[i];
+        piece.out_end = (i + 1 < n) ? output_starts[i + 1] : l;
+        SCNN_REQUIRE(piece.in_end > piece.in_start,
+                     "empty input patch " << i);
+
+        // Corrected Eq. 5 begin padding (see file header): the window
+        // for output O_i starts at global index O_i*s - p_b, so the
+        // patch must be padded by I_i - (O_i*s - p_b) on the left.
+        // For i == 0 this degenerates to p_b since I_0 = O_0 = 0.
+        piece.pad_b = piece.in_start + op.p_b - piece.out_start * op.s;
+
+        if (i + 1 < n) {
+            // Eq. 5 end padding: the window for output O_{i+1} - 1
+            // ends (exclusive) at (O_{i+1}-1)*s + k - p_b; pad the
+            // patch up to that point.
+            piece.pad_e = (piece.out_end - 1) * op.s + op.k - op.p_b -
+                          piece.in_end;
+        } else {
+            piece.pad_e = op.p_e;
+        }
+
+        // Sanity: the padded patch yields exactly outLen() outputs.
+        const WindowParams1d local{op.k, op.s, piece.pad_b, piece.pad_e};
+        SCNN_CHECK(local.outExtent(piece.inLen()) == piece.outLen(),
+                   "patch " << i << " produces "
+                            << local.outExtent(piece.inLen())
+                            << " outputs, expected " << piece.outLen());
+    }
+    return scheme;
+}
+
+SplitScheme1d
+splitWindowOp(const WindowParams1d &op, int64_t w,
+              const std::vector<int64_t> &output_starts,
+              InputSplitPolicy policy, bool allow_downsample)
+{
+    return buildSplitScheme(op, w, output_starts,
+                            computeInputSplitScheme(op, w, output_starts,
+                                                    policy,
+                                                    allow_downsample),
+                            allow_downsample);
+}
+
+std::vector<int64_t>
+evenOutputSplit(int64_t l, int n)
+{
+    SCNN_REQUIRE(n >= 1, "split count must be >= 1");
+    SCNN_REQUIRE(l >= n, "cannot split extent " << l << " into " << n
+                                                << " non-empty parts");
+    std::vector<int64_t> starts(n);
+    for (int i = 0; i < n; ++i)
+        starts[i] = i * l / n;
+    return starts;
+}
+
+std::vector<int64_t>
+stochasticOutputSplit(int64_t l, int n, double omega, Rng &rng)
+{
+    SCNN_REQUIRE(omega >= 0.0 && omega < 0.5,
+                 "wiggle room must be in [0, 0.5), got " << omega);
+    SCNN_REQUIRE(n >= 1, "split count must be >= 1");
+    SCNN_REQUIRE(l >= n, "cannot split extent " << l << " into " << n
+                                                << " non-empty parts");
+    std::vector<int64_t> starts(n);
+    starts[0] = 0;
+    for (int i = 1; i < n; ++i) {
+        const double ld = static_cast<double>(l);
+        int64_t lo = static_cast<int64_t>(
+            std::ceil((i - omega) * ld / n));
+        int64_t hi = static_cast<int64_t>(
+            std::floor((i + omega) * ld / n));
+        // Clamp to keep the scheme strictly increasing within (0, l).
+        lo = std::max(lo, starts[i - 1] + 1);
+        hi = std::min(hi, l - (n - i));
+        if (lo > hi)
+            lo = hi = std::min(std::max(starts[i - 1] + 1, lo), l - (n - i));
+        starts[i] = rng.uniformInt(lo, hi);
+    }
+    return starts;
+}
+
+} // namespace scnn

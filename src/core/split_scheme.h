@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Split-scheme mathematics from Section 3.1 of the Split-CNN paper:
+ * given a window-based operation Op(X, k, s, p) and an output
+ * partition O, compute the legal input partition interval
+ * [lb(I_i), ub(I_i)] (Eqs. 1-2), pick I within it, and derive the
+ * per-patch paddings so that patch i produces exactly outputs
+ * [O_i, O_{i+1}).
+ *
+ * Note on the paper's padding formula: the printed
+ * p_{i,b} = I_i + p_b - (O_i - 1)s is inconsistent with Eqs. 1-2 (it
+ * yields s instead of 0 for the natural split where k = s). We
+ * implement the first-principles derivation p_{i,b} = I_i + p_b - O_i*s,
+ * which reproduces the paper's own interpretation: choosing
+ * I_i = lb gives zero begin-padding, choosing I_i = ub gives k - s.
+ */
+#ifndef SCNN_CORE_SPLIT_SCHEME_H
+#define SCNN_CORE_SPLIT_SCHEME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace scnn {
+
+/** 1-D window-based op parameters: Op(X, k, s, (p_b, p_e)). */
+struct WindowParams1d
+{
+    int64_t k = 1;   ///< window extent
+    int64_t s = 1;   ///< stride (paper mandates k >= s)
+    int64_t p_b = 0; ///< padding before the spatial dimension
+    int64_t p_e = 0; ///< padding after the spatial dimension
+
+    /** Output extent for input extent @p w. */
+    int64_t
+    outExtent(int64_t w) const
+    {
+        return (w + p_b + p_e - k) / s + 1;
+    }
+};
+
+/** One spatial patch of a split operation along one dimension. */
+struct SplitPiece1d
+{
+    int64_t in_start;  ///< I_i: first input element of the patch
+    int64_t in_end;    ///< I_{i+1} (exclusive)
+    int64_t out_start; ///< O_i: first output element produced
+    int64_t out_end;   ///< O_{i+1} (exclusive)
+    int64_t pad_b;     ///< p_{i,b}
+    int64_t pad_e;     ///< p_{i,e}
+
+    int64_t inLen() const { return in_end - in_start; }
+    int64_t outLen() const { return out_end - out_start; }
+};
+
+/** A complete 1-D split of a window-based op into N patches. */
+struct SplitScheme1d
+{
+    std::vector<SplitPiece1d> pieces;
+
+    int parts() const { return static_cast<int>(pieces.size()); }
+
+    /** Input start indices, the paper's I tuple. */
+    std::vector<int64_t> inputStarts() const;
+
+    /** Output start indices, the paper's O tuple. */
+    std::vector<int64_t> outputStarts() const;
+
+    std::string toString() const;
+};
+
+/** How to choose I_i within [lb(I_i), ub(I_i)]. */
+enum class InputSplitPolicy
+{
+    LowerBound, ///< I_i = lb: patch keeps all data for its own outputs
+    UpperBound, ///< I_i = ub: patch keeps all data of the previous one
+    Center      ///< midpoint, balancing lost context on both sides
+};
+
+/**
+ * Eq. 1: lb(I_i) = O_i * s - p_b — split right before the first
+ * element of the window producing output O_i.
+ */
+int64_t splitLowerBound(const WindowParams1d &op, int64_t o_i);
+
+/**
+ * Eq. 2: ub(I_i) = (O_i - 1) * s + k - p_b — split right after the
+ * last element of the window producing output O_i - 1.
+ */
+int64_t splitUpperBound(const WindowParams1d &op, int64_t o_i);
+
+/**
+ * The paper's ComputeInputSplitScheme (Eq. 3): pick each I_i within
+ * [lb, ub] (clamped to keep patches non-empty) following @p policy.
+ *
+ * @param op window-op parameters with k >= s.
+ * @param w input spatial extent.
+ * @param output_starts the O tuple; O_0 must be 0, strictly
+ *        increasing, all < outExtent(w).
+ * @return the I tuple (I_0 == 0).
+ */
+std::vector<int64_t> computeInputSplitScheme(
+    const WindowParams1d &op, int64_t w,
+    const std::vector<int64_t> &output_starts,
+    InputSplitPolicy policy = InputSplitPolicy::Center,
+    bool allow_downsample = false);
+
+/**
+ * The paper's ComputePadding (Eq. 5) with the corrected begin-padding
+ * formula, assembled into a full per-patch scheme.
+ *
+ * @param op window-op parameters.
+ * @param w input spatial extent.
+ * @param output_starts the O tuple.
+ * @param input_starts the I tuple (from computeInputSplitScheme).
+ */
+SplitScheme1d buildSplitScheme(const WindowParams1d &op, int64_t w,
+                               const std::vector<int64_t> &output_starts,
+                               const std::vector<int64_t> &input_starts,
+                               bool allow_downsample = false);
+
+/**
+ * Convenience: computeInputSplitScheme + buildSplitScheme.
+ *
+ * @param allow_downsample accept k < s ops (e.g. ResNet's 1x1/2
+ *        shortcut convolutions). The paper's formulation mandates
+ *        k >= s; with this extension the legal interval for I_i
+ *        collapses to the single point lb(I_i) (windows are disjoint,
+ *        so that split is exact). Default off.
+ */
+SplitScheme1d splitWindowOp(const WindowParams1d &op, int64_t w,
+                            const std::vector<int64_t> &output_starts,
+                            InputSplitPolicy policy =
+                                InputSplitPolicy::Center,
+                            bool allow_downsample = false);
+
+/**
+ * An output partition into @p n parts as even as possible:
+ * O_i = floor(i * l / n). Requires l >= n >= 1.
+ */
+std::vector<int64_t> evenOutputSplit(int64_t l, int n);
+
+/**
+ * Section 3.3 stochastic output partition: for i > 0,
+ * s_i ~ DiscreteUniform(ceil((i - w) L / N), floor((i + w) L / N))
+ * with wiggle room @p omega in [0, 0.5). Samples are clamped so the
+ * scheme stays strictly increasing inside (0, l).
+ */
+std::vector<int64_t> stochasticOutputSplit(int64_t l, int n, double omega,
+                                           Rng &rng);
+
+} // namespace scnn
+
+#endif // SCNN_CORE_SPLIT_SCHEME_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Whole-model Split-CNN transformation (Sections 3.2 and 4.1, step 1):
+ * given a splitting depth d (fraction of convolutional layers to break
+ * apart) and an (h, w) patch grid, rewrite a computation graph so that
+ * the prefix up to the join point operates on independent spatial
+ * patches: Input -> Slice xN -> per-patch clones (sharing parameters)
+ * -> Concat -> unchanged suffix.
+ *
+ * Split schemes propagate backward from the join point: window ops map
+ * their output partition O to an input partition I via Eqs. 1-2;
+ * elementwise ops pass partitions through; at forks (residual blocks)
+ * the first scheme assigned to a tensor wins and other consumers
+ * adapt via the total padding formulas (possibly negative padding,
+ * paper footnote 1).
+ */
+#ifndef SCNN_CORE_SPLITTER_H
+#define SCNN_CORE_SPLITTER_H
+
+#include <cstdint>
+
+#include "core/split_scheme.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace scnn {
+
+/** Hyper-parameters of the Split-CNN transformation (Section 5.2). */
+struct SplitOptions
+{
+    /** Fraction of conv layers to split, in [0, 1]. */
+    double depth = 0.5;
+    /** Patch-grid extents: h x w patches (paper's 2-tuple (h, w)). */
+    int splits_h = 2;
+    int splits_w = 2;
+    /** How to pick I within [lb, ub]. */
+    InputSplitPolicy policy = InputSplitPolicy::Center;
+    /** Sample the join partition stochastically (Section 3.3). */
+    bool stochastic = false;
+    /** Wiggle room for stochastic splitting; paper uses 0.2. */
+    double omega = 0.2;
+};
+
+/** What the transformation actually did. */
+struct SplitReport
+{
+    TensorId join_tensor = kInvalidTensor; ///< cut in the original graph
+    int convs_split = 0;       ///< conv layers inside the split region
+    int total_convs = 0;
+    double achieved_depth = 0.0; ///< convs_split / total_convs
+    int patches = 0;             ///< h * w
+};
+
+/**
+ * Transform @p graph into a Split-CNN.
+ *
+ * The returned graph has an identical parameter table (patch clones
+ * share the original weights), so a ParamStore built for either graph
+ * works with both — which is how a Stochastic Split-CNN is trained
+ * split and evaluated unsplit.
+ *
+ * @param graph source model (must carry cut points).
+ * @param options split hyper-parameters. depth == 0, or a 1x1 grid,
+ *        returns an untransformed copy.
+ * @param rng randomness for stochastic splitting; required when
+ *        options.stochastic, ignored otherwise.
+ * @param report optional transformation summary.
+ */
+Graph splitCnnTransform(const Graph &graph, const SplitOptions &options,
+                        Rng *rng = nullptr, SplitReport *report = nullptr);
+
+/**
+ * Pick the cut point whose conv count best matches depth * convCount.
+ * Returns the index into graph.cutPoints(), or -1 for "no split"
+ * (depth too small to cover even the first cut).
+ */
+int chooseCutPoint(const Graph &graph, double depth);
+
+} // namespace scnn
+
+#endif // SCNN_CORE_SPLITTER_H

@@ -1,0 +1,132 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+SyntheticDataset::SyntheticDataset(const SyntheticSpec &spec)
+    : spec_(spec)
+{
+    SCNN_REQUIRE(spec_.classes >= 2, "need at least two classes");
+    SCNN_REQUIRE(spec_.image >= 8, "image too small");
+    Rng rng(spec_.seed);
+
+    // Per-class smooth templates: sums of random sinusoids so every
+    // class occupies the full spatial extent.
+    const float two_pi = 6.28318530717958647692f;
+    templates_.reserve(static_cast<size_t>(spec_.classes));
+    for (int64_t cls = 0; cls < spec_.classes; ++cls) {
+        Tensor tpl(Shape{spec_.channels, spec_.image, spec_.image});
+        for (int64_t c = 0; c < spec_.channels; ++c) {
+            for (int wave = 0; wave < spec_.waves; ++wave) {
+                const float fy =
+                    rng.uniform(0.5f, 2.5f) / spec_.image;
+                const float fx =
+                    rng.uniform(0.5f, 2.5f) / spec_.image;
+                const float phase = rng.uniform(0.0f, two_pi);
+                const float amp = rng.uniform(0.5f, 1.0f);
+                for (int64_t y = 0; y < spec_.image; ++y)
+                    for (int64_t x = 0; x < spec_.image; ++x)
+                        tpl.at((c * spec_.image + y) * spec_.image +
+                               x) +=
+                            amp * std::sin(two_pi * (fy * y + fx * x) +
+                                           phase);
+            }
+        }
+        templates_.push_back(std::move(tpl));
+    }
+
+    auto make_split = [&](int count, std::vector<Tensor> &images,
+                          std::vector<int64_t> &labels) {
+        images.reserve(static_cast<size_t>(count));
+        labels.reserve(static_cast<size_t>(count));
+        for (int i = 0; i < count; ++i) {
+            const int64_t label = rng.uniformInt(0, spec_.classes - 1);
+            images.push_back(renderSample(label, rng));
+            labels.push_back(label);
+        }
+    };
+    make_split(spec_.train_samples, train_images_, train_labels_);
+    make_split(spec_.test_samples, test_images_, test_labels_);
+}
+
+Tensor
+SyntheticDataset::renderSample(int64_t label, Rng &rng) const
+{
+    const Tensor &tpl = templates_[static_cast<size_t>(label)];
+    const int64_t dy = rng.uniformInt(-spec_.max_shift, spec_.max_shift);
+    const int64_t dx = rng.uniformInt(-spec_.max_shift, spec_.max_shift);
+    Tensor out(tpl.shape());
+    const int64_t hw = spec_.image;
+    for (int64_t c = 0; c < spec_.channels; ++c)
+        for (int64_t y = 0; y < hw; ++y)
+            for (int64_t x = 0; x < hw; ++x) {
+                const int64_t sy = ((y + dy) % hw + hw) % hw;
+                const int64_t sx = ((x + dx) % hw + hw) % hw;
+                out.at((c * hw + y) * hw + x) =
+                    tpl.at((c * hw + sy) * hw + sx) +
+                    rng.normal(0.0f, spec_.noise);
+            }
+    return out;
+}
+
+Tensor
+SyntheticDataset::gatherBatch(const std::vector<Tensor> &pool,
+                              const std::vector<int64_t> &all_labels,
+                              const std::vector<int> &indices,
+                              std::vector<int64_t> &labels) const
+{
+    SCNN_REQUIRE(!indices.empty(), "empty batch");
+    const int64_t n = static_cast<int64_t>(indices.size());
+    Tensor batch(
+        Shape{n, spec_.channels, spec_.image, spec_.image});
+    labels.clear();
+    labels.reserve(indices.size());
+    const int64_t stride = spec_.channels * spec_.image * spec_.image;
+    for (int64_t i = 0; i < n; ++i) {
+        const int idx = indices[static_cast<size_t>(i)];
+        SCNN_REQUIRE(idx >= 0 &&
+                         idx < static_cast<int>(pool.size()),
+                     "sample index out of range");
+        const Tensor &img = pool[static_cast<size_t>(idx)];
+        std::copy(img.data(), img.data() + stride,
+                  batch.data() + i * stride);
+        labels.push_back(all_labels[static_cast<size_t>(idx)]);
+    }
+    return batch;
+}
+
+Tensor
+SyntheticDataset::trainBatch(const std::vector<int> &indices,
+                             std::vector<int64_t> &labels) const
+{
+    return gatherBatch(train_images_, train_labels_, indices, labels);
+}
+
+Tensor
+SyntheticDataset::testBatch(int start, int count,
+                            std::vector<int64_t> &labels) const
+{
+    std::vector<int> indices(static_cast<size_t>(count));
+    std::iota(indices.begin(), indices.end(), start);
+    return gatherBatch(test_images_, test_labels_, indices, labels);
+}
+
+std::vector<int>
+SyntheticDataset::shuffledEpoch(Rng &rng) const
+{
+    std::vector<int> order(static_cast<size_t>(spec_.train_samples));
+    std::iota(order.begin(), order.end(), 0);
+    // Fisher-Yates with our deterministic Rng.
+    for (size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1],
+                  order[static_cast<size_t>(
+                      rng.uniformInt(0, static_cast<int64_t>(i) - 1))]);
+    return order;
+}
+
+} // namespace scnn

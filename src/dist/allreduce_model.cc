@@ -1,0 +1,38 @@
+#include "dist/allreduce_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+double
+allreduceTime(int64_t gradient_bytes, double bandwidth_bits, double alpha)
+{
+    SCNN_REQUIRE(bandwidth_bits > 0.0 && alpha > 0.0,
+                 "invalid bandwidth parameters");
+    const double bits = 8.0 * static_cast<double>(gradient_bytes);
+    return 2.0 * bits / (alpha * bandwidth_bits);
+}
+
+double
+epochTime(const DistConfig &config)
+{
+    SCNN_REQUIRE(config.batch > 0 && config.dataset_size > 0,
+                 "invalid dataset/batch");
+    const double rounds = static_cast<double>(config.dataset_size) /
+                          static_cast<double>(config.batch);
+    const double comm = allreduceTime(config.gradient_bytes,
+                                      config.bandwidth_bits,
+                                      config.alpha);
+    return rounds *
+           (config.t_forward + std::max(config.t_backward, comm));
+}
+
+double
+distributedSpeedup(const DistConfig &baseline, const DistConfig &split)
+{
+    return epochTime(baseline) / epochTime(split);
+}
+
+} // namespace scnn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytical distributed-training model (Section 6.4, Figure 11):
+ * ring-allreduce gradient aggregation has a bandwidth lower bound of
+ * 2|G|/B_min [Patarasuk & Yuan], backward computation pipelines with
+ * communication, and the per-epoch time is
+ *
+ *   T_epoch = |D|/N * (T_forward + max(T_backward, 2|G|/(alpha*B))).
+ *
+ * Split-CNN accelerates distributed training by enabling a larger
+ * per-node batch N, which reduces the number of parameter updates
+ * (and therefore allreduce rounds) per epoch.
+ */
+#ifndef SCNN_DIST_ALLREDUCE_MODEL_H
+#define SCNN_DIST_ALLREDUCE_MODEL_H
+
+#include <cstdint>
+
+namespace scnn {
+
+/** Inputs of the epoch-time formula. */
+struct DistConfig
+{
+    int64_t dataset_size = 1'281'167; ///< |D| (ImageNet train split)
+    int64_t batch = 64;               ///< per-round global batch N
+    double t_forward = 0.0;           ///< seconds per batch
+    double t_backward = 0.0;          ///< seconds per batch
+    int64_t gradient_bytes = 0;       ///< |G|
+    double bandwidth_bits = 10.0e9;   ///< B_min in bits/second
+    double alpha = 0.8;               ///< bandwidth utilization
+};
+
+/** Allreduce lower bound 2|G|/(alpha*B), in seconds. */
+double allreduceTime(int64_t gradient_bytes, double bandwidth_bits,
+                     double alpha);
+
+/** The paper's T_epoch formula. */
+double epochTime(const DistConfig &config);
+
+/**
+ * Speedup of training with batch/time parameters @p split over
+ * @p baseline (both evaluated with the same dataset and network).
+ */
+double distributedSpeedup(const DistConfig &baseline,
+                          const DistConfig &split);
+
+} // namespace scnn
+
+#endif // SCNN_DIST_ALLREDUCE_MODEL_H

@@ -1,0 +1,72 @@
+#include "dist/data_parallel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+DataParallelResult
+simulateDataParallelStep(const DataParallelConfig &config)
+{
+    SCNN_REQUIRE(config.learners >= 1, "need at least one learner");
+    SCNN_REQUIRE(config.t_forward >= 0.0 && config.t_backward >= 0.0,
+                 "negative compute times");
+    SCNN_REQUIRE(config.buckets >= 1, "need at least one bucket");
+
+    DataParallelResult result;
+    if (config.learners == 1 || config.gradient_bytes == 0) {
+        result.step_time = config.t_forward + config.t_backward;
+        result.efficiency = 1.0;
+        return result;
+    }
+
+    RingConfig ring;
+    ring.learners = config.learners;
+    ring.link_bandwidth_bits = {config.link_bandwidth_bits};
+    ring.alpha = config.alpha;
+    ring.step_latency = 0.0;
+
+    double finish = config.t_forward + config.t_backward;
+    if (!config.pipelined) {
+        ring.gradient_bytes = config.gradient_bytes;
+        const double comm = simulateRingAllreduce(ring).total_time;
+        result.comm_time = comm;
+        result.exposed_comm = comm;
+        result.step_time = finish + comm;
+    } else {
+        // Bucket i's gradients are ready after a fraction of the
+        // backward pass; reductions serialize on the link.
+        ring.gradient_bytes = config.gradient_bytes / config.buckets;
+        const double comm_per_bucket =
+            simulateRingAllreduce(ring).total_time;
+        double link_free = 0.0;
+        for (int i = 0; i < config.buckets; ++i) {
+            const double ready =
+                config.t_forward +
+                config.t_backward * (i + 1) / config.buckets;
+            const double start = std::max(ready, link_free);
+            link_free = start + comm_per_bucket;
+        }
+        result.comm_time = config.buckets * comm_per_bucket;
+        result.step_time = std::max(finish, link_free);
+        result.exposed_comm = result.step_time - finish;
+    }
+    result.efficiency =
+        (config.t_forward + config.t_backward) / result.step_time;
+    return result;
+}
+
+double
+dataParallelEpochTime(const DataParallelConfig &config,
+                      int64_t dataset_size, int64_t local_batch)
+{
+    SCNN_REQUIRE(dataset_size > 0 && local_batch > 0,
+                 "invalid dataset/batch");
+    const double steps =
+        static_cast<double>(dataset_size) /
+        (static_cast<double>(config.learners) * local_batch);
+    return steps * simulateDataParallelStep(config).step_time;
+}
+
+} // namespace scnn

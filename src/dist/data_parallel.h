@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Data-parallel training-step simulation: K learners each execute
+ * the single-device iteration (from the stream simulator) and
+ * aggregate gradients with ring allreduce. Supports the pipelined
+ * overlap the paper assumes ("distributed training algorithm usually
+ * pipelines backward propagation with gradient aggregation as in
+ * [Goyal et al.]"): gradients of later layers are reduced while
+ * earlier layers' backward still runs, so the step time is
+ * max(T_backward, T_comm) rather than their sum.
+ */
+#ifndef SCNN_DIST_DATA_PARALLEL_H
+#define SCNN_DIST_DATA_PARALLEL_H
+
+#include <cstdint>
+
+#include "dist/ring_allreduce.h"
+
+namespace scnn {
+
+/** Per-step inputs of the data-parallel model. */
+struct DataParallelConfig
+{
+    int learners = 4;
+    double t_forward = 0.0;  ///< seconds per local batch
+    double t_backward = 0.0; ///< seconds per local batch
+    int64_t gradient_bytes = 0;
+    double link_bandwidth_bits = 10.0e9;
+    double alpha = 0.8;
+    /** Overlap backward with gradient aggregation (bucketed). */
+    bool pipelined = true;
+    /** Number of gradient buckets when pipelining. */
+    int buckets = 8;
+};
+
+/** Simulated data-parallel step breakdown. */
+struct DataParallelResult
+{
+    double step_time = 0.0; ///< forward + overlapped bwd/comm
+    double comm_time = 0.0; ///< total allreduce busy time
+    double exposed_comm = 0.0; ///< communication not hidden by bwd
+    /** Scaling efficiency vs a communication-free step. */
+    double efficiency = 0.0;
+};
+
+/**
+ * Simulate one synchronous data-parallel step.
+ *
+ * Pipelined mode reduces gradients bucket by bucket: bucket i becomes
+ * ready at (i+1)/buckets of the backward pass and its ring allreduce
+ * starts as soon as both the bucket and the link are free.
+ * Non-pipelined mode runs one allreduce after the whole backward.
+ */
+DataParallelResult simulateDataParallelStep(
+    const DataParallelConfig &config);
+
+/**
+ * Epoch time under the simulated step: (|D| / (K * local_batch))
+ * steps per epoch.
+ */
+double dataParallelEpochTime(const DataParallelConfig &config,
+                             int64_t dataset_size, int64_t local_batch);
+
+} // namespace scnn
+
+#endif // SCNN_DIST_DATA_PARALLEL_H

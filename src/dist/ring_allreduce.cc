@@ -1,0 +1,44 @@
+#include "dist/ring_allreduce.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+RingResult
+simulateRingAllreduce(const RingConfig &config)
+{
+    SCNN_REQUIRE(config.learners >= 2, "a ring needs >= 2 learners");
+    SCNN_REQUIRE(config.gradient_bytes >= 0, "negative gradient size");
+    SCNN_REQUIRE(!config.link_bandwidth_bits.empty(),
+                 "no link bandwidths given");
+    SCNN_REQUIRE(config.alpha > 0.0 && config.alpha <= 1.0,
+                 "alpha must be in (0, 1]");
+
+    const int n = config.learners;
+    const double chunk_bits =
+        8.0 * static_cast<double>(config.gradient_bytes) / n;
+
+    // Per-step time: every learner forwards one chunk concurrently;
+    // the step completes when the slowest link finishes.
+    double min_bw = config.link_bandwidth_bits[0];
+    for (double bw : config.link_bandwidth_bits) {
+        SCNN_REQUIRE(bw > 0.0, "non-positive link bandwidth");
+        min_bw = std::min(min_bw, bw);
+    }
+    const double step_time =
+        chunk_bits / (config.alpha * min_bw) + config.step_latency;
+
+    RingResult result;
+    result.steps = 2 * (n - 1);
+    result.reduce_scatter = (n - 1) * step_time;
+    result.allgather = (n - 1) * step_time;
+    result.total_time = result.reduce_scatter + result.allgather;
+    result.bound = 2.0 * 8.0 *
+                   static_cast<double>(config.gradient_bytes) *
+                   (n - 1) / (n * config.alpha * min_bw);
+    return result;
+}
+
+} // namespace scnn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ring allreduce simulation. The paper's Figure 11 uses the
+ * bandwidth lower bound 2|G|/B_min from Patarasuk & Yuan; this module
+ * simulates the actual chunked ring algorithm — N-1 reduce-scatter
+ * steps followed by N-1 allgather steps, each moving |G|/N bytes per
+ * link — so the bound (and its approach to 2|G|/B as N grows) can be
+ * verified rather than assumed, and per-step latency effects can be
+ * studied.
+ */
+#ifndef SCNN_DIST_RING_ALLREDUCE_H
+#define SCNN_DIST_RING_ALLREDUCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace scnn {
+
+/** Cluster parameters for the ring simulation. */
+struct RingConfig
+{
+    int learners = 4;
+    int64_t gradient_bytes = 0; ///< |G|
+    /** Per-link bandwidths in bits/s; size 1 = homogeneous, size N =
+     *  bandwidth of the link leaving each learner. */
+    std::vector<double> link_bandwidth_bits = {10.0e9};
+    /** Fixed per-step latency (software + network), seconds. */
+    double step_latency = 50e-6;
+    /** Bandwidth utilization efficiency (the paper's alpha). */
+    double alpha = 0.8;
+};
+
+/** Result of one simulated allreduce. */
+struct RingResult
+{
+    double total_time = 0.0;      ///< seconds
+    double reduce_scatter = 0.0;  ///< first phase
+    double allgather = 0.0;       ///< second phase
+    int steps = 0;                ///< 2 * (N - 1)
+    /** The closed-form bound 2|G|(N-1)/(N * alpha * B_min). */
+    double bound = 0.0;
+};
+
+/**
+ * Simulate one ring allreduce of @p config.gradient_bytes.
+ *
+ * Every step is gated by the slowest link in the ring (all learners
+ * move one chunk per step, synchronously), so heterogeneous
+ * bandwidth degrades the whole ring to B_min — the reason the bound
+ * depends on the *minimum* bandwidth.
+ */
+RingResult simulateRingAllreduce(const RingConfig &config);
+
+} // namespace scnn
+
+#endif // SCNN_DIST_RING_ALLREDUCE_H

@@ -1,0 +1,84 @@
+#include "graph/backward.h"
+
+#include "util/logging.h"
+
+namespace scnn {
+
+std::vector<TensorId>
+neededForwardTensors(const Graph &graph, const Node &node,
+                     const BackwardOptions &opt)
+{
+    (void)graph;
+    switch (node.kind) {
+      case OpKind::BatchNorm:
+        // In-place activated BN [Bulo et al.] fuses BN with a
+        // following ReLU and recomputes the BN dependencies from the
+        // fused pair's (already-kept) output, so such a BN keeps
+        // nothing alive. BNs not followed by a ReLU (e.g. the second
+        // BN of a residual block, feeding the Add) are not fused and
+        // keep their input as usual.
+        if (opt.recompute_bn) {
+            const auto &consumers = graph.tensor(node.output).consumers;
+            if (consumers.size() == 1 &&
+                graph.node(consumers[0]).kind == OpKind::ReLU)
+                return {};
+        }
+        return {node.inputs[0]};
+      case OpKind::Conv2d:
+      case OpKind::Linear:
+        // Weight gradients need the layer input.
+        return {node.inputs[0]};
+      case OpKind::MaxPool2d:
+        // cuDNN-style pooling backward reads both x and y (the argmax
+        // is re-derived from them).
+        return {node.inputs[0], node.output};
+      case OpKind::ReLU:
+        // Only the output: y > 0 <=> x > 0. This makes the input TSO
+        // dead after the forward op, enabling in-place ReLU.
+        return {node.output};
+      case OpKind::AvgPool2d:
+      case OpKind::GlobalAvgPool:
+      case OpKind::Flatten:
+      case OpKind::Add:
+      case OpKind::Slice:
+      case OpKind::Concat:
+      case OpKind::Input:
+        return {};
+    }
+    return {};
+}
+
+std::vector<BackwardStep>
+buildBackwardSchedule(const Graph &graph, const std::vector<NodeId> &topo,
+                      const BackwardOptions &opt)
+{
+    std::vector<BackwardStep> schedule;
+    schedule.reserve(topo.size());
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const Node &n = graph.node(*it);
+        if (n.kind == OpKind::Input)
+            continue;
+        BackwardStep step;
+        step.fwd_node = n.id;
+        step.needed_fwd = neededForwardTensors(graph, n, opt);
+        step.grad_in = n.output;
+        step.grad_out = n.inputs;
+        schedule.push_back(std::move(step));
+    }
+    return schedule;
+}
+
+std::set<TensorId>
+tensorsNeededInBackward(const Graph &graph,
+                        const std::vector<NodeId> &topo,
+                        const BackwardOptions &opt)
+{
+    std::set<TensorId> needed;
+    for (NodeId id : topo)
+        for (TensorId t :
+             neededForwardTensors(graph, graph.node(id), opt))
+            needed.insert(t);
+    return needed;
+}
+
+} // namespace scnn

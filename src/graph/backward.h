@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Serialized back-propagation schedule (Section 4.1, step 2): the
+ * backward pass is the reverse of the serialized forward order, and
+ * each backward step declares which forward intermediates it consumes
+ * again. HMMS offload candidates and Figure 1's "generated data size"
+ * both derive from this.
+ */
+#ifndef SCNN_GRAPH_BACKWARD_H
+#define SCNN_GRAPH_BACKWARD_H
+
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scnn {
+
+/** One step of the serialized backward pass. */
+struct BackwardStep
+{
+    NodeId fwd_node = -1;
+    /** Forward tensors this step reads again (offload candidates). */
+    std::vector<TensorId> needed_fwd;
+    /** Gradient tensors consumed: grad of the fwd node's output. */
+    TensorId grad_in = kInvalidTensor;
+    /** Gradient tensors produced: grads of the fwd node's inputs. */
+    std::vector<TensorId> grad_out;
+};
+
+/** Options shaping the backward dependence analysis. */
+struct BackwardOptions
+{
+    /**
+     * Memory-efficient (in-place activated) BatchNorm [Bulo et al.],
+     * adopted by Section 6.3 for ResNet: BN recomputes what it needs
+     * from its *output*, so its input is no longer kept across the
+     * forward pass (at extra backward compute cost).
+     */
+    bool recompute_bn = false;
+};
+
+/**
+ * Forward tensors that the backward of @p node must read again.
+ * ReLU deliberately needs its *output* (not input), which is what
+ * legalizes the HMMS in-place-ReLU optimization (Section 4.2).
+ */
+std::vector<TensorId> neededForwardTensors(const Graph &graph,
+                                           const Node &node,
+                                           const BackwardOptions &opt = {});
+
+/**
+ * Build the serialized backward schedule: reverse of @p topo with
+ * Input nodes dropped (Section 4.1: "the order such operations appear
+ * in the backward graph is the reverse of serialized forward order").
+ */
+std::vector<BackwardStep> buildBackwardSchedule(
+    const Graph &graph, const std::vector<NodeId> &topo,
+    const BackwardOptions &opt = {});
+
+/**
+ * All forward tensors needed again by any backward step — the
+ * intermediate results that must be kept (or offloaded and
+ * prefetched) across the forward pass.
+ */
+std::set<TensorId> tensorsNeededInBackward(
+    const Graph &graph, const std::vector<NodeId> &topo,
+    const BackwardOptions &opt = {});
+
+} // namespace scnn
+
+#endif // SCNN_GRAPH_BACKWARD_H

@@ -1,0 +1,61 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace scnn {
+
+namespace {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char *
+fillColor(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Slice:
+      case OpKind::Concat:
+        return "lightgoldenrod"; // the split/join structure
+      case OpKind::Conv2d:
+      case OpKind::Linear:
+        return "lightblue";
+      case OpKind::Input:
+        return "lightgrey";
+      default:
+        return "white";
+    }
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &graph)
+{
+    std::ostringstream os;
+    os << "digraph splitcnn {\n  rankdir=TB;\n"
+       << "  node [shape=box, style=filled];\n";
+    for (const auto &n : graph.nodes()) {
+        os << "  n" << n.id << " [label=\"" << opKindName(n.kind)
+           << "\\n" << escape(n.name);
+        if (n.output != kInvalidTensor)
+            os << "\\n" << graph.tensor(n.output).shape.toString();
+        os << "\", fillcolor=" << fillColor(n.kind) << "];\n";
+    }
+    for (const auto &n : graph.nodes())
+        for (TensorId t : n.inputs)
+            os << "  n" << graph.tensor(t).producer << " -> n" << n.id
+               << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace scnn

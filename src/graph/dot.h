@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Graphviz DOT export of computation graphs — handy for inspecting
+ * what the Split-CNN transformation produced.
+ */
+#ifndef SCNN_GRAPH_DOT_H
+#define SCNN_GRAPH_DOT_H
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace scnn {
+
+/**
+ * Render @p graph as a Graphviz digraph. Nodes are labelled with op
+ * kind, name and output shape; Slice/Concat nodes (the split/join
+ * structure) are highlighted.
+ */
+std::string toDot(const Graph &graph);
+
+} // namespace scnn
+
+#endif // SCNN_GRAPH_DOT_H

@@ -1,0 +1,56 @@
+#include "hmms/first_fit.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+int64_t
+FirstFitAllocator::allocate(int64_t bytes, int64_t alignment)
+{
+    SCNN_REQUIRE(bytes > 0, "allocation of " << bytes << " bytes");
+    SCNN_REQUIRE(alignment > 0 && (alignment & (alignment - 1)) == 0,
+                 "alignment must be a power of two");
+    auto align_up = [&](int64_t v) {
+        return (v + alignment - 1) & ~(alignment - 1);
+    };
+    auto commit = [&](int64_t addr) {
+        blocks_.emplace(addr, bytes);
+        live_bytes_ += bytes;
+        peak_ = std::max(peak_, addr + bytes);
+        return addr;
+    };
+
+    int64_t cursor = 0;
+    int64_t best_addr = -1;
+    int64_t best_hole = INT64_MAX;
+    for (const auto &[addr, size] : blocks_) {
+        const int64_t candidate = align_up(cursor);
+        const int64_t hole = addr - candidate;
+        if (candidate + bytes <= addr) {
+            if (policy_ == FitPolicy::FirstFit)
+                return commit(candidate);
+            if (hole < best_hole) {
+                best_hole = hole;
+                best_addr = candidate;
+            }
+        }
+        cursor = addr + size;
+    }
+    if (policy_ == FitPolicy::BestFit && best_addr >= 0)
+        return commit(best_addr);
+    return commit(align_up(cursor));
+}
+
+void
+FirstFitAllocator::free(int64_t addr)
+{
+    auto it = blocks_.find(addr);
+    SCNN_REQUIRE(it != blocks_.end(),
+                 "free of unallocated address " << addr);
+    live_bytes_ -= it->second;
+    blocks_.erase(it);
+}
+
+} // namespace scnn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * First-fit address allocator over a contiguous pool (Section 4.4):
+ * "the first contiguous chunk of memory that the TSO object can fit
+ * in is allocated to the TSO object". Entirely offline — no runtime
+ * overhead — and deterministic.
+ */
+#ifndef SCNN_HMMS_FIRST_FIT_H
+#define SCNN_HMMS_FIRST_FIT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace scnn {
+
+/** Placement policy for the offline pool allocator. */
+enum class FitPolicy
+{
+    FirstFit, ///< the paper's choice (Section 4.4)
+    BestFit   ///< ablation: smallest hole that fits
+};
+
+/**
+ * Offline pool allocator (first-fit by default, per Section 4.4).
+ * Addresses are byte offsets into an unbounded virtual pool; peak()
+ * reports the high-water mark, which the caller compares against the
+ * physical pool size.
+ */
+class FirstFitAllocator
+{
+  public:
+    explicit FirstFitAllocator(FitPolicy policy = FitPolicy::FirstFit)
+        : policy_(policy)
+    {
+    }
+
+    /** Allocate @p bytes; returns the assigned offset. */
+    int64_t allocate(int64_t bytes, int64_t alignment = 256);
+
+    /** Free a previously allocated offset. */
+    void free(int64_t addr);
+
+    /** Bytes currently allocated (sum of live blocks). */
+    int64_t liveBytes() const { return live_bytes_; }
+
+    /** High-water mark: max end address ever used. */
+    int64_t peak() const { return peak_; }
+
+    /** Number of live blocks. */
+    size_t blockCount() const { return blocks_.size(); }
+
+  private:
+    FitPolicy policy_;
+    std::map<int64_t, int64_t> blocks_; ///< addr -> size, sorted
+    int64_t live_bytes_ = 0;
+    int64_t peak_ = 0;
+};
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_FIRST_FIT_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory plan representation: the serialized training iteration
+ * (forward ops followed by backward steps) annotated with the four
+ * critical moments of Section 4.3 for every offloaded TSO — start of
+ * offload, end of offload (sync + free), start of prefetch, and end
+ * of prefetch (sync before first backward use).
+ */
+#ifndef SCNN_HMMS_PLAN_H
+#define SCNN_HMMS_PLAN_H
+
+#include <set>
+#include <vector>
+
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "hmms/tso.h"
+
+namespace scnn {
+
+/** Forward op or backward step in the combined schedule. */
+struct ExecStep
+{
+    bool backward = false;
+    NodeId node = -1;
+};
+
+/** Memory actions attached to one execution step. */
+struct StepActions
+{
+    /** D2H transfers issued right after this step starts. */
+    std::vector<TsoId> start_offload;
+    /** After this step: sync the TSO's memory stream, free device copy. */
+    std::vector<TsoId> sync_offload_free;
+    /** H2D transfers issued right after this step starts. */
+    std::vector<TsoId> start_prefetch;
+    /** Before this step: sync so the prefetched TSO is resident. */
+    std::vector<TsoId> sync_prefetch;
+};
+
+/** A complete offload/prefetch plan over a serialized iteration. */
+struct MemoryPlan
+{
+    std::vector<ExecStep> steps;
+    std::vector<StepActions> actions; ///< parallel to steps
+    /** TsoId -> assigned memory stream (-1 if never transferred). */
+    std::vector<int> tso_stream;
+    /** TSOs selected for offloading. */
+    std::set<TsoId> offloaded;
+    int64_t offloaded_bytes = 0;
+    int64_t candidate_bytes = 0;
+    int forward_steps = 0; ///< steps[0..forward_steps) are forward
+
+    /** Step index of the first backward use of each offloaded TSO. */
+    std::vector<int> first_backward_use; ///< indexed by TsoId, -1 none
+
+    /** Validate the four-moment ordering for every offloaded TSO. */
+    void validate() const;
+};
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_PLAN_H

@@ -1,0 +1,105 @@
+#include "hmms/plan_report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace scnn {
+
+namespace {
+
+struct Moments
+{
+    int start_offload = -1;
+    int sync_offload = -1;
+    int start_prefetch = -1;
+    int sync_prefetch = -1;
+};
+
+std::map<TsoId, Moments>
+collectMoments(const MemoryPlan &plan)
+{
+    std::map<TsoId, Moments> moments;
+    for (size_t i = 0; i < plan.actions.size(); ++i) {
+        const auto &a = plan.actions[i];
+        for (TsoId t : a.start_offload)
+            moments[t].start_offload = static_cast<int>(i);
+        for (TsoId t : a.sync_offload_free)
+            moments[t].sync_offload = static_cast<int>(i);
+        for (TsoId t : a.start_prefetch)
+            moments[t].start_prefetch = static_cast<int>(i);
+        for (TsoId t : a.sync_prefetch)
+            moments[t].sync_prefetch = static_cast<int>(i);
+    }
+    return moments;
+}
+
+} // namespace
+
+PlanStats
+planStats(const MemoryPlan &plan)
+{
+    PlanStats stats;
+    stats.offloaded_count = static_cast<int>(plan.offloaded.size());
+    stats.offloaded_bytes = plan.offloaded_bytes;
+    stats.candidate_bytes = plan.candidate_bytes;
+
+    const auto moments = collectMoments(plan);
+    double off_total = 0.0, pre_total = 0.0;
+    for (const auto &[tso, m] : moments) {
+        if (!plan.offloaded.count(tso))
+            continue;
+        const int off = m.sync_offload - m.start_offload;
+        const int pre = m.sync_prefetch - m.start_prefetch;
+        off_total += off;
+        pre_total += pre;
+        stats.max_offload_span = std::max(stats.max_offload_span, off);
+        stats.max_prefetch_span =
+            std::max(stats.max_prefetch_span, pre);
+    }
+    if (stats.offloaded_count > 0) {
+        stats.mean_offload_span = off_total / stats.offloaded_count;
+        stats.mean_prefetch_span = pre_total / stats.offloaded_count;
+    }
+    return stats;
+}
+
+std::string
+describePlan(const Graph &graph, const MemoryPlan &plan,
+             const StorageAssignment &assignment)
+{
+    (void)graph;
+    std::ostringstream os;
+    const auto moments = collectMoments(plan);
+
+    Table t({"TSO", "bytes (MB)", "offload@", "sync@", "prefetch@",
+             "use@", "stream"});
+    for (TsoId tso : plan.offloaded) {
+        const auto &m = moments.at(tso);
+        t.addRow({assignment.tso(tso).name,
+                  formatFloat(assignment.tso(tso).bytes / 1e6, 1),
+                  std::to_string(m.start_offload),
+                  std::to_string(m.sync_offload),
+                  std::to_string(m.start_prefetch),
+                  std::to_string(m.sync_prefetch),
+                  std::to_string(
+                      plan.tso_stream[static_cast<size_t>(tso)])});
+    }
+    t.print(os);
+
+    const PlanStats stats = planStats(plan);
+    os << "offloaded " << stats.offloaded_count << " TSOs, "
+       << formatFloat(stats.offloaded_bytes / 1e9, 2) << " GB of "
+       << formatFloat(stats.candidate_bytes / 1e9, 2)
+       << " GB candidates; offload span mean "
+       << formatFloat(stats.mean_offload_span, 1) << " steps (max "
+       << stats.max_offload_span << "), prefetch span mean "
+       << formatFloat(stats.mean_prefetch_span, 1) << " steps (max "
+       << stats.max_prefetch_span << ")\n";
+    return os.str();
+}
+
+} // namespace scnn

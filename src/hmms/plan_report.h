@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Human-readable report of a memory plan: the four critical moments
+ * (Section 4.3) of every offloaded TSO, per-step action summaries,
+ * and aggregate statistics. Used by the examples and for debugging
+ * planner changes.
+ */
+#ifndef SCNN_HMMS_PLAN_REPORT_H
+#define SCNN_HMMS_PLAN_REPORT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "hmms/plan.h"
+#include "hmms/tso.h"
+
+namespace scnn {
+
+/** Aggregate statistics extracted from a plan. */
+struct PlanStats
+{
+    int offloaded_count = 0;
+    int64_t offloaded_bytes = 0;
+    int64_t candidate_bytes = 0;
+    /** Steps between offload start and its sync, averaged. */
+    double mean_offload_span = 0.0;
+    /** Steps between prefetch start and its use, averaged. */
+    double mean_prefetch_span = 0.0;
+    int max_offload_span = 0;
+    int max_prefetch_span = 0;
+};
+
+/** Compute aggregate statistics for @p plan. */
+PlanStats planStats(const MemoryPlan &plan);
+
+/**
+ * Render a per-TSO table of the four critical moments plus the
+ * aggregate stats.
+ */
+std::string describePlan(const Graph &graph, const MemoryPlan &plan,
+                         const StorageAssignment &assignment);
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_PLAN_REPORT_H

@@ -1,0 +1,429 @@
+#include "hmms/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/cost_model.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+const char *
+plannerKindName(PlannerKind kind)
+{
+    switch (kind) {
+      case PlannerKind::None: return "baseline";
+      case PlannerKind::LayerWise: return "layer-wise";
+      case PlannerKind::Hmms: return "HMMS";
+    }
+    return "?";
+}
+
+void
+MemoryPlan::validate() const
+{
+    SCNN_CHECK(steps.size() == actions.size(), "plan arrays mismatch");
+    for (TsoId tso : offloaded) {
+        int start = -1, sync = -1, pre = -1, use = -1;
+        for (size_t i = 0; i < actions.size(); ++i) {
+            const auto &a = actions[i];
+            auto has = [&](const std::vector<TsoId> &v) {
+                return std::find(v.begin(), v.end(), tso) != v.end();
+            };
+            if (has(a.start_offload)) {
+                SCNN_CHECK(start < 0, "double offload of TSO " << tso);
+                start = static_cast<int>(i);
+            }
+            if (has(a.sync_offload_free))
+                sync = static_cast<int>(i);
+            if (has(a.start_prefetch)) {
+                SCNN_CHECK(pre < 0, "double prefetch of TSO " << tso);
+                pre = static_cast<int>(i);
+            }
+            if (has(a.sync_prefetch))
+                use = static_cast<int>(i);
+        }
+        SCNN_CHECK(start >= 0 && sync >= 0 && pre >= 0 && use >= 0,
+                   "offloaded TSO " << tso
+                                    << " missing one of the four "
+                                       "critical moments");
+        SCNN_CHECK(start <= sync, "offload sync before start");
+        SCNN_CHECK(sync < pre, "prefetch before device copy freed");
+        SCNN_CHECK(pre <= use, "prefetch starts after its use");
+        SCNN_CHECK(start < forward_steps,
+                   "offload must start in the forward pass");
+        SCNN_CHECK(pre >= forward_steps,
+                   "prefetch must start in the backward pass");
+    }
+}
+
+namespace {
+
+/** Precomputed schedule geometry shared by the planner variants. */
+struct ScheduleInfo
+{
+    std::vector<ExecStep> steps;
+    int forward_steps = 0;
+    std::vector<double> step_time; ///< roofline estimate per step
+    /** TsoId -> last forward step writing it (producer max). */
+    std::vector<int> last_write;
+    /** TsoId -> last forward step reading it (consumer max). */
+    std::vector<int> last_read;
+    /** TsoId -> tensors mapped to it. */
+    std::vector<std::vector<TensorId>> tso_tensors;
+    /** TsoId -> first backward step that reads it again (-1 none). */
+    std::vector<int> first_bwd_use;
+    /** Offload candidates in trigger (forward) order. */
+    std::vector<TsoId> candidates;
+    /** Trigger step of each candidate (parallel to candidates). */
+    std::vector<int> trigger_step;
+    int64_t candidate_bytes = 0;
+};
+
+ScheduleInfo
+buildScheduleInfo(const Graph &graph, const DeviceSpec &spec,
+                  const PlannerConfig &config,
+                  const StorageAssignment &assignment)
+{
+    ScheduleInfo info;
+    const auto topo = graph.topoOrder();
+    const auto bwd = buildBackwardSchedule(graph, topo, config.backward);
+
+    for (NodeId id : topo) {
+        if (graph.node(id).kind == OpKind::Input)
+            continue;
+        info.steps.push_back({false, id});
+        info.step_time.push_back(
+            forwardTime(graph, graph.node(id), spec));
+    }
+    info.forward_steps = static_cast<int>(info.steps.size());
+    for (const auto &step : bwd) {
+        info.steps.push_back({true, step.fwd_node});
+        info.step_time.push_back(
+            backwardTime(graph, graph.node(step.fwd_node), spec,
+                         config.backward.recompute_bn));
+    }
+
+    const size_t n_tso = assignment.tsos.size();
+    info.last_write.assign(n_tso, -1);
+    info.last_read.assign(n_tso, 0);
+    info.tso_tensors.assign(n_tso, {});
+    info.first_bwd_use.assign(n_tso, -1);
+
+    // Forward step index per node.
+    std::vector<int> fwd_step_of(graph.nodes().size(), -1);
+    for (int i = 0; i < info.forward_steps; ++i)
+        fwd_step_of[static_cast<size_t>(info.steps[i].node)] = i;
+
+    for (const auto &t : graph.tensors()) {
+        const TsoId tso = assignment.valueTso(t.id);
+        if (tso == kInvalidTso)
+            continue;
+        info.tso_tensors[static_cast<size_t>(tso)].push_back(t.id);
+        const int w = fwd_step_of[static_cast<size_t>(t.producer)];
+        info.last_write[static_cast<size_t>(tso)] =
+            std::max(info.last_write[static_cast<size_t>(tso)], w);
+        for (NodeId c : t.consumers) {
+            const int r = fwd_step_of[static_cast<size_t>(c)];
+            info.last_read[static_cast<size_t>(tso)] = std::max(
+                info.last_read[static_cast<size_t>(tso)], r);
+        }
+    }
+
+    // First backward use per TSO.
+    for (size_t b = 0; b < bwd.size(); ++b) {
+        const int step = info.forward_steps + static_cast<int>(b);
+        for (TensorId t : bwd[b].needed_fwd) {
+            const TsoId tso = assignment.valueTso(t);
+            auto &use = info.first_bwd_use[static_cast<size_t>(tso)];
+            if (use < 0)
+                use = step;
+        }
+    }
+
+    // Offload candidates in forward-trigger order: a TSO becomes
+    // offload-able at the first step after its last write where one
+    // of its tensors is consumed (Algorithm 1's "no further write").
+    std::vector<bool> seen(n_tso, false);
+    for (int i = 0; i < info.forward_steps; ++i) {
+        const Node &n = graph.node(info.steps[i].node);
+        for (TensorId t : n.inputs) {
+            const TsoId tso = assignment.valueTso(t);
+            if (tso == kInvalidTso || seen[static_cast<size_t>(tso)])
+                continue;
+            if (info.last_write[static_cast<size_t>(tso)] >= i)
+                continue; // still written later (in-place ReLU)
+            if (info.first_bwd_use[static_cast<size_t>(tso)] < 0)
+                continue; // not needed again: just freed, not offloaded
+            seen[static_cast<size_t>(tso)] = true;
+            info.candidates.push_back(tso);
+            info.trigger_step.push_back(i);
+            info.candidate_bytes += assignment.tso(tso).bytes;
+        }
+    }
+    return info;
+}
+
+/**
+ * Greedy in-order selection under the theoretical-limit cap, with an
+ * amortizability filter: a TSO is only worth offloading if the
+ * remaining forward pass can absorb its D2H transfer and the backward
+ * prefix before its first reuse can absorb the H2D prefetch. (This is
+ * the "simple algorithmic logic to keep the ratio of offloaded and
+ * non-offloaded TSOs under the theoretical limit" that the paper's
+ * Algorithm 1 listing omits.)
+ */
+std::set<TsoId>
+selectUnderCap(const ScheduleInfo &info,
+               const StorageAssignment &assignment, double cap,
+               double nvlink_bandwidth, bool amortizability_filter)
+{
+    // Trigger step per candidate: first step where it becomes
+    // offload-able (recomputed the same way buildScheduleInfo did).
+    std::vector<double> fwd_suffix(info.forward_steps + 1, 0.0);
+    for (int i = info.forward_steps - 1; i >= 0; --i)
+        fwd_suffix[static_cast<size_t>(i)] =
+            fwd_suffix[static_cast<size_t>(i) + 1] +
+            info.step_time[static_cast<size_t>(i)];
+    const int total = static_cast<int>(info.steps.size());
+    std::vector<double> bwd_prefix(
+        static_cast<size_t>(total - info.forward_steps) + 1, 0.0);
+    for (int j = info.forward_steps; j < total; ++j)
+        bwd_prefix[static_cast<size_t>(j - info.forward_steps) + 1] =
+            bwd_prefix[static_cast<size_t>(j - info.forward_steps)] +
+            info.step_time[static_cast<size_t>(j)];
+
+    std::set<TsoId> selected;
+    const double budget =
+        cap * static_cast<double>(info.candidate_bytes) + 0.5;
+    int64_t used = 0;
+    for (size_t k = 0; k < info.candidates.size(); ++k) {
+        const TsoId tso = info.candidates[k];
+        const int64_t bytes = assignment.tso(tso).bytes;
+        const double transfer =
+            static_cast<double>(bytes) / nvlink_bandwidth;
+        const int trigger = info.trigger_step[k];
+        const int use = info.first_bwd_use[static_cast<size_t>(tso)];
+        const double offload_window =
+            fwd_suffix[static_cast<size_t>(trigger)];
+        const double prefetch_window =
+            bwd_prefix[static_cast<size_t>(use - info.forward_steps)];
+        if (amortizability_filter &&
+            (offload_window < transfer || prefetch_window < transfer))
+            continue; // round trip cannot be hidden
+        if (static_cast<double>(used + bytes) > budget)
+            continue;
+        used += bytes;
+        selected.insert(tso);
+    }
+    return selected;
+}
+
+} // namespace
+
+MemoryPlan
+planMemory(const Graph &graph, const DeviceSpec &spec,
+           const PlannerConfig &config,
+           const StorageAssignment &assignment)
+{
+    const ScheduleInfo info =
+        buildScheduleInfo(graph, spec, config, assignment);
+
+    MemoryPlan plan;
+    plan.steps = info.steps;
+    plan.actions.assign(info.steps.size(), {});
+    plan.forward_steps = info.forward_steps;
+    plan.tso_stream.assign(assignment.tsos.size(), -1);
+    plan.first_backward_use = info.first_bwd_use;
+    plan.candidate_bytes = info.candidate_bytes;
+
+    if (config.kind == PlannerKind::None)
+        return plan;
+
+    plan.offloaded = selectUnderCap(
+        info, assignment, config.offload_cap, spec.nvlink_bandwidth,
+        /*amortizability_filter=*/config.kind == PlannerKind::Hmms);
+    if (config.kind == PlannerKind::LayerWise) {
+        // vDNN's policy only covers conv-layer inputs; drop the rest.
+        std::set<TsoId> eligible;
+        for (int i = 0; i < info.forward_steps; ++i) {
+            const Node &n = graph.node(info.steps[i].node);
+            if (n.kind != OpKind::Conv2d)
+                continue;
+            for (TensorId t : n.inputs) {
+                const TsoId tso = assignment.valueTso(t);
+                if (tso != kInvalidTso &&
+                    info.last_write[static_cast<size_t>(tso)] < i)
+                    eligible.insert(tso);
+            }
+        }
+        std::set<TsoId> kept;
+        for (TsoId tso : plan.offloaded)
+            if (eligible.count(tso))
+                kept.insert(tso);
+        plan.offloaded = std::move(kept);
+    }
+    for (TsoId tso : plan.offloaded)
+        plan.offloaded_bytes += assignment.tso(tso).bytes;
+
+    int next_stream = 0;
+    auto assign_stream = [&](TsoId tso) {
+        if (plan.tso_stream[static_cast<size_t>(tso)] < 0) {
+            plan.tso_stream[static_cast<size_t>(tso)] = next_stream;
+            next_stream = (next_stream + 1) % spec.memory_streams;
+        }
+    };
+
+    // ---------------- Offload planning (forward pass) ----------------
+    if (config.kind == PlannerKind::LayerWise) {
+        // vDNN-style: offload the input feature maps of convolutional
+        // layers during the consumer layer and synchronize (free) at
+        // the end of that same layer — the eager per-layer sync the
+        // paper identifies as the source of vDNN's slowdown.
+        std::vector<bool> planned(assignment.tsos.size(), false);
+        for (int i = 0; i < info.forward_steps; ++i) {
+            const Node &n = graph.node(info.steps[i].node);
+            if (n.kind != OpKind::Conv2d)
+                continue;
+            for (TensorId t : n.inputs) {
+                const TsoId tso = assignment.valueTso(t);
+                if (tso == kInvalidTso ||
+                    planned[static_cast<size_t>(tso)] ||
+                    !plan.offloaded.count(tso))
+                    continue;
+                if (info.last_write[static_cast<size_t>(tso)] >= i)
+                    continue;
+                planned[static_cast<size_t>(tso)] = true;
+                assign_stream(tso);
+                plan.actions[static_cast<size_t>(i)]
+                    .start_offload.push_back(tso);
+                // vDNN frees "after consumption by ensuing
+                // layer(s)": a residual input with a later forward
+                // reader must not be freed until that reader ran.
+                const int sync = std::max(
+                    i, info.last_read[static_cast<size_t>(tso)]);
+                plan.actions[static_cast<size_t>(sync)]
+                    .sync_offload_free.push_back(tso);
+            }
+        }
+    } else {
+        // Algorithm 1's capacity-balance bookkeeping, realized as an
+        // explicit link-time schedule: the NVLink is a shared
+        // resource draining at nvlink_bandwidth, each transfer starts
+        // no earlier than its trigger step, and the end-of-offload
+        // sync is placed at the first step by whose end the link has
+        // provably finished that transfer. This is the same no-stall
+        // guarantee as the paper's balance counter, at per-TSO
+        // granularity (each TSO is freed as soon as *its* bytes are
+        // covered rather than when the whole pending set is).
+        std::vector<double> step_end(info.steps.size());
+        double t = 0.0;
+        for (size_t i = 0; i < info.steps.size(); ++i) {
+            t += info.step_time[i];
+            step_end[i] = t;
+        }
+        double link_free = 0.0;
+        std::vector<bool> planned(assignment.tsos.size(), false);
+        for (int i = 0; i < info.forward_steps; ++i) {
+            const Node &n = graph.node(info.steps[i].node);
+            const double step_begin =
+                i > 0 ? step_end[static_cast<size_t>(i) - 1] : 0.0;
+            for (TensorId tensor : n.inputs) {
+                const TsoId tso = assignment.valueTso(tensor);
+                if (tso == kInvalidTso ||
+                    planned[static_cast<size_t>(tso)] ||
+                    !plan.offloaded.count(tso))
+                    continue;
+                if (info.last_write[static_cast<size_t>(tso)] >= i)
+                    continue;
+                planned[static_cast<size_t>(tso)] = true;
+                assign_stream(tso);
+                plan.actions[static_cast<size_t>(i)]
+                    .start_offload.push_back(tso);
+                const double duration =
+                    static_cast<double>(assignment.tso(tso).bytes) /
+                    spec.nvlink_bandwidth;
+                link_free = std::max(link_free, step_begin) + duration;
+                // First step whose end covers the transfer — but no
+                // earlier than the last forward reader of the TSO
+                // (a residual input stays live until its Add).
+                int sync = std::max(
+                    i, info.last_read[static_cast<size_t>(tso)]);
+                while (sync < info.forward_steps - 1 &&
+                       step_end[static_cast<size_t>(sync)] < link_free)
+                    ++sync;
+                plan.actions[static_cast<size_t>(sync)]
+                    .sync_offload_free.push_back(tso);
+            }
+        }
+    }
+
+    // ---------------- Prefetch planning (backward pass) ---------------
+    const int total = static_cast<int>(info.steps.size());
+    // Uses per step.
+    std::vector<std::vector<TsoId>> uses_at(
+        static_cast<size_t>(total));
+    for (TsoId tso : plan.offloaded) {
+        const int use = info.first_bwd_use[static_cast<size_t>(tso)];
+        SCNN_CHECK(use >= info.forward_steps,
+                   "offloaded TSO never used in backward");
+        uses_at[static_cast<size_t>(use)].push_back(tso);
+        plan.actions[static_cast<size_t>(use)].sync_prefetch.push_back(
+            tso);
+    }
+
+    if (config.kind == PlannerKind::LayerWise) {
+        for (TsoId tso : plan.offloaded) {
+            const int use =
+                info.first_bwd_use[static_cast<size_t>(tso)];
+            const int start = std::max(info.forward_steps, use - 1);
+            plan.actions[static_cast<size_t>(start)]
+                .start_prefetch.push_back(tso);
+        }
+    } else {
+        // Mirror of Algorithm 1: walk from the last backward op
+        // toward the first (Section 4.3), scheduling each prefetch
+        // as late as the shared link allows while still completing
+        // before the start of its first use — the ALAP counterpart
+        // of the offload pass, which minimizes the prefetch-side
+        // device residency without introducing stalls.
+        std::vector<double> step_begin(info.steps.size() + 1);
+        double t = 0.0;
+        for (size_t i = 0; i < info.steps.size(); ++i) {
+            step_begin[i] = t;
+            t += info.step_time[i];
+        }
+        step_begin[info.steps.size()] = t;
+
+        std::vector<TsoId> by_use(plan.offloaded.begin(),
+                                  plan.offloaded.end());
+        std::sort(by_use.begin(), by_use.end(), [&](TsoId a, TsoId b) {
+            return info.first_bwd_use[static_cast<size_t>(a)] >
+                   info.first_bwd_use[static_cast<size_t>(b)];
+        });
+        double cursor = step_begin[info.steps.size()];
+        for (TsoId tso : by_use) {
+            const int use =
+                info.first_bwd_use[static_cast<size_t>(tso)];
+            const double duration =
+                static_cast<double>(assignment.tso(tso).bytes) /
+                spec.nvlink_bandwidth;
+            const double completion =
+                std::min(cursor, step_begin[static_cast<size_t>(use)]);
+            const double start_time = completion - duration;
+            cursor = start_time;
+            // Latest step starting at or before start_time.
+            int start = use;
+            while (start > info.forward_steps &&
+                   step_begin[static_cast<size_t>(start)] > start_time)
+                --start;
+            plan.actions[static_cast<size_t>(start)]
+                .start_prefetch.push_back(tso);
+        }
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace scnn

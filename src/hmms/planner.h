@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Offload/prefetch planners:
+ *
+ * - None: the baseline memory plan (no offloading; best throughput,
+ *   highest memory).
+ * - LayerWise: the vDNN-style comparator — offload an intermediate
+ *   during its consumer layer and synchronize at the end of that
+ *   layer; prefetch one layer ahead in the backward pass.
+ * - Hmms: Algorithm 1 — capacity-balance bookkeeping spreads
+ *   offloads (and, mirrored, prefetches) across as many layers as
+ *   needed so the compute stream only synchronizes when the balance
+ *   shows the transfers have had time to complete.
+ *
+ * Both offloading planners cap the selected bytes at a fraction of
+ * the offload candidates (the "theoretical limit" of Section 6.2).
+ */
+#ifndef SCNN_HMMS_PLANNER_H
+#define SCNN_HMMS_PLANNER_H
+
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "hmms/plan.h"
+#include "hmms/tso.h"
+#include "sim/device.h"
+
+namespace scnn {
+
+/** Which scheduling policy builds the plan (Figure 8's three bars). */
+enum class PlannerKind
+{
+    None,
+    LayerWise,
+    Hmms
+};
+
+const char *plannerKindName(PlannerKind kind);
+
+/** Planner configuration. */
+struct PlannerConfig
+{
+    PlannerKind kind = PlannerKind::Hmms;
+    /**
+     * Cap on offloaded bytes as a fraction of offload-candidate
+     * bytes; set this to the profiled theoretical limit
+     * (profileForwardPass().offloadable_fraction).
+     */
+    double offload_cap = 1.0;
+    /** Backward dependence options (recompute-BN variant). */
+    BackwardOptions backward;
+};
+
+/**
+ * Build the offload/prefetch plan for one training iteration of
+ * @p graph on @p spec (Section 4.3, step 4).
+ *
+ * @param assignment the TSO assignment from assignStorage (must use
+ *        the same graph and the same BackwardOptions-needed set).
+ */
+MemoryPlan planMemory(const Graph &graph, const DeviceSpec &spec,
+                      const PlannerConfig &config,
+                      const StorageAssignment &assignment);
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_PLANNER_H

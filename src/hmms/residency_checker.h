@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Residency checker: replays a static memory plan step by step and
+ * verifies that HMMS never plans an access to memory it has freed or
+ * offloaded — i.e. that for every executed op, each tensor the op
+ * reads or writes (and, in the backward pass, each forward tensor it
+ * re-reads) has a live device interval covering that step, and that
+ * concurrently-live intervals never overlap in the pool.
+ *
+ * This is the strongest end-to-end safety check of the planning
+ * stack: storage assignment x offload plan x static lifetimes all
+ * have to agree for it to pass.
+ */
+#ifndef SCNN_HMMS_RESIDENCY_CHECKER_H
+#define SCNN_HMMS_RESIDENCY_CHECKER_H
+
+#include <string>
+#include <vector>
+
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "hmms/plan.h"
+#include "hmms/static_planner.h"
+#include "hmms/tso.h"
+
+namespace scnn {
+
+/** One residency violation found by the checker. */
+struct ResidencyViolation
+{
+    int step = -1;
+    std::string what;
+};
+
+/** Checker output. */
+struct ResidencyReport
+{
+    std::vector<ResidencyViolation> violations;
+    int checked_accesses = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    std::string toString() const;
+};
+
+/**
+ * Verify @p static_plan against the op schedule of @p plan.
+ *
+ * @param backward must match the options the plans were built with.
+ */
+ResidencyReport checkResidency(const Graph &graph,
+                               const StorageAssignment &assignment,
+                               const MemoryPlan &plan,
+                               const StaticMemoryPlan &static_plan,
+                               const BackwardOptions &backward = {});
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_RESIDENCY_CHECKER_H

@@ -1,0 +1,207 @@
+#include "hmms/static_planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hmms/first_fit.h"
+#include "sim/cost_model.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+StaticMemoryPlan
+planStaticMemory(const Graph &graph, const StorageAssignment &assignment,
+                 const MemoryPlan &plan, const BackwardOptions &backward,
+                 const StaticPlannerOptions &options)
+{
+    StaticMemoryPlan out;
+    const int total_steps = static_cast<int>(plan.steps.size());
+    SCNN_REQUIRE(total_steps > 0, "empty plan");
+
+    // --- Step indices --------------------------------------------------
+    std::vector<int> fwd_step_of(graph.nodes().size(), -1);
+    std::vector<int> bwd_step_of(graph.nodes().size(), -1);
+    for (int i = 0; i < total_steps; ++i) {
+        const ExecStep &s = plan.steps[static_cast<size_t>(i)];
+        (s.backward ? bwd_step_of : fwd_step_of)[static_cast<size_t>(
+            s.node)] = i;
+    }
+
+    // --- Per-TSO lifetime bookkeeping ----------------------------------
+    const size_t n_tso = assignment.tsos.size();
+    struct Life
+    {
+        int first_write = INT32_MAX;
+        int last_fwd_use = -1;
+        int last_bwd_use = -1;
+        bool used = false;
+    };
+    std::vector<Life> value_life(n_tso), grad_life(n_tso);
+
+    auto fwd_of = [&](NodeId n) {
+        // The Input node is not a step; treat it as step 0.
+        const int s = fwd_step_of[static_cast<size_t>(n)];
+        return s < 0 ? 0 : s;
+    };
+
+    for (const auto &t : graph.tensors()) {
+        const TsoId tso = assignment.valueTso(t.id);
+        if (tso == kInvalidTso)
+            continue;
+        Life &life = value_life[static_cast<size_t>(tso)];
+        life.used = true;
+        life.first_write = std::min(life.first_write, fwd_of(t.producer));
+        life.last_fwd_use =
+            std::max(life.last_fwd_use, fwd_of(t.producer));
+        for (NodeId c : t.consumers)
+            life.last_fwd_use = std::max(life.last_fwd_use, fwd_of(c));
+    }
+
+    // Backward uses of forward TSOs, and gradient lifetimes.
+    const auto topo = graph.topoOrder();
+    const auto bwd = buildBackwardSchedule(graph, topo, backward);
+    for (const auto &step : bwd) {
+        const int idx =
+            bwd_step_of[static_cast<size_t>(step.fwd_node)];
+        SCNN_CHECK(idx >= 0, "backward step missing from plan");
+        for (TensorId t : step.needed_fwd) {
+            const TsoId tso = assignment.valueTso(t);
+            Life &life = value_life[static_cast<size_t>(tso)];
+            life.last_bwd_use = std::max(life.last_bwd_use, idx);
+        }
+        // This step writes grads of the node's inputs and reads the
+        // grad of its output.
+        const Node &n = graph.node(step.fwd_node);
+        {
+            const TsoId g = assignment.gradTso(n.output);
+            if (g != kInvalidTso) {
+                Life &life = grad_life[static_cast<size_t>(g)];
+                life.used = true;
+                // Seed gradient (graph output) is written here too.
+                life.first_write = std::min(life.first_write, idx);
+                life.last_bwd_use = std::max(life.last_bwd_use, idx);
+            }
+        }
+        for (TensorId t : n.inputs) {
+            const TsoId g = assignment.gradTso(t);
+            if (g == kInvalidTso)
+                continue;
+            Life &life = grad_life[static_cast<size_t>(g)];
+            life.used = true;
+            life.first_write = std::min(life.first_write, idx);
+            life.last_bwd_use = std::max(life.last_bwd_use, idx);
+        }
+    }
+
+    // --- Offload moments ------------------------------------------------
+    std::vector<int> offload_sync(n_tso, -1), prefetch_start(n_tso, -1);
+    for (int i = 0; i < total_steps; ++i) {
+        const auto &a = plan.actions[static_cast<size_t>(i)];
+        for (TsoId tso : a.sync_offload_free)
+            offload_sync[static_cast<size_t>(tso)] = i;
+        for (TsoId tso : a.start_prefetch)
+            prefetch_start[static_cast<size_t>(tso)] = i;
+    }
+
+    // --- Build intervals --------------------------------------------------
+    auto add_interval = [&](TsoId tso, int alloc, int free, bool grad,
+                            bool prefetch) {
+        SCNN_CHECK(alloc <= free, "inverted interval for TSO " << tso);
+        if (options.naive_lifetimes) {
+            alloc = 0;
+            free = total_steps - 1;
+        }
+        TsoInterval iv;
+        iv.tso = tso;
+        iv.alloc_step = alloc;
+        iv.free_step = free;
+        iv.bytes = assignment.tso(tso).bytes;
+        iv.is_gradient = grad;
+        iv.is_prefetch = prefetch;
+        out.intervals.push_back(iv);
+    };
+
+    for (size_t i = 0; i < n_tso; ++i) {
+        const TsoId tso = static_cast<TsoId>(i);
+        const Life &v = value_life[i];
+        if (v.used) {
+            if (plan.offloaded.count(tso) &&
+                !options.naive_lifetimes) {
+                SCNN_CHECK(offload_sync[i] >= 0 &&
+                               prefetch_start[i] >= 0,
+                           "offloaded TSO missing plan moments");
+                add_interval(tso, v.first_write, offload_sync[i],
+                             false, false);
+                add_interval(tso, prefetch_start[i],
+                             std::max(v.last_bwd_use,
+                                      prefetch_start[i]),
+                             false, true);
+            } else {
+                const int free_at = std::max(
+                    {v.first_write, v.last_fwd_use, v.last_bwd_use});
+                add_interval(tso, v.first_write, free_at, false,
+                             false);
+            }
+        }
+        const Life &g = grad_life[i];
+        if (g.used)
+            add_interval(tso, g.first_write, g.last_bwd_use, true,
+                         false);
+    }
+
+    // --- First-fit layout -------------------------------------------------
+    std::map<int, std::vector<size_t>> allocs_at, frees_after;
+    for (size_t k = 0; k < out.intervals.size(); ++k) {
+        allocs_at[out.intervals[k].alloc_step].push_back(k);
+        frees_after[out.intervals[k].free_step].push_back(k);
+    }
+    FirstFitAllocator alloc(options.fit);
+    for (int s = 0; s < total_steps; ++s) {
+        if (s > 0) {
+            auto done = frees_after.find(s - 1);
+            if (done != frees_after.end())
+                for (size_t k : done->second)
+                    alloc.free(out.intervals[k].addr);
+        }
+        auto now = allocs_at.find(s);
+        if (now != allocs_at.end())
+            for (size_t k : now->second)
+                out.intervals[k].addr =
+                    alloc.allocate(out.intervals[k].bytes);
+    }
+
+    // Packing lower bound: peak of the sum of live bytes.
+    {
+        std::vector<int64_t> delta(
+            static_cast<size_t>(total_steps) + 1, 0);
+        for (const auto &iv : out.intervals) {
+            delta[static_cast<size_t>(iv.alloc_step)] += iv.bytes;
+            delta[static_cast<size_t>(iv.free_step) + 1] -= iv.bytes;
+        }
+        int64_t live = 0;
+        for (int s = 0; s < total_steps; ++s) {
+            live += delta[static_cast<size_t>(s)];
+            out.max_live_bytes = std::max(out.max_live_bytes, live);
+        }
+    }
+
+    // --- Pool sizing --------------------------------------------------------
+    for (const auto &n : graph.nodes())
+        out.workspace_bytes =
+            std::max(out.workspace_bytes, workspaceBytes(graph, n));
+    out.device_general_peak = alloc.peak() + out.workspace_bytes;
+
+    // Parameter pool: values + gradients + momentum for trainable
+    // params; values only for buffers.
+    for (const auto &p : graph.params()) {
+        const int64_t bytes = p.shape.numel() * int64_t(sizeof(float));
+        out.param_pool_bytes += bytes;
+        if (p.requires_grad)
+            out.param_pool_bytes += 2 * bytes; // grad + momentum
+    }
+
+    out.host_pool_bytes = plan.offloaded_bytes;
+    return out;
+}
+
+} // namespace scnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Static memory planning (Section 4.4, step 5): derive the exact
+ * residency interval of every TSO from reference counts and the
+ * offload/prefetch plan, lay them out with first-fit into the device
+ * general-purpose pool, and size the three pools:
+ *
+ *   1. host general-purpose pool (pinned, holds offloaded TSOs),
+ *   2. device parameter pool (weights, their gradients, BN buffers,
+ *      optimizer state),
+ *   3. device general-purpose pool (intermediates + conv workspace).
+ *
+ * Everything is planned offline; there is no runtime allocator.
+ */
+#ifndef SCNN_HMMS_STATIC_PLANNER_H
+#define SCNN_HMMS_STATIC_PLANNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "hmms/first_fit.h"
+#include "hmms/plan.h"
+#include "hmms/tso.h"
+
+namespace scnn {
+
+/** One residency interval of a TSO in the device general pool. */
+struct TsoInterval
+{
+    TsoId tso = kInvalidTso;
+    int alloc_step = 0; ///< resident from the start of this step
+    int free_step = 0;  ///< through the end of this step (inclusive)
+    int64_t bytes = 0;
+    int64_t addr = -1;  ///< first-fit offset within the pool
+    bool is_gradient = false;
+    bool is_prefetch = false; ///< the second life of an offloaded TSO
+};
+
+/** Sizing result for the three pools. */
+struct StaticMemoryPlan
+{
+    std::vector<TsoInterval> intervals; ///< device general pool
+    int64_t device_general_peak = 0; ///< intermediates + workspace
+    int64_t workspace_bytes = 0;     ///< shared cuDNN-style workspace
+    int64_t param_pool_bytes = 0;    ///< values + grads + momentum
+    int64_t host_pool_bytes = 0;     ///< pinned host pool (offloads)
+    /** Max over steps of the sum of live TSO bytes — the packing
+     *  lower bound for the general pool (excluding workspace). */
+    int64_t max_live_bytes = 0;
+
+    /** First-fit overhead vs the ideal packing (0 = none). */
+    double
+    fragmentationOverhead() const
+    {
+        const int64_t pool = device_general_peak - workspace_bytes;
+        return max_live_bytes > 0
+                   ? static_cast<double>(pool) / max_live_bytes - 1.0
+                   : 0.0;
+    }
+
+    /** Total device memory demand of the plan. */
+    int64_t
+    totalDeviceBytes() const
+    {
+        return device_general_peak + param_pool_bytes;
+    }
+
+    /** Whether the plan fits a device of the given capacity. */
+    bool
+    fits(int64_t capacity) const
+    {
+        return totalDeviceBytes() <= capacity;
+    }
+};
+
+/** Static-planner options. */
+struct StaticPlannerOptions
+{
+    /**
+     * Conventional-framework accounting (the Figure 10 "baseline
+     * method"): every TSO stays allocated for the whole iteration,
+     * with no lifetime-based reuse. HMMS's aggressive static policy
+     * (the default) frees each TSO the moment the refcounts and the
+     * offload plan allow.
+     */
+    bool naive_lifetimes = false;
+    /** Placement policy (first-fit per the paper; best-fit ablation). */
+    FitPolicy fit = FitPolicy::FirstFit;
+};
+
+/**
+ * Compute residency intervals and first-fit addresses for @p plan.
+ *
+ * @param graph the planned graph.
+ * @param assignment TSO assignment used by @p plan.
+ * @param plan offload/prefetch plan (PlannerKind::None for the
+ *        baseline keeps everything resident until last use).
+ * @param backward must match the options used to build @p plan.
+ * @param options lifetime accounting mode.
+ */
+StaticMemoryPlan planStaticMemory(const Graph &graph,
+                                  const StorageAssignment &assignment,
+                                  const MemoryPlan &plan,
+                                  const BackwardOptions &backward = {},
+                                  const StaticPlannerOptions &options = {});
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_STATIC_PLANNER_H

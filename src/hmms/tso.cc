@@ -1,0 +1,132 @@
+#include "hmms/tso.h"
+
+#include "graph/backward.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+const Tso &
+StorageAssignment::tso(TsoId id) const
+{
+    SCNN_CHECK(id >= 0 && id < static_cast<TsoId>(tsos.size()),
+               "bad TSO id " << id);
+    return tsos[static_cast<size_t>(id)];
+}
+
+TsoId
+StorageAssignment::valueTso(TensorId t) const
+{
+    SCNN_CHECK(t >= 0 && t < static_cast<TensorId>(value_tso.size()),
+               "bad tensor id " << t);
+    return value_tso[static_cast<size_t>(t)];
+}
+
+TsoId
+StorageAssignment::gradTso(TensorId t) const
+{
+    SCNN_CHECK(t >= 0 && t < static_cast<TensorId>(grad_tso.size()),
+               "bad tensor id " << t);
+    return grad_tso[static_cast<size_t>(t)];
+}
+
+int64_t
+StorageAssignment::totalBytes() const
+{
+    int64_t total = 0;
+    for (const auto &t : tsos)
+        total += t.bytes;
+    return total;
+}
+
+StorageAssignment
+assignStorage(const Graph &graph, const std::vector<NodeId> &topo,
+              const StorageOptions &options)
+{
+    StorageAssignment out;
+    out.value_tso.assign(graph.tensors().size(), kInvalidTso);
+    out.grad_tso.assign(graph.tensors().size(), kInvalidTso);
+
+    const auto needed = tensorsNeededInBackward(graph, topo);
+
+    auto new_tso = [&](int64_t bytes, const std::string &name) {
+        Tso t;
+        t.id = static_cast<TsoId>(out.tsos.size());
+        t.bytes = bytes;
+        t.name = name;
+        t.ref_count = 1;
+        out.tsos.push_back(t);
+        return t.id;
+    };
+    auto share = [&](TsoId id) {
+        ++out.tsos[static_cast<size_t>(id)].ref_count;
+        return id;
+    };
+
+    // --- Forward tensors, in serialized order ------------------------
+    for (NodeId id : topo) {
+        const Node &n = graph.node(id);
+        const TensorInfo &t = graph.tensor(n.output);
+        const int64_t bytes = t.shape.numel() * int64_t(sizeof(float));
+
+        if (options.inplace_relu && n.kind == OpKind::ReLU) {
+            const TensorId in = n.inputs[0];
+            const TsoId in_tso = out.valueTso(in);
+            const bool sole_consumer =
+                graph.tensor(in).consumers.size() == 1;
+            const bool ref_one =
+                out.tsos[static_cast<size_t>(in_tso)].ref_count == 1;
+            if (sole_consumer && ref_one && !needed.count(in)) {
+                out.value_tso[static_cast<size_t>(n.output)] =
+                    share(in_tso);
+                ++out.inplace_relu_count;
+                continue;
+            }
+        }
+        if (options.share_flatten && n.kind == OpKind::Flatten) {
+            out.value_tso[static_cast<size_t>(n.output)] =
+                share(out.valueTso(n.inputs[0]));
+            ++out.flatten_shares;
+            continue;
+        }
+        out.value_tso[static_cast<size_t>(n.output)] =
+            new_tso(bytes, t.name);
+    }
+
+    // --- Gradient (error) tensors, in backward order ------------------
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const Node &n = graph.node(*it);
+        if (n.kind == OpKind::Input)
+            continue;
+        // The gradient of the node output must already exist (it is
+        // produced by the consumers' backward); create it lazily —
+        // the graph output's gradient seeds the chain.
+        if (out.gradTso(n.output) == kInvalidTso) {
+            const TensorInfo &t = graph.tensor(n.output);
+            out.grad_tso[static_cast<size_t>(n.output)] = new_tso(
+                t.shape.numel() * int64_t(sizeof(float)),
+                "d(" + t.name + ")");
+        }
+        for (TensorId in : n.inputs) {
+            if (graph.tensor(in).producer >= 0 &&
+                graph.node(graph.tensor(in).producer).kind ==
+                    OpKind::Input)
+                continue; // no gradient for the network input
+            if (out.gradTso(in) != kInvalidTso)
+                continue; // already assigned (e.g. residual fan-out)
+            if (options.share_sum_error && n.kind == OpKind::Add) {
+                // dL/dx_i == dL/dy for summation: share the TSO.
+                out.grad_tso[static_cast<size_t>(in)] =
+                    share(out.gradTso(n.output));
+                ++out.sum_error_shares;
+            } else {
+                const TensorInfo &t = graph.tensor(in);
+                out.grad_tso[static_cast<size_t>(in)] = new_tso(
+                    t.shape.numel() * int64_t(sizeof(float)),
+                    "d(" + t.name + ")");
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace scnn

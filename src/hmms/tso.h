@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tensor Storage Objects (Section 4) and the storage assignment +
+ * optimization step (Section 4.2): each tensor (and each backward
+ * error tensor) maps to a TSO; reference counting enables the
+ * in-place ReLU and summation-error sharing optimizations.
+ */
+#ifndef SCNN_HMMS_TSO_H
+#define SCNN_HMMS_TSO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scnn {
+
+using TsoId = int32_t;
+constexpr TsoId kInvalidTso = -1;
+
+/** A contiguous region of storage used by one or more tensors. */
+struct Tso
+{
+    TsoId id = kInvalidTso;
+    int64_t bytes = 0;
+    std::string name;
+    /** Number of tensors mapped to this TSO (the reference counter). */
+    int ref_count = 0;
+};
+
+/** Knobs for the Section 4.2 optimizations. */
+struct StorageOptions
+{
+    bool inplace_relu = true;
+    bool share_sum_error = true;
+    /**
+     * Extra optimization beyond the paper's two: Flatten is a pure
+     * view, so its output shares the input TSO.
+     */
+    bool share_flatten = true;
+};
+
+/**
+ * Result of storage assignment: forward-tensor and gradient-tensor
+ * TSO maps plus optimization counters.
+ */
+struct StorageAssignment
+{
+    std::vector<Tso> tsos;
+    /** TensorId -> TSO holding the forward value. */
+    std::vector<TsoId> value_tso;
+    /** TensorId -> TSO holding the backward error (gradient). */
+    std::vector<TsoId> grad_tso;
+
+    int inplace_relu_count = 0;
+    int sum_error_shares = 0;
+    int flatten_shares = 0;
+
+    const Tso &tso(TsoId id) const;
+    TsoId valueTso(TensorId t) const;
+    TsoId gradTso(TensorId t) const;
+
+    /** Total bytes across all distinct TSOs. */
+    int64_t totalBytes() const;
+};
+
+/**
+ * Assign TSOs to every tensor and gradient in the graph (Section 4.2,
+ * step 3).
+ *
+ * In-place ReLU: when a ReLU is the sole consumer of its input, the
+ * input TSO has refcount 1, and the input is not needed again in
+ * backward, the output reuses the input's TSO.
+ *
+ * Summation error sharing: dL/dx_i of an Add are all equal to dL/dy,
+ * so every input's gradient shares the output gradient's TSO.
+ */
+StorageAssignment assignStorage(const Graph &graph,
+                                const std::vector<NodeId> &topo,
+                                const StorageOptions &options = {});
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_TSO_H

@@ -1,0 +1,145 @@
+#include "kernels/batchnorm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+struct ChannelView
+{
+    int64_t n, c, spatial;
+};
+
+ChannelView
+viewOf(const Tensor &x)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "batchnorm input must be NCHW");
+    return {x.shape().dim(0), x.shape().dim(1),
+            x.shape().dim(2) * x.shape().dim(3)};
+}
+
+} // namespace
+
+Tensor
+batchNormForward(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 Tensor &running_mean, Tensor &running_var,
+                 float momentum, float eps, BatchNormCache &cache)
+{
+    const ChannelView v = viewOf(x);
+    SCNN_REQUIRE(gamma.numel() == v.c && beta.numel() == v.c,
+                 "batchnorm parameter size mismatch");
+    const int64_t count = v.n * v.spatial;
+    SCNN_REQUIRE(count > 0, "batchnorm over empty batch");
+
+    cache.mean = Tensor(Shape{v.c});
+    cache.inv_std = Tensor(Shape{v.c});
+    cache.x_hat = Tensor(x.shape());
+    Tensor out(x.shape());
+
+    for (int64_t ic = 0; ic < v.c; ++ic) {
+        double sum = 0.0, sq = 0.0;
+        for (int64_t in = 0; in < v.n; ++in) {
+            const float *src = x.data() + (in * v.c + ic) * v.spatial;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+                sum += src[s];
+                sq += double(src[s]) * src[s];
+            }
+        }
+        const double mean = sum / count;
+        const double var = sq / count - mean * mean;
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps);
+        cache.mean.at(ic) = static_cast<float>(mean);
+        cache.inv_std.at(ic) = inv_std;
+        running_mean.at(ic) = (1.0f - momentum) * running_mean.at(ic) +
+                              momentum * static_cast<float>(mean);
+        running_var.at(ic) = (1.0f - momentum) * running_var.at(ic) +
+                             momentum * static_cast<float>(var);
+
+        const float g = gamma.at(ic);
+        const float b = beta.at(ic);
+        for (int64_t in = 0; in < v.n; ++in) {
+            const int64_t base = (in * v.c + ic) * v.spatial;
+            const float *src = x.data() + base;
+            float *xh = cache.x_hat.data() + base;
+            float *dst = out.data() + base;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+                xh[s] = (src[s] - static_cast<float>(mean)) * inv_std;
+                dst[s] = g * xh[s] + b;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNormInference(const Tensor &x, const Tensor &gamma,
+                   const Tensor &beta, const Tensor &running_mean,
+                   const Tensor &running_var, float eps)
+{
+    const ChannelView v = viewOf(x);
+    Tensor out(x.shape());
+    for (int64_t ic = 0; ic < v.c; ++ic) {
+        const float inv_std =
+            1.0f / std::sqrt(running_var.at(ic) + eps);
+        const float g = gamma.at(ic);
+        const float b = beta.at(ic);
+        const float m = running_mean.at(ic);
+        for (int64_t in = 0; in < v.n; ++in) {
+            const int64_t base = (in * v.c + ic) * v.spatial;
+            const float *src = x.data() + base;
+            float *dst = out.data() + base;
+            for (int64_t s = 0; s < v.spatial; ++s)
+                dst[s] = g * (src[s] - m) * inv_std + b;
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
+                  const BatchNormCache &cache, Tensor &grad_gamma,
+                  Tensor &grad_beta)
+{
+    const ChannelView v = viewOf(grad_out);
+    const int64_t count = v.n * v.spatial;
+    Tensor grad_x(grad_out.shape());
+
+    for (int64_t ic = 0; ic < v.c; ++ic) {
+        // Reductions: sum(dy), sum(dy * x_hat).
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int64_t in = 0; in < v.n; ++in) {
+            const int64_t base = (in * v.c + ic) * v.spatial;
+            const float *dy = grad_out.data() + base;
+            const float *xh = cache.x_hat.data() + base;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+                sum_dy += dy[s];
+                sum_dy_xhat += double(dy[s]) * xh[s];
+            }
+        }
+        grad_beta.at(ic) += static_cast<float>(sum_dy);
+        grad_gamma.at(ic) += static_cast<float>(sum_dy_xhat);
+
+        const float g = gamma.at(ic);
+        const float inv_std = cache.inv_std.at(ic);
+        const float mean_dy = static_cast<float>(sum_dy / count);
+        const float mean_dy_xhat =
+            static_cast<float>(sum_dy_xhat / count);
+        for (int64_t in = 0; in < v.n; ++in) {
+            const int64_t base = (in * v.c + ic) * v.spatial;
+            const float *dy = grad_out.data() + base;
+            const float *xh = cache.x_hat.data() + base;
+            float *dx = grad_x.data() + base;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+                dx[s] = g * inv_std *
+                        (dy[s] - mean_dy - xh[s] * mean_dy_xhat);
+            }
+        }
+    }
+    return grad_x;
+}
+
+} // namespace scnn

@@ -1,0 +1,121 @@
+#include "kernels/conv2d.h"
+
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "kernels/im2col.h"
+#include "kernels/winograd.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+Tensor
+conv2dForward(const Tensor &x, const Tensor &weight, const Tensor &bias,
+              const Window2d &win)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "conv2d input must be NCHW");
+    SCNN_REQUIRE(weight.shape().rank() == 4,
+                 "conv2d weight must be [OC, C, kh, kw]");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oc = weight.shape().dim(0);
+    SCNN_REQUIRE(weight.shape().dim(1) == c,
+                 "conv2d channel mismatch: weight expects "
+                     << weight.shape().dim(1) << ", input has " << c);
+    SCNN_REQUIRE(weight.shape().dim(2) == win.kh &&
+                     weight.shape().dim(3) == win.kw,
+                 "conv2d kernel extent mismatch");
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    SCNN_REQUIRE(oh > 0 && ow > 0,
+                 "conv2d output is empty for input "
+                     << x.shape().toString() << " with "
+                     << win.toString());
+
+    const int64_t krows = c * win.kh * win.kw;
+    const int64_t ospatial = oh * ow;
+    std::vector<float> col(static_cast<size_t>(krows * ospatial));
+
+    Tensor out(Shape{n, oc, oh, ow});
+    const bool has_bias = bias.numel() > 0;
+    if (has_bias)
+        SCNN_REQUIRE(bias.numel() == oc, "conv2d bias size mismatch");
+
+    for (int64_t in = 0; in < n; ++in) {
+        im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col.data());
+        // out[in] = weight(as [oc, krows]) * col
+        gemm(oc, ospatial, krows, 1.0f, weight.data(), col.data(), 0.0f,
+             out.data() + in * oc * ospatial);
+        if (has_bias) {
+            for (int64_t o = 0; o < oc; ++o) {
+                float *dst = out.data() + (in * oc + o) * ospatial;
+                const float b = bias.at(o);
+                for (int64_t s = 0; s < ospatial; ++s)
+                    dst[s] += b;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+conv2dForwardAuto(const Tensor &x, const Tensor &weight,
+                  const Tensor &bias, const Window2d &win)
+{
+    if (winogradApplicable(win))
+        return conv2dForwardWinograd(x, weight, bias, win);
+    return conv2dForward(x, weight, bias, win);
+}
+
+void
+conv2dBackward(const Tensor &x, const Tensor &weight,
+               const Tensor &grad_out, const Window2d &win,
+               Tensor &grad_x, Tensor &grad_w, Tensor &grad_b)
+{
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oc = weight.shape().dim(0);
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    SCNN_CHECK(grad_out.shape() == Shape({n, oc, oh, ow}),
+               "conv2d grad_out shape mismatch: "
+                   << grad_out.shape().toString());
+
+    const int64_t krows = c * win.kh * win.kw;
+    const int64_t ospatial = oh * ow;
+    std::vector<float> col(static_cast<size_t>(krows * ospatial));
+    std::vector<float> grad_col(static_cast<size_t>(krows * ospatial));
+
+    grad_x = Tensor(x.shape());
+    SCNN_CHECK(grad_w.shape() == weight.shape(),
+               "grad_w must be pre-shaped like weight");
+    const bool has_bias = grad_b.numel() > 0;
+
+    for (int64_t in = 0; in < n; ++in) {
+        const float *go = grad_out.data() + in * oc * ospatial;
+        im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col.data());
+        // grad_w (as [oc, krows]) += go * col^T
+        gemmNT(oc, krows, ospatial, 1.0f, go, col.data(), 1.0f,
+               grad_w.data());
+        // grad_col = weight^T (as [krows, oc]) * go
+        gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go, 0.0f,
+               grad_col.data());
+        col2im(grad_col.data(), c, ih, iw, win,
+               grad_x.data() + in * c * ih * iw);
+        if (has_bias) {
+            for (int64_t o = 0; o < oc; ++o) {
+                float acc = 0.0f;
+                const float *src = go + o * ospatial;
+                for (int64_t s = 0; s < ospatial; ++s)
+                    acc += src[s];
+                grad_b.at(o) += acc;
+            }
+        }
+    }
+}
+
+} // namespace scnn

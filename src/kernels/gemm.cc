@@ -1,0 +1,71 @@
+#include "kernels/gemm.h"
+
+namespace scnn {
+
+void
+gemm(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+     const float *b, float beta, float *c)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        float *crow = c + i * n;
+        if (beta == 0.0f) {
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] = 0.0f;
+        } else if (beta != 1.0f) {
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] *= beta;
+        }
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = alpha * a[i * k + p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmTN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+       const float *b, float beta, float *c)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        float *crow = c + i * n;
+        if (beta == 0.0f) {
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] = 0.0f;
+        } else if (beta != 1.0f) {
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] *= beta;
+        }
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = alpha * a[p * m + i];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmNT(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+       const float *b, float beta, float *c)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = alpha * acc +
+                      (beta == 0.0f ? 0.0f : beta * crow[j]);
+        }
+    }
+}
+
+} // namespace scnn

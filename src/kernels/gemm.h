@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal single-threaded GEMM used by the convolution and linear
+ * kernels. Cache-friendly i-k-j loop order.
+ */
+#ifndef SCNN_KERNELS_GEMM_H
+#define SCNN_KERNELS_GEMM_H
+
+#include <cstdint>
+
+namespace scnn {
+
+/**
+ * C = alpha * A * B + beta * C.
+ *
+ * A is MxK row-major, B is KxN row-major, C is MxN row-major.
+ */
+void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+          const float *b, float beta, float *c);
+
+/**
+ * C = alpha * A^T * B + beta * C.
+ *
+ * A is KxM row-major (used transposed), B is KxN, C is MxN.
+ */
+void gemmTN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+            const float *b, float beta, float *c);
+
+/**
+ * C = alpha * A * B^T + beta * C.
+ *
+ * A is MxK row-major, B is NxK row-major (used transposed), C is MxN.
+ */
+void gemmNT(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+            const float *b, float beta, float *c);
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_GEMM_H

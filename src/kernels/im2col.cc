@@ -1,0 +1,66 @@
+#include "kernels/im2col.h"
+
+namespace scnn {
+
+void
+im2col(const float *img, int64_t c, int64_t ih, int64_t iw,
+       const Window2d &win, float *col)
+{
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    const int64_t ospatial = oh * ow;
+    int64_t row = 0;
+    for (int64_t ic = 0; ic < c; ++ic) {
+        const float *chan = img + ic * ih * iw;
+        for (int64_t ky = 0; ky < win.kh; ++ky) {
+            for (int64_t kx = 0; kx < win.kw; ++kx, ++row) {
+                float *dst = col + row * ospatial;
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    const int64_t iy = oy * win.sh - win.ph_b + ky;
+                    if (iy < 0 || iy >= ih) {
+                        for (int64_t ox = 0; ox < ow; ++ox)
+                            dst[oy * ow + ox] = 0.0f;
+                        continue;
+                    }
+                    const float *src_row = chan + iy * iw;
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        const int64_t ix = ox * win.sw - win.pw_b + kx;
+                        dst[oy * ow + ox] =
+                            (ix < 0 || ix >= iw) ? 0.0f : src_row[ix];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float *col, int64_t c, int64_t ih, int64_t iw,
+       const Window2d &win, float *img)
+{
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    const int64_t ospatial = oh * ow;
+    int64_t row = 0;
+    for (int64_t ic = 0; ic < c; ++ic) {
+        float *chan = img + ic * ih * iw;
+        for (int64_t ky = 0; ky < win.kh; ++ky) {
+            for (int64_t kx = 0; kx < win.kw; ++kx, ++row) {
+                const float *src = col + row * ospatial;
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    const int64_t iy = oy * win.sh - win.ph_b + ky;
+                    if (iy < 0 || iy >= ih)
+                        continue;
+                    float *dst_row = chan + iy * iw;
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        const int64_t ix = ox * win.sw - win.pw_b + kx;
+                        if (ix >= 0 && ix < iw)
+                            dst_row[ix] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace scnn

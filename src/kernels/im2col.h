@@ -1,0 +1,35 @@
+/**
+ * @file
+ * im2col / col2im lowering for convolution. Handles asymmetric and
+ * negative padding: out-of-bounds window elements read as zero
+ * (im2col) and are dropped (col2im).
+ */
+#ifndef SCNN_KERNELS_IM2COL_H
+#define SCNN_KERNELS_IM2COL_H
+
+#include <cstdint>
+
+#include "kernels/window.h"
+
+namespace scnn {
+
+/**
+ * Lower one image (CHW) to a column buffer of shape
+ * [C*kh*kw, outH*outW] for the given window geometry.
+ *
+ * @param img input image, C x ih x iw, contiguous.
+ * @param col output buffer of size C*kh*kw*outH*outW.
+ */
+void im2col(const float *img, int64_t c, int64_t ih, int64_t iw,
+            const Window2d &win, float *col);
+
+/**
+ * Scatter-add a column buffer back into an image (CHW); the adjoint of
+ * im2col. @p img must be zero-initialized by the caller.
+ */
+void col2im(const float *col, int64_t c, int64_t ih, int64_t iw,
+            const Window2d &win, float *img);
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_IM2COL_H

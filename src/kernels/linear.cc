@@ -1,0 +1,60 @@
+#include "kernels/linear.h"
+
+#include "kernels/gemm.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+Tensor
+linearForward(const Tensor &x, const Tensor &weight, const Tensor &bias)
+{
+    SCNN_REQUIRE(x.shape().rank() == 2, "linear input must be [N, F]");
+    SCNN_REQUIRE(weight.shape().rank() == 2,
+                 "linear weight must be [O, F]");
+    const int64_t n = x.shape().dim(0);
+    const int64_t f = x.shape().dim(1);
+    const int64_t o = weight.shape().dim(0);
+    SCNN_REQUIRE(weight.shape().dim(1) == f,
+                 "linear feature mismatch: weight expects "
+                     << weight.shape().dim(1) << ", input has " << f);
+
+    Tensor out(Shape{n, o});
+    gemmNT(n, o, f, 1.0f, x.data(), weight.data(), 0.0f, out.data());
+    if (bias.numel() > 0) {
+        SCNN_REQUIRE(bias.numel() == o, "linear bias size mismatch");
+        for (int64_t in = 0; in < n; ++in)
+            for (int64_t io = 0; io < o; ++io)
+                out.at(in * o + io) += bias.at(io);
+    }
+    return out;
+}
+
+void
+linearBackward(const Tensor &x, const Tensor &weight,
+               const Tensor &grad_out, Tensor &grad_x, Tensor &grad_w,
+               Tensor &grad_b)
+{
+    const int64_t n = x.shape().dim(0);
+    const int64_t f = x.shape().dim(1);
+    const int64_t o = weight.shape().dim(0);
+    SCNN_CHECK(grad_out.shape() == Shape({n, o}),
+               "linear grad_out shape mismatch");
+
+    grad_x = Tensor(Shape{n, f});
+    // grad_x = grad_out [N,O] * weight [O,F]
+    gemm(n, f, o, 1.0f, grad_out.data(), weight.data(), 0.0f,
+         grad_x.data());
+    // grad_w += grad_out^T [O,N] * x [N,F]
+    gemmTN(o, f, n, 1.0f, grad_out.data(), x.data(), 1.0f,
+           grad_w.data());
+    if (grad_b.numel() > 0) {
+        for (int64_t io = 0; io < o; ++io) {
+            float acc = 0.0f;
+            for (int64_t in = 0; in < n; ++in)
+                acc += grad_out.at(in * o + io);
+            grad_b.at(io) += acc;
+        }
+    }
+}
+
+} // namespace scnn

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fully-connected (linear) layer kernels.
+ */
+#ifndef SCNN_KERNELS_LINEAR_H
+#define SCNN_KERNELS_LINEAR_H
+
+#include "tensor/tensor.h"
+
+namespace scnn {
+
+/**
+ * Forward linear: y = x W^T + b.
+ *
+ * @param x input, [N, F].
+ * @param weight [O, F].
+ * @param bias [O] (may be empty for no bias).
+ * @return [N, O].
+ */
+Tensor linearForward(const Tensor &x, const Tensor &weight,
+                     const Tensor &bias);
+
+/**
+ * Backward linear.
+ *
+ * @param x forward input, [N, F].
+ * @param weight [O, F].
+ * @param grad_out [N, O].
+ * @param grad_x [out] overwritten with [N, F].
+ * @param grad_w [out] accumulated, [O, F].
+ * @param grad_b [out] accumulated, [O]; pass empty for no bias.
+ */
+void linearBackward(const Tensor &x, const Tensor &weight,
+                    const Tensor &grad_out, Tensor &grad_x,
+                    Tensor &grad_w, Tensor &grad_b);
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_LINEAR_H

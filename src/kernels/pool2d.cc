@@ -1,0 +1,187 @@
+#include "kernels/pool2d.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+Tensor
+maxPool2dForward(const Tensor &x, const Window2d &win,
+                 std::vector<int64_t> &argmax)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "pool input must be NCHW");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    SCNN_REQUIRE(oh > 0 && ow > 0, "empty pool output");
+
+    Tensor out(Shape{n, c, oh, ow});
+    argmax.assign(static_cast<size_t>(n * c * oh * ow), -1);
+
+    int64_t oi = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float *chan = x.data() + (in * c + ic) * ih * iw;
+            const int64_t chan_base = (in * c + ic) * ih * iw;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int64_t best_idx = -1;
+                    for (int64_t ky = 0; ky < win.kh; ++ky) {
+                        const int64_t iy = oy * win.sh - win.ph_b + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int64_t kx = 0; kx < win.kw; ++kx) {
+                            const int64_t ix =
+                                ox * win.sw - win.pw_b + kx;
+                            if (ix < 0 || ix >= iw)
+                                continue;
+                            const float v = chan[iy * iw + ix];
+                            if (v > best) {
+                                best = v;
+                                best_idx = chan_base + iy * iw + ix;
+                            }
+                        }
+                    }
+                    // All-padding windows output 0 (and get no
+                    // gradient), matching zero-pad semantics.
+                    out.at(oi) = (best_idx < 0) ? 0.0f : best;
+                    argmax[static_cast<size_t>(oi)] = best_idx;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+maxPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
+                  const std::vector<int64_t> &argmax)
+{
+    Tensor grad_x(x_shape);
+    SCNN_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.numel(),
+               "argmax size mismatch");
+    for (int64_t i = 0; i < grad_out.numel(); ++i) {
+        const int64_t idx = argmax[static_cast<size_t>(i)];
+        if (idx >= 0)
+            grad_x.at(idx) += grad_out.at(i);
+    }
+    return grad_x;
+}
+
+Tensor
+avgPool2dForward(const Tensor &x, const Window2d &win)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "pool input must be NCHW");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    SCNN_REQUIRE(oh > 0 && ow > 0, "empty pool output");
+    const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
+
+    Tensor out(Shape{n, c, oh, ow});
+    int64_t oi = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float *chan = x.data() + (in * c + ic) * ih * iw;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                    float acc = 0.0f;
+                    for (int64_t ky = 0; ky < win.kh; ++ky) {
+                        const int64_t iy = oy * win.sh - win.ph_b + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int64_t kx = 0; kx < win.kw; ++kx) {
+                            const int64_t ix =
+                                ox * win.sw - win.pw_b + kx;
+                            if (ix >= 0 && ix < iw)
+                                acc += chan[iy * iw + ix];
+                        }
+                    }
+                    out.at(oi) = acc * inv_area;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+avgPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
+                  const Window2d &win)
+{
+    const int64_t n = x_shape.dim(0);
+    const int64_t c = x_shape.dim(1);
+    const int64_t ih = x_shape.dim(2);
+    const int64_t iw = x_shape.dim(3);
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
+
+    Tensor grad_x(x_shape);
+    int64_t oi = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            float *chan = grad_x.data() + (in * c + ic) * ih * iw;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                    const float g = grad_out.at(oi) * inv_area;
+                    for (int64_t ky = 0; ky < win.kh; ++ky) {
+                        const int64_t iy = oy * win.sh - win.ph_b + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int64_t kx = 0; kx < win.kw; ++kx) {
+                            const int64_t ix =
+                                ox * win.sw - win.pw_b + kx;
+                            if (ix >= 0 && ix < iw)
+                                chan[iy * iw + ix] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_x;
+}
+
+Tensor
+globalAvgPoolForward(const Tensor &x)
+{
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.shape().dim(2) * x.shape().dim(3);
+    Tensor out(Shape{n, c, 1, 1});
+    for (int64_t i = 0; i < n * c; ++i) {
+        float acc = 0.0f;
+        const float *src = x.data() + i * spatial;
+        for (int64_t s = 0; s < spatial; ++s)
+            acc += src[s];
+        out.at(i) = acc / static_cast<float>(spatial);
+    }
+    return out;
+}
+
+Tensor
+globalAvgPoolBackward(const Shape &x_shape, const Tensor &grad_out)
+{
+    const int64_t n = x_shape.dim(0);
+    const int64_t c = x_shape.dim(1);
+    const int64_t spatial = x_shape.dim(2) * x_shape.dim(3);
+    Tensor grad_x(x_shape);
+    for (int64_t i = 0; i < n * c; ++i) {
+        const float g = grad_out.at(i) / static_cast<float>(spatial);
+        float *dst = grad_x.data() + i * spatial;
+        for (int64_t s = 0; s < spatial; ++s)
+            dst[s] = g;
+    }
+    return grad_x;
+}
+
+} // namespace scnn

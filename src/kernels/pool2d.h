@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Max and average 2-D pooling kernels with asymmetric padding.
+ */
+#ifndef SCNN_KERNELS_POOL2D_H
+#define SCNN_KERNELS_POOL2D_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/window.h"
+#include "tensor/tensor.h"
+
+namespace scnn {
+
+/**
+ * Max-pool forward.
+ *
+ * @param x input, [N, C, H, W].
+ * @param win window geometry.
+ * @param argmax [out] linear input index of the max for each output
+ *        element (or -1 if the window saw only padding); sized by the
+ *        kernel. Used by maxPool2dBackward.
+ * @return pooled output.
+ */
+Tensor maxPool2dForward(const Tensor &x, const Window2d &win,
+                        std::vector<int64_t> &argmax);
+
+/** Max-pool backward: route grad_out to the argmax positions. */
+Tensor maxPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
+                         const std::vector<int64_t> &argmax);
+
+/**
+ * Average-pool forward. Padding elements count toward the divisor
+ * (count_include_pad semantics), so a window is always divided by
+ * kh*kw. This keeps split/unsplit equivalence exact for natural
+ * splits.
+ */
+Tensor avgPool2dForward(const Tensor &x, const Window2d &win);
+
+/** Average-pool backward. */
+Tensor avgPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
+                         const Window2d &win);
+
+/** Global average pool: [N, C, H, W] -> [N, C, 1, 1]. */
+Tensor globalAvgPoolForward(const Tensor &x);
+
+/** Global average pool backward. */
+Tensor globalAvgPoolBackward(const Shape &x_shape,
+                             const Tensor &grad_out);
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_POOL2D_H

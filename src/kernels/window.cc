@@ -1,0 +1,16 @@
+#include "kernels/window.h"
+
+#include <sstream>
+
+namespace scnn {
+
+std::string
+Window2d::toString() const
+{
+    std::ostringstream os;
+    os << "k=" << kh << 'x' << kw << " s=" << sh << 'x' << sw << " p=("
+       << ph_b << ',' << ph_e << ")x(" << pw_b << ',' << pw_e << ')';
+    return os.str();
+}
+
+} // namespace scnn

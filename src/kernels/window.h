@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Window-based operation geometry shared by convolution and pooling:
+ * kernel extents, strides, and (possibly asymmetric, possibly negative)
+ * per-side padding. The Split-CNN transformation manipulates exactly
+ * these parameters, so they are first-class here.
+ */
+#ifndef SCNN_KERNELS_WINDOW_H
+#define SCNN_KERNELS_WINDOW_H
+
+#include <cstdint>
+#include <string>
+
+namespace scnn {
+
+/**
+ * Geometry of a 2-D window-based op: Op(X, k, s, p) in the paper.
+ *
+ * Padding is per-side (begin/end of each spatial dimension) because
+ * split patches receive asymmetric padding. Negative padding means
+ * cropping (paper footnote 1).
+ */
+struct Window2d
+{
+    int64_t kh = 1; ///< kernel height
+    int64_t kw = 1; ///< kernel width
+    int64_t sh = 1; ///< vertical stride
+    int64_t sw = 1; ///< horizontal stride
+    int64_t ph_b = 0; ///< padding at the top (begin of H)
+    int64_t ph_e = 0; ///< padding at the bottom (end of H)
+    int64_t pw_b = 0; ///< padding at the left (begin of W)
+    int64_t pw_e = 0; ///< padding at the right (end of W)
+
+    /** Square-kernel convenience constructor with symmetric padding. */
+    static Window2d
+    square(int64_t k, int64_t s, int64_t p)
+    {
+        return Window2d{k, k, s, s, p, p, p, p};
+    }
+
+    /** Output extent along one spatial dimension. */
+    static int64_t
+    outExtent(int64_t in, int64_t k, int64_t s, int64_t p_b, int64_t p_e)
+    {
+        return (in + p_b + p_e - k) / s + 1;
+    }
+
+    /** Output height for an input of height @p ih. */
+    int64_t outH(int64_t ih) const { return outExtent(ih, kh, sh, ph_b, ph_e); }
+
+    /** Output width for an input of width @p iw. */
+    int64_t outW(int64_t iw) const { return outExtent(iw, kw, sw, pw_b, pw_e); }
+
+    std::string toString() const;
+};
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_WINDOW_H

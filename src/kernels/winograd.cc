@@ -1,0 +1,191 @@
+#include "kernels/winograd.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+/**
+ * Weight transform U = G g G^T for one 3x3 filter, with
+ * G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]].
+ */
+void
+transformWeight(const float *g, float u[4][4])
+{
+    float t[4][3];
+    for (int col = 0; col < 3; ++col) {
+        const float g0 = g[0 * 3 + col];
+        const float g1 = g[1 * 3 + col];
+        const float g2 = g[2 * 3 + col];
+        t[0][col] = g0;
+        t[1][col] = 0.5f * (g0 + g1 + g2);
+        t[2][col] = 0.5f * (g0 - g1 + g2);
+        t[3][col] = g2;
+    }
+    for (int row = 0; row < 4; ++row) {
+        const float t0 = t[row][0];
+        const float t1 = t[row][1];
+        const float t2 = t[row][2];
+        u[row][0] = t0;
+        u[row][1] = 0.5f * (t0 + t1 + t2);
+        u[row][2] = 0.5f * (t0 - t1 + t2);
+        u[row][3] = t2;
+    }
+}
+
+/**
+ * Input transform V = B^T d B for one 4x4 tile, with
+ * B^T = [[1,0,-1,0], [0,1,1,0], [0,-1,1,0], [0,1,0,-1]].
+ */
+void
+transformInput(const float d[4][4], float v[4][4])
+{
+    float t[4][4];
+    for (int col = 0; col < 4; ++col) {
+        t[0][col] = d[0][col] - d[2][col];
+        t[1][col] = d[1][col] + d[2][col];
+        t[2][col] = d[2][col] - d[1][col];
+        t[3][col] = d[1][col] - d[3][col];
+    }
+    for (int row = 0; row < 4; ++row) {
+        v[row][0] = t[row][0] - t[row][2];
+        v[row][1] = t[row][1] + t[row][2];
+        v[row][2] = t[row][2] - t[row][1];
+        v[row][3] = t[row][1] - t[row][3];
+    }
+}
+
+/**
+ * Output transform Y = A^T m A for one tile, with
+ * A^T = [[1,1,1,0], [0,1,-1,-1]].
+ */
+void
+transformOutput(const float m[4][4], float y[2][2])
+{
+    float t[2][4];
+    for (int col = 0; col < 4; ++col) {
+        t[0][col] = m[0][col] + m[1][col] + m[2][col];
+        t[1][col] = m[1][col] - m[2][col] - m[3][col];
+    }
+    for (int row = 0; row < 2; ++row) {
+        y[row][0] = t[row][0] + t[row][1] + t[row][2];
+        y[row][1] = t[row][1] - t[row][2] - t[row][3];
+    }
+}
+
+} // namespace
+
+bool
+winogradApplicable(const Window2d &win)
+{
+    return win.kh == 3 && win.kw == 3 && win.sh == 1 && win.sw == 1;
+}
+
+Tensor
+conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
+                      const Tensor &bias, const Window2d &win)
+{
+    SCNN_REQUIRE(winogradApplicable(win),
+                 "winograd needs a 3x3 stride-1 window, got "
+                     << win.toString());
+    SCNN_REQUIRE(x.shape().rank() == 4, "input must be NCHW");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oc = weight.shape().dim(0);
+    SCNN_REQUIRE(weight.shape() == Shape({oc, c, 3, 3}),
+                 "weight must be [OC, C, 3, 3]");
+    const int64_t oh = win.outH(ih);
+    const int64_t ow = win.outW(iw);
+    SCNN_REQUIRE(oh > 0 && ow > 0, "empty output");
+
+    // Transform all filters once: U[oc][c] is a 4x4 tile.
+    std::vector<float> u(static_cast<size_t>(oc * c) * 16);
+    for (int64_t o = 0; o < oc; ++o)
+        for (int64_t ic = 0; ic < c; ++ic) {
+            float tile[4][4];
+            transformWeight(weight.data() + (o * c + ic) * 9, tile);
+            float *dst = u.data() + (o * c + ic) * 16;
+            for (int r = 0; r < 4; ++r)
+                for (int col = 0; col < 4; ++col)
+                    dst[r * 4 + col] = tile[r][col];
+        }
+
+    Tensor out(Shape{n, oc, oh, ow});
+    const bool has_bias = bias.numel() > 0;
+    const int64_t tiles_y = (oh + 1) / 2;
+    const int64_t tiles_x = (ow + 1) / 2;
+
+    std::vector<float> v(static_cast<size_t>(c) * 16);
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ty = 0; ty < tiles_y; ++ty) {
+            for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                // Gather the 4x4 input tile (with padding) per chan.
+                const int64_t y0 = 2 * ty - win.ph_b;
+                const int64_t x0 = 2 * tx - win.pw_b;
+                for (int64_t ic = 0; ic < c; ++ic) {
+                    float d[4][4];
+                    const float *chan =
+                        x.data() + (in * c + ic) * ih * iw;
+                    for (int r = 0; r < 4; ++r)
+                        for (int col = 0; col < 4; ++col) {
+                            const int64_t yy = y0 + r;
+                            const int64_t xx = x0 + col;
+                            d[r][col] = (yy < 0 || yy >= ih ||
+                                         xx < 0 || xx >= iw)
+                                            ? 0.0f
+                                            : chan[yy * iw + xx];
+                        }
+                    float tile[4][4];
+                    transformInput(d, tile);
+                    float *dst = v.data() + ic * 16;
+                    for (int r = 0; r < 4; ++r)
+                        for (int col = 0; col < 4; ++col)
+                            dst[r * 4 + col] = tile[r][col];
+                }
+                // Elementwise multiply-accumulate over channels,
+                // then inverse-transform per output channel.
+                for (int64_t o = 0; o < oc; ++o) {
+                    float m[4][4] = {};
+                    for (int64_t ic = 0; ic < c; ++ic) {
+                        const float *uf =
+                            u.data() + (o * c + ic) * 16;
+                        const float *vf = v.data() + ic * 16;
+                        for (int e = 0; e < 16; ++e)
+                            m[e / 4][e % 4] += uf[e] * vf[e];
+                    }
+                    float y[2][2];
+                    transformOutput(m, y);
+                    const float b =
+                        has_bias ? bias.at(o) : 0.0f;
+                    for (int r = 0; r < 2; ++r)
+                        for (int col = 0; col < 2; ++col) {
+                            const int64_t oy = 2 * ty + r;
+                            const int64_t ox = 2 * tx + col;
+                            if (oy < oh && ox < ow)
+                                out.at4(in, o, oy, ox) =
+                                    y[r][col] + b;
+                        }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+int64_t
+winogradWorkspaceBytes(const Tensor &x, const Tensor &weight,
+                       const Window2d &win)
+{
+    SCNN_REQUIRE(winogradApplicable(win), "not a winograd geometry");
+    const int64_t c = x.shape().dim(1);
+    const int64_t oc = weight.shape().dim(0);
+    // U (all filters) + V (one tile column of channels) + M.
+    return (oc * c * 16 + c * 16 + 16) * int64_t(sizeof(float));
+}
+
+} // namespace scnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Winograd F(2x2, 3x3) convolution forward (Lavin & Gray), the fast
+ * convolution algorithm Section 2.2.1 identifies as a driver of
+ * memory-bound layers: it cuts the multiplications of a 3x3/1
+ * convolution by ~2.25x at the price of transform workspace. The
+ * simulator's cost model charges exactly this speedup; this kernel
+ * demonstrates it for real on the CPU engine.
+ */
+#ifndef SCNN_KERNELS_WINOGRAD_H
+#define SCNN_KERNELS_WINOGRAD_H
+
+#include "kernels/window.h"
+#include "tensor/tensor.h"
+
+namespace scnn {
+
+/** True when the winograd kernel supports this geometry. */
+bool winogradApplicable(const Window2d &win);
+
+/**
+ * Winograd forward convolution; numerically equivalent (to float
+ * rounding) to conv2dForward for 3x3 stride-1 windows with any
+ * padding.
+ *
+ * @param x input, [N, C, H, W].
+ * @param weight [OC, C, 3, 3].
+ * @param bias [OC] or empty.
+ * @param win geometry with kh == kw == 3, sh == sw == 1.
+ */
+Tensor conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
+                             const Tensor &bias, const Window2d &win);
+
+/**
+ * Transform-workspace bytes the winograd kernel needs for the given
+ * shapes — the "trades memory space for faster computation" cost.
+ */
+int64_t winogradWorkspaceBytes(const Tensor &x, const Tensor &weight,
+                               const Window2d &win);
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_WINOGRAD_H

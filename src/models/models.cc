@@ -1,0 +1,256 @@
+#include "models/models.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+int64_t
+ModelConfig::scaled(int64_t channels) const
+{
+    const auto s = static_cast<int64_t>(channels * width);
+    return std::max<int64_t>(4, s);
+}
+
+namespace {
+
+/** conv -> (BN) -> ReLU block shared by VGG and AlexNet. */
+TensorId
+convBnRelu(GraphBuilder &b, const ModelConfig &cfg, TensorId x,
+           int64_t channels, const Window2d &win, const std::string &name)
+{
+    // When BN follows, the conv bias is redundant (standard practice).
+    x = b.conv2d(x, channels, win, !cfg.batch_norm, name);
+    if (cfg.batch_norm)
+        x = b.batchNorm(x, name + ".bn");
+    return b.relu(x, name + ".relu");
+}
+
+} // namespace
+
+Graph
+buildVgg19(const ModelConfig &cfg)
+{
+    GraphBuilder b;
+    TensorId x = b.input(
+        Shape{cfg.batch, cfg.in_channels, cfg.image, cfg.image});
+
+    const std::vector<std::vector<int64_t>> stages = {
+        {64, 64}, {128, 128}, {256, 256, 256, 256},
+        {512, 512, 512, 512}, {512, 512, 512, 512}};
+
+    int conv_idx = 0;
+    for (size_t si = 0; si < stages.size(); ++si) {
+        for (int64_t ch : stages[si]) {
+            x = convBnRelu(b, cfg, x, cfg.scaled(ch),
+                           Window2d::square(3, 1, 1),
+                           "conv" + std::to_string(++conv_idx));
+            b.markCutPoint(x);
+        }
+        x = b.maxPool(x, Window2d::square(2, 2, 0),
+                      "pool" + std::to_string(si + 1));
+        b.markCutPoint(x);
+    }
+
+    x = b.flatten(x);
+    if (cfg.image <= 32) {
+        x = b.linear(x, cfg.classes, true, "fc");
+    } else {
+        x = b.relu(b.linear(x, cfg.scaled(4096), true, "fc1"));
+        x = b.relu(b.linear(x, cfg.scaled(4096), true, "fc2"));
+        x = b.linear(x, cfg.classes, true, "fc3");
+    }
+    return b.build();
+}
+
+Graph
+buildResNet18(const ModelConfig &cfg)
+{
+    GraphBuilder b;
+    TensorId x = b.input(
+        Shape{cfg.batch, cfg.in_channels, cfg.image, cfg.image});
+
+    const int64_t base = cfg.scaled(64);
+    if (cfg.image >= 64) {
+        // ImageNet stem: 7x7/2 conv + 3x3/2 max-pool.
+        x = b.conv2d(x, base, Window2d{7, 7, 2, 2, 3, 3, 3, 3}, false,
+                     "stem.conv");
+        x = b.batchNorm(x, "stem.bn");
+        x = b.relu(x, "stem.relu");
+        x = b.maxPool(x, Window2d{3, 3, 2, 2, 1, 1, 1, 1},
+                      "stem.pool");
+    } else {
+        // CIFAR stem: 3x3/1 conv.
+        x = b.conv2d(x, base, Window2d::square(3, 1, 1), false,
+                     "stem.conv");
+        x = b.batchNorm(x, "stem.bn");
+        x = b.relu(x, "stem.relu");
+    }
+    b.markCutPoint(x);
+
+    const std::vector<int64_t> channels = {base, cfg.scaled(128),
+                                           cfg.scaled(256),
+                                           cfg.scaled(512)};
+    int64_t prev_ch = base;
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int blk = 0; blk < 2; ++blk) {
+            const int64_t stride =
+                (stage > 0 && blk == 0) ? 2 : 1;
+            const std::string name = "layer" + std::to_string(stage + 1) +
+                                     ".block" + std::to_string(blk);
+            TensorId identity = x;
+            TensorId y = b.conv2d(
+                x, channels[stage],
+                Window2d{3, 3, stride, stride, 1, 1, 1, 1}, false,
+                name + ".conv1");
+            y = b.batchNorm(y, name + ".bn1");
+            y = b.relu(y, name + ".relu1");
+            y = b.conv2d(y, channels[stage], Window2d::square(3, 1, 1),
+                         false, name + ".conv2");
+            y = b.batchNorm(y, name + ".bn2");
+            if (stride != 1 || prev_ch != channels[stage]) {
+                identity = b.conv2d(
+                    identity, channels[stage],
+                    Window2d{1, 1, stride, stride, 0, 0, 0, 0}, false,
+                    name + ".down.conv");
+                identity = b.batchNorm(identity, name + ".down.bn");
+            }
+            x = b.relu(b.add({y, identity}, name + ".add"),
+                       name + ".relu2");
+            prev_ch = channels[stage];
+            b.markCutPoint(x);
+        }
+    }
+
+    x = b.globalAvgPool(x, "gap");
+    x = b.flatten(x);
+    x = b.linear(x, cfg.classes, true, "fc");
+    return b.build();
+}
+
+Graph
+buildResNet50(const ModelConfig &cfg)
+{
+    GraphBuilder b;
+    TensorId x = b.input(
+        Shape{cfg.batch, cfg.in_channels, cfg.image, cfg.image});
+
+    const int64_t base = cfg.scaled(64);
+    if (cfg.image >= 64) {
+        x = b.conv2d(x, base, Window2d{7, 7, 2, 2, 3, 3, 3, 3}, false,
+                     "stem.conv");
+        x = b.batchNorm(x, "stem.bn");
+        x = b.relu(x, "stem.relu");
+        x = b.maxPool(x, Window2d{3, 3, 2, 2, 1, 1, 1, 1},
+                      "stem.pool");
+    } else {
+        x = b.conv2d(x, base, Window2d::square(3, 1, 1), false,
+                     "stem.conv");
+        x = b.batchNorm(x, "stem.bn");
+        x = b.relu(x, "stem.relu");
+    }
+    b.markCutPoint(x);
+
+    const std::vector<int> depths = {3, 4, 6, 3};
+    const std::vector<int64_t> widths = {base, cfg.scaled(128),
+                                         cfg.scaled(256),
+                                         cfg.scaled(512)};
+    int64_t prev_ch = base;
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int blk = 0; blk < depths[stage]; ++blk) {
+            const int64_t stride =
+                (stage > 0 && blk == 0) ? 2 : 1;
+            const int64_t mid = widths[stage];
+            const int64_t out_ch = mid * 4;
+            const std::string name = "layer" + std::to_string(stage + 1) +
+                                     ".block" + std::to_string(blk);
+            TensorId identity = x;
+            TensorId y =
+                b.conv2d(x, mid, Window2d::square(1, 1, 0), false,
+                         name + ".conv1");
+            y = b.batchNorm(y, name + ".bn1");
+            y = b.relu(y, name + ".relu1");
+            y = b.conv2d(y, mid,
+                         Window2d{3, 3, stride, stride, 1, 1, 1, 1},
+                         false, name + ".conv2");
+            y = b.batchNorm(y, name + ".bn2");
+            y = b.relu(y, name + ".relu2");
+            y = b.conv2d(y, out_ch, Window2d::square(1, 1, 0), false,
+                         name + ".conv3");
+            y = b.batchNorm(y, name + ".bn3");
+            if (stride != 1 || prev_ch != out_ch) {
+                identity = b.conv2d(
+                    identity, out_ch,
+                    Window2d{1, 1, stride, stride, 0, 0, 0, 0}, false,
+                    name + ".down.conv");
+                identity = b.batchNorm(identity, name + ".down.bn");
+            }
+            x = b.relu(b.add({y, identity}, name + ".add"),
+                       name + ".relu3");
+            prev_ch = out_ch;
+            b.markCutPoint(x);
+        }
+    }
+
+    x = b.globalAvgPool(x, "gap");
+    x = b.flatten(x);
+    x = b.linear(x, cfg.classes, true, "fc");
+    return b.build();
+}
+
+Graph
+buildAlexNet(const ModelConfig &cfg)
+{
+    SCNN_REQUIRE(cfg.image >= 64,
+                 "AlexNet stem needs image >= 64, got " << cfg.image);
+    GraphBuilder b;
+    TensorId x = b.input(
+        Shape{cfg.batch, cfg.in_channels, cfg.image, cfg.image});
+
+    x = convBnRelu(b, cfg, x, cfg.scaled(64),
+                   Window2d{11, 11, 4, 4, 2, 2, 2, 2}, "conv1");
+    b.markCutPoint(x);
+    x = b.maxPool(x, Window2d{3, 3, 2, 2, 0, 0, 0, 0}, "pool1");
+    b.markCutPoint(x);
+    x = convBnRelu(b, cfg, x, cfg.scaled(192), Window2d::square(5, 1, 2),
+                   "conv2");
+    b.markCutPoint(x);
+    x = b.maxPool(x, Window2d{3, 3, 2, 2, 0, 0, 0, 0}, "pool2");
+    b.markCutPoint(x);
+    x = convBnRelu(b, cfg, x, cfg.scaled(384), Window2d::square(3, 1, 1),
+                   "conv3");
+    b.markCutPoint(x);
+    x = convBnRelu(b, cfg, x, cfg.scaled(256), Window2d::square(3, 1, 1),
+                   "conv4");
+    b.markCutPoint(x);
+    x = convBnRelu(b, cfg, x, cfg.scaled(256), Window2d::square(3, 1, 1),
+                   "conv5");
+    b.markCutPoint(x);
+    x = b.maxPool(x, Window2d{3, 3, 2, 2, 0, 0, 0, 0}, "pool5");
+    b.markCutPoint(x);
+
+    x = b.flatten(x);
+    x = b.relu(b.linear(x, cfg.scaled(4096), true, "fc1"));
+    x = b.relu(b.linear(x, cfg.scaled(4096), true, "fc2"));
+    x = b.linear(x, cfg.classes, true, "fc3");
+    return b.build();
+}
+
+Graph
+buildModel(const std::string &name, const ModelConfig &cfg)
+{
+    if (name == "vgg19")
+        return buildVgg19(cfg);
+    if (name == "resnet18")
+        return buildResNet18(cfg);
+    if (name == "resnet50")
+        return buildResNet50(cfg);
+    if (name == "alexnet")
+        return buildAlexNet(cfg);
+    SCNN_FATAL("unknown model '" << name << "'");
+}
+
+} // namespace scnn

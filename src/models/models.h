@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model zoo: the four architectures the paper evaluates (AlexNet,
+ * VGG-19, ResNet-18, ResNet-50) as computation-graph builders, in
+ * CIFAR (32x32) and ImageNet (224x224) variants, with a width
+ * multiplier for CPU-scale accuracy runs.
+ *
+ * Every builder marks Split-CNN cut points (candidate join
+ * boundaries): after each conv/pool stage for VGG/AlexNet and after
+ * each residual block for ResNet (paper footnote 3).
+ */
+#ifndef SCNN_MODELS_MODELS_H
+#define SCNN_MODELS_MODELS_H
+
+#include "graph/graph.h"
+
+namespace scnn {
+
+/** Common knobs for all model builders. */
+struct ModelConfig
+{
+    int64_t batch = 1;       ///< batch size N
+    int64_t image = 32;      ///< input spatial extent (square)
+    int64_t in_channels = 3; ///< input channels
+    int64_t classes = 10;    ///< classifier outputs
+    double width = 1.0;      ///< channel multiplier (CPU-scale runs)
+    bool batch_norm = true;  ///< insert BN after convolutions
+
+    /** Scale a channel count by the width multiplier (min 4). */
+    int64_t scaled(int64_t channels) const;
+};
+
+/**
+ * VGG-19: 16 convs in 5 stages (64,64 / 128,128 / 256x4 / 512x4 /
+ * 512x4) each followed by 2x2/2 max-pool. The CIFAR variant
+ * (image == 32) uses a single FC classifier; larger inputs get the
+ * 4096-4096-classes head scaled by width.
+ */
+Graph buildVgg19(const ModelConfig &config);
+
+/** ResNet-18: basic blocks, stage depths {2, 2, 2, 2}. */
+Graph buildResNet18(const ModelConfig &config);
+
+/** ResNet-50: bottleneck blocks, stage depths {3, 4, 6, 3}. */
+Graph buildResNet50(const ModelConfig &config);
+
+/**
+ * AlexNet (ImageNet layout: 11x11/4 stem); requires image >= 64.
+ */
+Graph buildAlexNet(const ModelConfig &config);
+
+/** Named lookup used by benches: "vgg19", "resnet18", ... */
+Graph buildModel(const std::string &name, const ModelConfig &config);
+
+} // namespace scnn
+
+#endif // SCNN_MODELS_MODELS_H

@@ -1,0 +1,175 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+constexpr double kFloat = sizeof(float);
+
+double
+numel(const Graph &graph, TensorId t)
+{
+    return static_cast<double>(graph.tensor(t).shape.numel());
+}
+
+double
+paramElems(const Graph &graph, const Node &node)
+{
+    double total = 0.0;
+    for (ParamId p : node.params)
+        total += static_cast<double>(graph.param(p).shape.numel());
+    return total;
+}
+
+} // namespace
+
+OpCost
+forwardCost(const Graph &graph, const Node &node)
+{
+    OpCost cost;
+    double in_elems = 0.0;
+    for (TensorId t : node.inputs)
+        in_elems += numel(graph, t);
+    const double out_elems =
+        node.output != kInvalidTensor ? numel(graph, node.output) : 0.0;
+    cost.bytes = (in_elems + out_elems + paramElems(graph, node)) *
+                 kFloat;
+
+    switch (node.kind) {
+      case OpKind::Input:
+        cost = {};
+        break;
+      case OpKind::Conv2d: {
+        const Shape &in = graph.tensor(node.inputs[0]).shape;
+        const double window =
+            static_cast<double>(in.dim(1) * node.win.kh * node.win.kw);
+        cost.flops = 2.0 * out_elems * window;
+        break;
+      }
+      case OpKind::Linear: {
+        const Shape &in = graph.tensor(node.inputs[0]).shape;
+        cost.flops = 2.0 * out_elems * static_cast<double>(in.dim(1));
+        break;
+      }
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+        cost.flops = out_elems *
+                     static_cast<double>(node.win.kh * node.win.kw);
+        break;
+      case OpKind::GlobalAvgPool:
+        cost.flops = in_elems;
+        break;
+      case OpKind::BatchNorm:
+        // Two reduction passes plus the normalization.
+        cost.flops = 6.0 * in_elems;
+        break;
+      case OpKind::ReLU:
+        cost.flops = in_elems;
+        break;
+      case OpKind::Add:
+        cost.flops = in_elems;
+        break;
+      case OpKind::Flatten:
+        // A pure view: no data movement at all.
+        cost = {};
+        break;
+      case OpKind::Slice:
+      case OpKind::Concat:
+        // Copy kernels: no FLOPs, bytes already counted.
+        cost.flops = 0.0;
+        break;
+    }
+    return cost;
+}
+
+OpCost
+backwardCost(const Graph &graph, const Node &node, bool recompute_bn)
+{
+    OpCost fwd = forwardCost(graph, node);
+    OpCost cost;
+    switch (node.kind) {
+      case OpKind::Input:
+        return {};
+      case OpKind::Conv2d:
+      case OpKind::Linear:
+        // dgrad + wgrad: two GEMMs of the forward size.
+        cost.flops = 2.0 * fwd.flops;
+        cost.bytes = 2.0 * fwd.bytes;
+        break;
+      case OpKind::BatchNorm:
+        cost.flops = 1.5 * fwd.flops;
+        cost.bytes = 2.0 * fwd.bytes;
+        if (recompute_bn) {
+            // Memory-efficient variant re-runs the forward pass.
+            cost.flops += fwd.flops;
+            cost.bytes += fwd.bytes;
+        }
+        break;
+      default:
+        cost.flops = fwd.flops;
+        cost.bytes = fwd.bytes;
+        break;
+    }
+    return cost;
+}
+
+namespace {
+
+bool
+winogradEligible(const Node &node)
+{
+    return node.kind == OpKind::Conv2d && node.win.kh == 3 &&
+           node.win.kw == 3 && node.win.sh == 1 && node.win.sw == 1;
+}
+
+} // namespace
+
+double
+executionTime(const OpCost &cost, const DeviceSpec &spec)
+{
+    if (cost.flops == 0.0 && cost.bytes == 0.0)
+        return 0.0;
+    const double compute =
+        cost.flops / (spec.flops_efficiency * spec.peak_flops);
+    const double memory =
+        cost.bytes / (spec.bandwidth_efficiency * spec.mem_bandwidth);
+    return std::max(compute, memory) + spec.launch_overhead;
+}
+
+double
+forwardTime(const Graph &graph, const Node &node, const DeviceSpec &spec)
+{
+    OpCost cost = forwardCost(graph, node);
+    if (winogradEligible(node))
+        cost.flops /= spec.winograd_speedup;
+    return executionTime(cost, spec);
+}
+
+double
+backwardTime(const Graph &graph, const Node &node, const DeviceSpec &spec,
+             bool recompute_bn)
+{
+    OpCost cost = backwardCost(graph, node, recompute_bn);
+    if (winogradEligible(node))
+        cost.flops /= spec.winograd_speedup;
+    return executionTime(cost, spec);
+}
+
+int64_t
+workspaceBytes(const Graph &graph, const Node &node)
+{
+    if (node.kind != OpKind::Conv2d)
+        return 0;
+    const Shape &in = graph.tensor(node.inputs[0]).shape;
+    const Shape &out = graph.tensor(node.output).shape;
+    const double full_im2col =
+        static_cast<double>(in.dim(0)) * in.dim(1) * node.win.kh *
+        node.win.kw * out.dim(2) * out.dim(3) * sizeof(float);
+    return static_cast<int64_t>(full_im2col * kWorkspaceFraction);
+}
+
+} // namespace scnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Analytical per-op cost model: FLOPs and bytes moved for the forward
+ * and backward of every op kind, and a roofline-style execution-time
+ * estimate t = max(flops/peak_flops, bytes/mem_bw) + launch overhead.
+ *
+ * This is the "profiling stage" substitute (Section 4.3): the paper
+ * measures layer times with high_resolution_clock on a real GPU; we
+ * compute them from arithmetic intensity, which preserves the
+ * property Figures 1/8/10 depend on — convolutions are compute-bound
+ * (long, offload-friendly) while pooling/BN/ReLU are memory-bound
+ * (short, offload-hostile).
+ */
+#ifndef SCNN_SIM_COST_MODEL_H
+#define SCNN_SIM_COST_MODEL_H
+
+#include "graph/graph.h"
+#include "sim/device.h"
+
+namespace scnn {
+
+/** FLOPs and DRAM traffic of one kernel invocation. */
+struct OpCost
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+};
+
+/** Cost of the forward kernel of @p node. */
+OpCost forwardCost(const Graph &graph, const Node &node);
+
+/**
+ * Cost of the backward kernel of @p node (data + weight gradients
+ * combined). @p recompute_bn adds the forward-recompute cost to BN
+ * backward (the memory-efficient ResNet variant of Section 6.3).
+ */
+OpCost backwardCost(const Graph &graph, const Node &node,
+                    bool recompute_bn = false);
+
+/** Roofline execution-time estimate for a kernel of cost @p cost. */
+double executionTime(const OpCost &cost, const DeviceSpec &spec);
+
+/** Convenience: executionTime(forwardCost(...)). */
+double forwardTime(const Graph &graph, const Node &node,
+                   const DeviceSpec &spec);
+
+/** Convenience: executionTime(backwardCost(...)). */
+double backwardTime(const Graph &graph, const Node &node,
+                    const DeviceSpec &spec, bool recompute_bn = false);
+
+/**
+ * cuDNN-style convolution workspace size. Fast convolution
+ * algorithms (Winograd/FFT/implicit GEMM) need scratch proportional
+ * to the lowered input: we model it as a fraction
+ * (kWorkspaceFraction) of the full-batch im2col buffer,
+ * N * C * kh * kw * outH * outW floats. Zero for other ops.
+ *
+ * Split-CNN's workspace reuse benefit (Section 6.3, point 1) follows
+ * directly: patch convolutions have 1/(h*w) the spatial extent, and
+ * the shared workspace is sized by the largest single convolution.
+ */
+int64_t workspaceBytes(const Graph &graph, const Node &node);
+
+/** Fraction of the full im2col buffer cuDNN-style scratch occupies. */
+constexpr double kWorkspaceFraction = 0.25;
+
+} // namespace scnn
+
+#endif // SCNN_SIM_COST_MODEL_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulated accelerator description. Defaults model the paper's
+ * testbed: an NVIDIA Tesla P100 (16 GB HBM2) attached to the host by
+ * NVLink 1.0 with a measured peak bandwidth of 34.1 GB/s
+ * (Section 6.1).
+ */
+#ifndef SCNN_SIM_DEVICE_H
+#define SCNN_SIM_DEVICE_H
+
+#include <cstdint>
+
+namespace scnn {
+
+/** Hardware parameters of the simulated GPU + interconnect. */
+struct DeviceSpec
+{
+    /** Peak FP32 throughput (P100: ~9.3 TFLOP/s). */
+    double peak_flops = 9.3e12;
+    /** Device memory bandwidth (P100 HBM2: 732 GB/s). */
+    double mem_bandwidth = 732.0e9;
+    /** Host-device link bandwidth (NVLink 1.0, measured). */
+    double nvlink_bandwidth = 34.1e9;
+    /** Device memory capacity (P100: 16 GB). */
+    int64_t memory_capacity = 16LL * 1024 * 1024 * 1024;
+    /** Number of concurrent memory (copy) streams. */
+    int memory_streams = 2;
+
+    /** Achievable fraction of peak FLOPs for dense kernels (cuDNN). */
+    double flops_efficiency = 0.75;
+    /** Achievable fraction of peak memory bandwidth. */
+    double bandwidth_efficiency = 0.75;
+    /** Fixed per-kernel launch overhead in seconds. */
+    double launch_overhead = 5.0e-6;
+    /**
+     * Effective-FLOP reduction of cuDNN's Winograd algorithm for
+     * 3x3 stride-1 convolutions (the fast-convolution trend the
+     * paper's Section 2.2.1 blames for memory-boundedness).
+     */
+    double winograd_speedup = 2.25;
+
+    /** The P100/NVLink system of the paper (same as defaults). */
+    static DeviceSpec p100Nvlink() { return DeviceSpec{}; }
+
+    /** A PCIe-attached variant (vDNN-era setup) for ablations. */
+    static DeviceSpec
+    p100Pcie()
+    {
+        DeviceSpec spec;
+        spec.nvlink_bandwidth = 12.0e9; // PCIe gen3 x16 effective
+        return spec;
+    }
+};
+
+} // namespace scnn
+
+#endif // SCNN_SIM_DEVICE_H

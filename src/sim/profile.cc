@@ -1,0 +1,53 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+ProfileResult
+profileForwardPass(const Graph &graph, const DeviceSpec &spec,
+                   const BackwardOptions &opt)
+{
+    ProfileResult result;
+    const auto topo = graph.topoOrder();
+    const auto needed = tensorsNeededInBackward(graph, topo, opt);
+
+    double cum_gen = 0.0, cum_off = 0.0;
+    for (NodeId id : topo) {
+        const Node &n = graph.node(id);
+        if (n.kind == OpKind::Input)
+            continue;
+        LayerProfile layer;
+        layer.node = id;
+        layer.name = n.name;
+        layer.kind = n.kind;
+        layer.fwd_time = forwardTime(graph, n, spec);
+        layer.generated_bytes =
+            needed.count(n.output)
+                ? static_cast<double>(
+                      graph.tensor(n.output).shape.numel() *
+                      int64_t(sizeof(float)))
+                : 0.0;
+        layer.offloadable_bytes =
+            layer.fwd_time * spec.nvlink_bandwidth;
+        cum_gen += layer.generated_bytes;
+        cum_off += layer.offloadable_bytes;
+        layer.cum_generated = cum_gen;
+        layer.cum_offloadable = cum_off;
+        result.layers.push_back(std::move(layer));
+
+        result.total_fwd_time += layer.fwd_time;
+        result.total_bwd_time +=
+            backwardTime(graph, n, spec, opt.recompute_bn);
+    }
+    result.total_generated = cum_gen;
+    result.total_offloadable = cum_off;
+    result.offloadable_fraction =
+        cum_gen > 0.0 ? std::min(1.0, cum_off / cum_gen) : 1.0;
+    return result;
+}
+
+} // namespace scnn

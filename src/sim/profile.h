@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Forward-pass profiling (Figure 1 and Section 4.3's profiling
+ * stage): per-layer generated data size (intermediates consumed again
+ * in backward) vs. offload-able data size (layer time x NVLink
+ * bandwidth), with cumulative series and the resulting theoretical
+ * offload limit.
+ */
+#ifndef SCNN_SIM_PROFILE_H
+#define SCNN_SIM_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "sim/device.h"
+
+namespace scnn {
+
+/** One forward layer's row in Figure 1. */
+struct LayerProfile
+{
+    NodeId node = -1;
+    std::string name;
+    OpKind kind = OpKind::Input;
+    double fwd_time = 0.0;        ///< seconds (profiled/estimated)
+    double generated_bytes = 0.0; ///< output kept for backward, else 0
+    double offloadable_bytes = 0.0; ///< fwd_time * nvlink_bandwidth
+    double cum_generated = 0.0;
+    double cum_offloadable = 0.0;
+};
+
+/** Whole-network profile summary. */
+struct ProfileResult
+{
+    std::vector<LayerProfile> layers;
+    double total_fwd_time = 0.0;  ///< seconds
+    double total_bwd_time = 0.0;  ///< seconds
+    double total_generated = 0.0; ///< bytes
+    double total_offloadable = 0.0;
+    /**
+     * The theoretical offload limit used by Section 6.2/6.3: the
+     * fraction of generated intermediates that can be offloaded
+     * without slowing the forward pass (capped at 1).
+     */
+    double offloadable_fraction = 0.0;
+};
+
+/**
+ * Profile @p graph's forward training pass on @p spec.
+ */
+ProfileResult profileForwardPass(const Graph &graph,
+                                 const DeviceSpec &spec,
+                                 const BackwardOptions &opt = {});
+
+} // namespace scnn
+
+#endif // SCNN_SIM_PROFILE_H

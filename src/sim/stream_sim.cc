@@ -1,0 +1,160 @@
+#include "sim/stream_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/cost_model.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+double
+SimResult::throughput(int64_t batch) const
+{
+    return total_time > 0.0 ? static_cast<double>(batch) / total_time
+                            : 0.0;
+}
+
+SimResult
+simulatePlan(const Graph &graph, const DeviceSpec &spec,
+             const MemoryPlan &plan, const StorageAssignment &assignment,
+             const BackwardOptions &backward)
+{
+    SimResult result;
+    std::vector<double> stream_avail(
+        static_cast<size_t>(std::max(1, spec.memory_streams)), 0.0);
+    std::vector<double> transfer_end(assignment.tsos.size(), -1.0);
+
+    double now = 0.0;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+        const ExecStep &step = plan.steps[i];
+        const StepActions &act = plan.actions[i];
+        const Node &node = graph.node(step.node);
+
+        auto issue = [&](TsoId tso, bool d2h) {
+            const int s = plan.tso_stream[static_cast<size_t>(tso)];
+            SCNN_CHECK(s >= 0, "transfer on unassigned stream");
+            const int64_t bytes = assignment.tso(tso).bytes;
+            const double start =
+                std::max(stream_avail[static_cast<size_t>(s)], now);
+            const double end =
+                start + static_cast<double>(bytes) /
+                            spec.nvlink_bandwidth;
+            stream_avail[static_cast<size_t>(s)] = end;
+            transfer_end[static_cast<size_t>(tso)] = end;
+            result.transfers.push_back(
+                {tso, d2h, s, start, end, bytes});
+        };
+
+        // 1. Issue transfers scheduled at this step's start.
+        for (TsoId tso : act.start_offload)
+            issue(tso, /*d2h=*/true);
+        for (TsoId tso : act.start_prefetch)
+            issue(tso, /*d2h=*/false);
+
+        // 2. End-of-prefetch syncs gate the kernel launch.
+        double stall = 0.0;
+        for (TsoId tso : act.sync_prefetch) {
+            const double end = transfer_end[static_cast<size_t>(tso)];
+            SCNN_CHECK(end >= 0.0,
+                       "sync on TSO " << tso
+                                      << " with no inflight transfer");
+            if (end > now) {
+                stall += end - now;
+                now = end;
+            }
+        }
+
+        // 3. Execute the kernel on the compute stream.
+        const double t =
+            step.backward
+                ? backwardTime(graph, node, spec,
+                               backward.recompute_bn)
+                : forwardTime(graph, node, spec);
+        KernelRecord kr;
+        kr.node = step.node;
+        kr.backward = step.backward;
+        kr.start = now;
+        kr.end = now + t;
+        kr.stall_before = stall;
+        now = kr.end;
+        result.kernels.push_back(kr);
+        result.compute_busy += t;
+        result.stall_time += stall;
+
+        // 4. End-of-offload syncs (free the device TSO afterwards).
+        for (TsoId tso : act.sync_offload_free) {
+            const double end = transfer_end[static_cast<size_t>(tso)];
+            SCNN_CHECK(end >= 0.0, "offload sync without transfer");
+            if (end > now) {
+                result.stall_time += end - now;
+                now = end;
+            }
+        }
+    }
+    result.total_time = now;
+    return result;
+}
+
+std::string
+renderTimeline(const SimResult &result, const DeviceSpec &spec,
+               int columns)
+{
+    SCNN_REQUIRE(columns > 0, "timeline needs at least one column");
+    const double total = result.total_time;
+    if (total <= 0.0)
+        return "(empty timeline)\n";
+    const double dt = total / columns;
+
+    auto lane = [&](auto busy_in_bucket) {
+        std::string s;
+        for (int c = 0; c < columns; ++c) {
+            const double lo = c * dt, hi = lo + dt;
+            s += busy_in_bucket(lo, hi);
+        }
+        return s;
+    };
+
+    std::ostringstream os;
+    os << "compute  |"
+       << lane([&](double lo, double hi) {
+              double busy = 0.0, stall = 0.0;
+              for (const auto &k : result.kernels) {
+                  busy += std::max(
+                      0.0, std::min(hi, k.end) - std::max(lo, k.start));
+                  const double s0 = k.start - k.stall_before;
+                  stall += std::max(0.0, std::min(hi, k.start) -
+                                             std::max(lo, s0));
+              }
+              if (stall > (hi - lo) * 0.5)
+                  return '!';
+              return busy > (hi - lo) * 0.5 ? '#' : '.';
+          })
+       << "|\n";
+    for (int s = 0; s < spec.memory_streams; ++s) {
+        os << "memcpy " << s << " |"
+           << lane([&](double lo, double hi) {
+                  double busy = 0.0;
+                  bool d2h = true;
+                  for (const auto &t : result.transfers) {
+                      if (t.stream != s)
+                          continue;
+                      const double overlap =
+                          std::min(hi, t.end) - std::max(lo, t.start);
+                      if (overlap > 0) {
+                          busy += overlap;
+                          d2h = t.d2h;
+                      }
+                  }
+                  if (busy <= (hi - lo) * 0.5)
+                      return '.';
+                  return d2h ? 'v' : '^';
+              })
+           << "|\n";
+    }
+    os << "('#' kernel, '!' stalled, 'v' offload, '^' prefetch)\n";
+    return os.str();
+}
+
+} // namespace scnn

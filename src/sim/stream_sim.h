@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stream-level timing simulation of one training iteration: a single
+ * compute stream executes the serialized forward+backward ops while
+ * dedicated memory streams carry D2H offloads and H2D prefetches.
+ * Synchronizations (the end-of-offload and end-of-prefetch moments)
+ * stall the compute stream exactly as cudaStreamSynchronize would.
+ *
+ * Produces total iteration time, stall accounting, and an
+ * nvprof-style transfer/kernel trace (Figure 9).
+ */
+#ifndef SCNN_SIM_STREAM_SIM_H
+#define SCNN_SIM_STREAM_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hmms/plan.h"
+#include "sim/device.h"
+
+namespace scnn {
+
+/** One memory transfer in the trace. */
+struct TransferRecord
+{
+    TsoId tso = kInvalidTso;
+    bool d2h = true; ///< offload (true) or prefetch (false)
+    int stream = 0;
+    double start = 0.0;
+    double end = 0.0;
+    int64_t bytes = 0;
+};
+
+/** One kernel execution in the trace. */
+struct KernelRecord
+{
+    NodeId node = -1;
+    bool backward = false;
+    double start = 0.0;
+    double end = 0.0;
+    double stall_before = 0.0; ///< sync wait preceding this kernel
+};
+
+/** Simulation output. */
+struct SimResult
+{
+    double total_time = 0.0;   ///< one iteration, seconds
+    double compute_busy = 0.0; ///< sum of kernel times
+    double stall_time = 0.0;   ///< compute stream blocked on syncs
+    std::vector<KernelRecord> kernels;
+    std::vector<TransferRecord> transfers;
+
+    /** Images per second given the iteration batch size. */
+    double throughput(int64_t batch) const;
+};
+
+/**
+ * Simulate @p plan for @p graph on @p spec.
+ *
+ * @param assignment provides TSO sizes for transfer durations.
+ * @param backward recompute options must match those used to plan.
+ */
+SimResult simulatePlan(const Graph &graph, const DeviceSpec &spec,
+                       const MemoryPlan &plan,
+                       const StorageAssignment &assignment,
+                       const BackwardOptions &backward = {});
+
+/**
+ * Render an nvprof-like text timeline (Figure 9): one lane for the
+ * compute stream and one per memory stream, bucketed into @p columns
+ * time columns.
+ */
+std::string renderTimeline(const SimResult &result,
+                           const DeviceSpec &spec, int columns = 100);
+
+} // namespace scnn
+
+#endif // SCNN_SIM_STREAM_SIM_H

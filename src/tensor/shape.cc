@@ -1,0 +1,73 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (auto d : dims_)
+        SCNN_CHECK(d >= 0, "negative dimension in shape " << toString());
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        SCNN_CHECK(d >= 0, "negative dimension in shape " << toString());
+}
+
+int64_t
+Shape::dim(int d) const
+{
+    if (d < 0)
+        d += rank();
+    SCNN_CHECK(d >= 0 && d < rank(),
+               "dim index " << d << " out of range for " << toString());
+    return dims_[d];
+}
+
+void
+Shape::setDim(int d, int64_t value)
+{
+    if (d < 0)
+        d += rank();
+    SCNN_CHECK(d >= 0 && d < rank(), "dim index out of range");
+    SCNN_CHECK(value >= 0, "negative dimension");
+    dims_[d] = value;
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> st(dims_.size(), 1);
+    for (int d = rank() - 2; d >= 0; --d)
+        st[d] = st[d + 1] * dims_[d + 1];
+    return st;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace scnn

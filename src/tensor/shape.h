@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensor shape: an ordered list of dimension extents.
+ */
+#ifndef SCNN_TENSOR_SHAPE_H
+#define SCNN_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/**
+ * Shape of a dense tensor.
+ *
+ * Dimensions are ordered outermost-first; for image tensors the library
+ * convention is NCHW (batch, channels, height, width).
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from an explicit dimension list. */
+    Shape(std::initializer_list<int64_t> dims);
+
+    /** Construct from a vector of dimensions. */
+    explicit Shape(std::vector<int64_t> dims);
+
+    /** Number of dimensions (rank). */
+    int rank() const { return static_cast<int>(dims_.size()); }
+
+    /** Extent of dimension @p d; negative d counts from the back. */
+    int64_t dim(int d) const;
+
+    /** Mutable access for shape surgery (e.g. split transforms). */
+    void setDim(int d, int64_t value);
+
+    /** Total number of elements. */
+    int64_t numel() const;
+
+    /** Row-major strides (innermost stride == 1). */
+    std::vector<int64_t> strides() const;
+
+    /** All extents. */
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    bool operator==(const Shape &other) const = default;
+
+    /** e.g. "[64, 3, 32, 32]". */
+    std::string toString() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_SHAPE_H

@@ -1,0 +1,83 @@
+#include "tensor/tensor.h"
+
+#include "util/logging.h"
+
+namespace scnn {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.numel()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.numel()), value)
+{
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    SCNN_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+    return data_[static_cast<size_t>(i)];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    SCNN_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+    return data_[static_cast<size_t>(i)];
+}
+
+float &
+Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    SCNN_CHECK(shape_.rank() == 4, "at4 on rank-" << shape_.rank());
+    const auto &d = shape_.dims();
+    SCNN_CHECK(n >= 0 && n < d[0] && c >= 0 && c < d[1] && h >= 0 &&
+                   h < d[2] && w >= 0 && w < d[3],
+               "at4(" << n << "," << c << "," << h << "," << w
+                      << ") out of " << shape_.toString());
+    return data_[static_cast<size_t>(((n * d[1] + c) * d[2] + h) * d[3] +
+                                     w)];
+}
+
+float
+Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    return const_cast<Tensor *>(this)->at4(n, c, h, w);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::fillNormal(Rng &rng, float mean, float stddev)
+{
+    for (auto &v : data_)
+        v = rng.normal(mean, stddev);
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &v : data_)
+        v = rng.uniform(lo, hi);
+}
+
+Tensor
+Tensor::reshape(Shape new_shape) const
+{
+    SCNN_CHECK(new_shape.numel() == numel(),
+               "reshape " << shape_.toString() << " -> "
+                          << new_shape.toString());
+    Tensor out(std::move(new_shape));
+    out.data_ = data_;
+    return out;
+}
+
+} // namespace scnn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dense float32 tensor with value semantics.
+ */
+#ifndef SCNN_TENSOR_TENSOR_H
+#define SCNN_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace scnn {
+
+/**
+ * A dense, contiguous, row-major float32 tensor.
+ *
+ * Tensors have value semantics: copying a Tensor deep-copies its
+ * storage. The real CPU execution engine uses this type; the HMMS
+ * planner reasons only about sizes (TSOs) and never touches data.
+ */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, zero elements) tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Tensor of the given shape filled with @p value. */
+    Tensor(Shape shape, float value);
+
+    /** Shape accessor. */
+    const Shape &shape() const { return shape_; }
+
+    /** Total element count. */
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Raw storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Linear element access with bounds checks. */
+    float &at(int64_t i);
+    float at(int64_t i) const;
+
+    /** 4-D element access (NCHW); requires rank == 4. */
+    float &at4(int64_t n, int64_t c, int64_t h, int64_t w);
+    float at4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Fill with N(mean, stddev) samples. */
+    void fillNormal(Rng &rng, float mean, float stddev);
+
+    /** Fill with U[lo, hi) samples. */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /** Reinterpret as a different shape with the same numel. */
+    Tensor reshape(Shape new_shape) const;
+
+    /** Size of the underlying storage in bytes. */
+    int64_t bytes() const { return numel() * int64_t(sizeof(float)); }
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_TENSOR_H

@@ -1,0 +1,199 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+/** Collapse a shape around @p dim into (outer, extent, inner). */
+struct DimView
+{
+    int64_t outer = 1;
+    int64_t extent = 1;
+    int64_t inner = 1;
+};
+
+DimView
+makeDimView(const Shape &shape, int dim)
+{
+    if (dim < 0)
+        dim += shape.rank();
+    SCNN_CHECK(dim >= 0 && dim < shape.rank(),
+               "dim " << dim << " out of range for " << shape.toString());
+    DimView v;
+    for (int d = 0; d < dim; ++d)
+        v.outer *= shape.dim(d);
+    v.extent = shape.dim(dim);
+    for (int d = dim + 1; d < shape.rank(); ++d)
+        v.inner *= shape.dim(d);
+    return v;
+}
+
+} // namespace
+
+std::vector<Tensor>
+splitDim(const Tensor &t, int dim, const std::vector<int64_t> &starts)
+{
+    SCNN_REQUIRE(!starts.empty(), "empty split scheme");
+    SCNN_REQUIRE(starts[0] == 0, "split scheme must start at 0");
+    if (dim < 0)
+        dim += t.shape().rank();
+    const DimView v = makeDimView(t.shape(), dim);
+    for (size_t i = 1; i < starts.size(); ++i)
+        SCNN_REQUIRE(starts[i] > starts[i - 1] && starts[i] < v.extent,
+                     "split starts must be strictly increasing and "
+                     "within the extent "
+                         << v.extent);
+
+    std::vector<Tensor> parts;
+    parts.reserve(starts.size());
+    for (size_t i = 0; i < starts.size(); ++i) {
+        const int64_t begin = starts[i];
+        const int64_t end =
+            (i + 1 < starts.size()) ? starts[i + 1] : v.extent;
+        const int64_t len = end - begin;
+        Shape part_shape = t.shape();
+        part_shape.setDim(dim, len);
+        Tensor part(part_shape);
+        for (int64_t o = 0; o < v.outer; ++o) {
+            const float *src =
+                t.data() + (o * v.extent + begin) * v.inner;
+            float *dst = part.data() + o * len * v.inner;
+            std::memcpy(dst, src,
+                        static_cast<size_t>(len * v.inner) *
+                            sizeof(float));
+        }
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+Tensor
+concatDim(const std::vector<Tensor> &parts, int dim)
+{
+    SCNN_REQUIRE(!parts.empty(), "concat of zero tensors");
+    const Shape &first = parts[0].shape();
+    if (dim < 0)
+        dim += first.rank();
+    int64_t total = 0;
+    for (const auto &p : parts) {
+        SCNN_REQUIRE(p.shape().rank() == first.rank(),
+                     "concat rank mismatch");
+        for (int d = 0; d < first.rank(); ++d) {
+            if (d == dim)
+                continue;
+            SCNN_REQUIRE(p.shape().dim(d) == first.dim(d),
+                         "concat non-dim extent mismatch at dim "
+                             << d << ": " << p.shape().toString()
+                             << " vs " << first.toString());
+        }
+        total += p.shape().dim(dim);
+    }
+
+    Shape out_shape = first;
+    out_shape.setDim(dim, total);
+    Tensor out(out_shape);
+    const DimView v = makeDimView(out_shape, dim);
+
+    int64_t offset = 0;
+    for (const auto &p : parts) {
+        const int64_t len = p.shape().dim(dim);
+        for (int64_t o = 0; o < v.outer; ++o) {
+            const float *src = p.data() + o * len * v.inner;
+            float *dst = out.data() + (o * v.extent + offset) * v.inner;
+            std::memcpy(dst, src,
+                        static_cast<size_t>(len * v.inner) *
+                            sizeof(float));
+        }
+        offset += len;
+    }
+    return out;
+}
+
+Tensor
+pad2d(const Tensor &t, int64_t ph_b, int64_t ph_e, int64_t pw_b,
+      int64_t pw_e)
+{
+    SCNN_REQUIRE(t.shape().rank() == 4, "pad2d needs NCHW input");
+    const int64_t n = t.shape().dim(0);
+    const int64_t c = t.shape().dim(1);
+    const int64_t h = t.shape().dim(2);
+    const int64_t w = t.shape().dim(3);
+    const int64_t oh = h + ph_b + ph_e;
+    const int64_t ow = w + pw_b + pw_e;
+    SCNN_REQUIRE(oh >= 0 && ow >= 0,
+                 "pad2d would produce negative extent");
+
+    Tensor out(Shape{n, c, oh, ow});
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t y = 0; y < oh; ++y) {
+                const int64_t sy = y - ph_b;
+                if (sy < 0 || sy >= h)
+                    continue;
+                // Copy the in-bounds horizontal span of this row.
+                const int64_t x_lo = std::max<int64_t>(0, pw_b);
+                const int64_t x_hi = std::min<int64_t>(ow, w + pw_b);
+                if (x_lo >= x_hi)
+                    continue;
+                const float *src =
+                    t.data() +
+                    (((in * c + ic) * h + sy) * w + (x_lo - pw_b));
+                float *dst = out.data() +
+                             (((in * c + ic) * oh + y) * ow + x_lo);
+                std::memcpy(dst, src,
+                            static_cast<size_t>(x_hi - x_lo) *
+                                sizeof(float));
+            }
+        }
+    }
+    return out;
+}
+
+void
+axpy(float scale, const Tensor &a, Tensor &out)
+{
+    SCNN_CHECK(a.shape() == out.shape(), "axpy shape mismatch");
+    const float *pa = a.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] += scale * pa[i];
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    SCNN_CHECK(a.shape() == b.shape(), "add shape mismatch");
+    Tensor out = a;
+    axpy(1.0f, b, out);
+    return out;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    SCNN_CHECK(a.shape() == b.shape(),
+               "maxAbsDiff shape mismatch: " << a.shape().toString()
+                                             << " vs "
+                                             << b.shape().toString());
+    float m = 0.0f;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+    return m;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float tol)
+{
+    if (!(a.shape() == b.shape()))
+        return false;
+    return maxAbsDiff(a, b) <= tol;
+}
+
+} // namespace scnn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Free functions on tensors needed by the Split-CNN transformation and
+ * the execution engine: spatial split, concatenation, 2-D padding
+ * (including negative padding == cropping), and elementwise helpers.
+ */
+#ifndef SCNN_TENSOR_TENSOR_OPS_H
+#define SCNN_TENSOR_TENSOR_OPS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace scnn {
+
+/**
+ * Partition @p t along dimension @p dim following the paper's
+ * Split_D(T, (s_0, ..., s_{N-1})) notation: @p starts lists the index
+ * of the first element of each part; part i covers
+ * [starts[i], starts[i+1]) with starts[N] == extent.
+ *
+ * Requires starts[0] == 0 and strictly increasing starts.
+ */
+std::vector<Tensor> splitDim(const Tensor &t, int dim,
+                             const std::vector<int64_t> &starts);
+
+/**
+ * Concatenate @p parts along @p dim ([T_0, ..., T_n]_D in the paper).
+ * All other dimensions must agree.
+ */
+Tensor concatDim(const std::vector<Tensor> &parts, int dim);
+
+/**
+ * Zero-pad (or crop, when negative) a rank-4 NCHW tensor.
+ *
+ * @param t input tensor.
+ * @param ph_b padding before (top of) the H dimension.
+ * @param ph_e padding after (bottom of) the H dimension.
+ * @param pw_b padding before (left of) the W dimension.
+ * @param pw_e padding after (right of) the W dimension.
+ *
+ * Negative values crop instead of pad, implementing the paper's
+ * footnote-1 "negative padding" semantics.
+ */
+Tensor pad2d(const Tensor &t, int64_t ph_b, int64_t ph_e, int64_t pw_b,
+             int64_t pw_e);
+
+/** out += scale * a; shapes must match. */
+void axpy(float scale, const Tensor &a, Tensor &out);
+
+/** Elementwise a + b. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Max |a - b| over all elements; shapes must match. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** True iff shapes match and max |a-b| <= tol. */
+bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-5f);
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_TENSOR_OPS_H

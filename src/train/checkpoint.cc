@@ -1,0 +1,94 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'N', 'N', '0', '0', '0', '1'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+saveParams(const ParamStore &params, const Graph &graph,
+           const std::string &path)
+{
+    SCNN_REQUIRE(params.compatibleWith(graph),
+                 "store/graph mismatch in saveParams");
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    SCNN_REQUIRE(f, "cannot open '" << path << "' for writing");
+
+    SCNN_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) ==
+                     sizeof(kMagic),
+                 "short write");
+    const uint64_t count = graph.params().size();
+    SCNN_REQUIRE(std::fwrite(&count, sizeof(count), 1, f.get()) == 1,
+                 "short write");
+    for (size_t p = 0; p < count; ++p) {
+        const Tensor &value =
+            params.value(static_cast<ParamId>(p));
+        const uint64_t numel = static_cast<uint64_t>(value.numel());
+        SCNN_REQUIRE(std::fwrite(&numel, sizeof(numel), 1, f.get()) ==
+                         1,
+                     "short write");
+        SCNN_REQUIRE(std::fwrite(value.data(), sizeof(float),
+                                 static_cast<size_t>(numel),
+                                 f.get()) == numel,
+                     "short write");
+    }
+}
+
+void
+loadParams(ParamStore &params, const Graph &graph,
+           const std::string &path)
+{
+    SCNN_REQUIRE(params.compatibleWith(graph),
+                 "store/graph mismatch in loadParams");
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    SCNN_REQUIRE(f, "cannot open '" << path << "' for reading");
+
+    char magic[8];
+    SCNN_REQUIRE(std::fread(magic, 1, sizeof(magic), f.get()) ==
+                         sizeof(magic) &&
+                     std::equal(magic, magic + 8, kMagic),
+                 "'" << path << "' is not a splitcnn checkpoint");
+    uint64_t count = 0;
+    SCNN_REQUIRE(std::fread(&count, sizeof(count), 1, f.get()) == 1,
+                 "truncated checkpoint");
+    SCNN_REQUIRE(count == graph.params().size(),
+                 "checkpoint has " << count << " params, graph has "
+                                   << graph.params().size());
+    for (size_t p = 0; p < count; ++p) {
+        Tensor &value = params.value(static_cast<ParamId>(p));
+        uint64_t numel = 0;
+        SCNN_REQUIRE(std::fread(&numel, sizeof(numel), 1, f.get()) == 1,
+                     "truncated checkpoint");
+        SCNN_REQUIRE(numel == static_cast<uint64_t>(value.numel()),
+                     "param " << p << " has " << numel
+                              << " elements, expected "
+                              << value.numel());
+        SCNN_REQUIRE(std::fread(value.data(), sizeof(float),
+                                static_cast<size_t>(numel),
+                                f.get()) == numel,
+                     "truncated checkpoint");
+    }
+}
+
+} // namespace scnn

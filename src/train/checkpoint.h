@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parameter checkpointing: save/load a ParamStore to a simple binary
+ * format. Because the Split-CNN transformation preserves the
+ * parameter table, a checkpoint trained on a split network loads
+ * directly into the unsplit one (and vice versa) — the deployment
+ * path Section 3.3 motivates for Stochastic Split-CNN.
+ */
+#ifndef SCNN_TRAIN_CHECKPOINT_H
+#define SCNN_TRAIN_CHECKPOINT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "train/executor.h"
+
+namespace scnn {
+
+/**
+ * Write parameter values to @p path.
+ *
+ * Format: magic "SCNN0001", u64 param count, then per parameter a
+ * u64 element count followed by that many little-endian floats.
+ * Gradients and optimizer state are not saved.
+ */
+void saveParams(const ParamStore &params, const Graph &graph,
+                const std::string &path);
+
+/**
+ * Load parameter values from @p path into @p params. Fails if the
+ * file's parameter table does not match the store's.
+ */
+void loadParams(ParamStore &params, const Graph &graph,
+                const std::string &path);
+
+} // namespace scnn
+
+#endif // SCNN_TRAIN_CHECKPOINT_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SGD with momentum and weight decay, plus the step learning-rate
+ * schedule used throughout the paper's Section 5 experiments.
+ */
+#ifndef SCNN_TRAIN_SGD_H
+#define SCNN_TRAIN_SGD_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "train/executor.h"
+
+namespace scnn {
+
+/** Optimizer hyper-parameters (paper: momentum 0.9, wd 1e-4). */
+struct SgdConfig
+{
+    float lr = 0.1f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+};
+
+/**
+ * SGD with classical momentum: v = mu*v + (g + wd*w); w -= lr*v.
+ * Buffers (batchnorm running stats) are skipped.
+ */
+class Sgd
+{
+  public:
+    Sgd(const Graph &graph, SgdConfig config);
+
+    /** Apply one update from the store's accumulated gradients. */
+    void step(ParamStore &params);
+
+    void setLr(float lr) { config_.lr = lr; }
+    float lr() const { return config_.lr; }
+
+  private:
+    SgdConfig config_;
+    std::vector<bool> trainable_;
+    std::vector<Tensor> velocity_;
+};
+
+/**
+ * Step decay schedule: lr(epoch) = base * decay^(#milestones passed).
+ * Paper: decay 0.1 at epochs {150, 250} on CIFAR, every 30 on
+ * ImageNet.
+ */
+class StepLrSchedule
+{
+  public:
+    StepLrSchedule(float base_lr, std::vector<int> milestones,
+                   float decay = 0.1f);
+
+    float lrAt(int epoch) const;
+
+  private:
+    float base_lr_;
+    std::vector<int> milestones_;
+    float decay_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_TRAIN_SGD_H

@@ -1,0 +1,158 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "kernels/activations.h"
+#include "util/logging.h"
+
+namespace scnn {
+
+float
+evaluateTestError(const Graph &graph, ParamStore &params,
+                  const SyntheticDataset &data, int64_t batch)
+{
+    Executor ex(graph, params);
+    int correct = 0, total = 0;
+    for (int start = 0; start + batch <= data.testSize();
+         start += static_cast<int>(batch)) {
+        std::vector<int64_t> labels;
+        Tensor x = data.testBatch(start, static_cast<int>(batch),
+                                  labels);
+        Tensor logits = ex.forward(x, /*training=*/false, nullptr);
+        const int64_t k = logits.shape().dim(1);
+        for (int64_t i = 0; i < batch; ++i) {
+            int64_t best = 0;
+            for (int64_t j = 1; j < k; ++j)
+                if (logits.at(i * k + j) > logits.at(i * k + best))
+                    best = j;
+            correct += (best == labels[static_cast<size_t>(i)]);
+            ++total;
+        }
+    }
+    SCNN_CHECK(total > 0, "empty test evaluation");
+    return 100.0f * (1.0f - static_cast<float>(correct) / total);
+}
+
+TrainResult
+trainModel(const Graph &base, const TrainConfig &config,
+           const SyntheticDataset &data)
+{
+    SCNN_REQUIRE(base.tensor(base.inputTensor()).shape.dim(0) ==
+                     config.batch,
+                 "model batch dimension must equal config.batch");
+
+    Rng rng(config.seed);
+    ParamStore params(base, rng);
+    Sgd sgd(base, config.sgd);
+    StepLrSchedule schedule(config.sgd.lr, config.lr_milestones,
+                            config.lr_decay);
+
+    TrainResult result;
+
+    // Fixed split graph (SCNN) is built once; stochastic graphs are
+    // rebuilt per minibatch below.
+    std::unique_ptr<Graph> fixed_split;
+    if (config.mode == TrainMode::SplitCnn) {
+        fixed_split = std::make_unique<Graph>(splitCnnTransform(
+            base, config.split, nullptr, &result.split_report));
+    } else if (config.mode == TrainMode::StochasticSplit) {
+        // Report from a representative draw.
+        Rng probe = rng.fork();
+        SplitOptions opt = config.split;
+        opt.stochastic = true;
+        (void)splitCnnTransform(base, opt, &probe,
+                                &result.split_report);
+    }
+
+    Rng data_rng = rng.fork();
+    Rng split_rng = rng.fork();
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        sgd.setLr(schedule.lrAt(epoch));
+        const auto order = data.shuffledEpoch(data_rng);
+        double loss_sum = 0.0;
+        int steps = 0;
+
+        for (size_t cursor = 0;
+             cursor + static_cast<size_t>(config.batch) <= order.size();
+             cursor += static_cast<size_t>(config.batch)) {
+            const std::vector<int> indices(
+                order.begin() + static_cast<long>(cursor),
+                order.begin() + static_cast<long>(cursor) +
+                    config.batch);
+            std::vector<int64_t> labels;
+            Tensor x = data.trainBatch(indices, labels);
+
+            const Graph *graph = &base;
+            std::unique_ptr<Graph> stochastic;
+            if (config.mode == TrainMode::SplitCnn) {
+                graph = fixed_split.get();
+            } else if (config.mode == TrainMode::StochasticSplit) {
+                SplitOptions opt = config.split;
+                opt.stochastic = true;
+                stochastic = std::make_unique<Graph>(
+                    splitCnnTransform(base, opt, &split_rng));
+                graph = stochastic.get();
+            }
+
+            Executor ex(*graph, params);
+            ForwardCache cache;
+            Tensor logits = ex.forward(x, /*training=*/true, &cache);
+            Tensor probs;
+            const float loss =
+                softmaxXentForward(logits, labels, probs);
+            params.zeroGrad();
+            ex.backward(cache, softmaxXentBackward(probs, labels));
+            sgd.step(params);
+
+            loss_sum += loss;
+            ++steps;
+        }
+
+        // SSCNN is evaluated with the unsplit network (Section 3.3);
+        // SCNN with its split network; baseline with itself.
+        const Graph &eval_graph =
+            (config.mode == TrainMode::SplitCnn) ? *fixed_split : base;
+        EpochStats stats;
+        stats.epoch = epoch;
+        stats.train_loss =
+            steps ? static_cast<float>(loss_sum / steps) : 0.0f;
+        if (config.mode == TrainMode::StochasticSplit &&
+            config.recalibrate_bn) {
+            // Recalibrate BN running stats for the unsplit network
+            // on a copy, so evaluation never perturbs training state.
+            ParamStore eval_params = params;
+            Executor ex(base, eval_params);
+            Rng recal_rng(config.seed ^ 0xba7c4);
+            const auto order = data.shuffledEpoch(recal_rng);
+            for (size_t cursor = 0;
+                 cursor + static_cast<size_t>(config.batch) <=
+                     order.size();
+                 cursor += static_cast<size_t>(config.batch)) {
+                const std::vector<int> indices(
+                    order.begin() + static_cast<long>(cursor),
+                    order.begin() + static_cast<long>(cursor) +
+                        config.batch);
+                std::vector<int64_t> labels;
+                Tensor x = data.trainBatch(indices, labels);
+                ex.forward(x, /*training=*/true, nullptr);
+            }
+            stats.test_error = evaluateTestError(base, eval_params,
+                                                 data, config.batch);
+        } else {
+            stats.test_error = evaluateTestError(eval_graph, params,
+                                                 data, config.batch);
+        }
+        result.epochs.push_back(stats);
+        result.final_test_error = stats.test_error;
+        result.best_test_error =
+            std::min(result.best_test_error, stats.test_error);
+        SCNN_LOG_DEBUG << "epoch " << epoch << " loss "
+                       << stats.train_loss << " err% "
+                       << stats.test_error;
+    }
+    return result;
+}
+
+} // namespace scnn

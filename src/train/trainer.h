@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Training loop reproducing the paper's Section 5 protocol: SGD with
+ * momentum and step LR decay, in one of three modes — Baseline
+ * (unsplit), Split-CNN (fixed even split), or Stochastic Split-CNN
+ * (a fresh random split every minibatch, evaluated on the unsplit
+ * network).
+ */
+#ifndef SCNN_TRAIN_TRAINER_H
+#define SCNN_TRAIN_TRAINER_H
+
+#include <vector>
+
+#include "core/splitter.h"
+#include "data/synthetic.h"
+#include "graph/graph.h"
+#include "train/sgd.h"
+
+namespace scnn {
+
+/** Which network variant is trained (Table 1 rows). */
+enum class TrainMode
+{
+    Baseline,       ///< regular CNN
+    SplitCnn,       ///< SCNN: fixed even split
+    StochasticSplit ///< SSCNN: resplit every minibatch, eval unsplit
+};
+
+/** Training configuration. */
+struct TrainConfig
+{
+    TrainMode mode = TrainMode::Baseline;
+    SplitOptions split;        ///< used by the split modes
+    int epochs = 10;
+    int64_t batch = 32;
+    SgdConfig sgd;
+    std::vector<int> lr_milestones; ///< step-decay epochs
+    float lr_decay = 0.1f;
+    uint64_t seed = 7;
+    /**
+     * For StochasticSplit: recalibrate BatchNorm running statistics
+     * on the *unsplit* network (statistics-only forward passes over
+     * the training set, on a copy of the parameters) before each
+     * evaluation. Training with per-patch batch statistics biases
+     * the running stats away from the global statistics the unsplit
+     * evaluation network needs; recalibration is the standard remedy
+     * when the normalization regime changes between train and test.
+     */
+    bool recalibrate_bn = true;
+};
+
+/** Per-epoch statistics. */
+struct EpochStats
+{
+    int epoch = 0;
+    float train_loss = 0.0f;
+    float test_error = 0.0f; ///< percent, on the evaluation network
+};
+
+/** Final summary of one training run. */
+struct TrainResult
+{
+    std::vector<EpochStats> epochs;
+    float final_test_error = 100.0f;
+    float best_test_error = 100.0f;
+    SplitReport split_report;
+};
+
+/**
+ * Train @p base (an *unsplit* model whose batch dimension matches
+ * config.batch) on @p data and return per-epoch statistics.
+ *
+ * SCNN trains and evaluates the transformed graph; SSCNN trains a
+ * freshly sampled split graph every minibatch and evaluates the
+ * unsplit graph (shared ParamStore makes this sound).
+ */
+TrainResult trainModel(const Graph &base, const TrainConfig &config,
+                       const SyntheticDataset &data);
+
+/** Classification error (%) of @p graph on the dataset's test split. */
+float evaluateTestError(const Graph &graph, ParamStore &params,
+                        const SyntheticDataset &data, int64_t batch);
+
+} // namespace scnn
+
+#endif // SCNN_TRAIN_TRAINER_H

@@ -1,0 +1,74 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+Args::Args(int argc, const char *const *argv)
+{
+    args_.reserve(static_cast<size_t>(argc));
+    for (int i = 0; i < argc; ++i)
+        args_.emplace_back(argv[i]);
+}
+
+std::string
+Args::positional(size_t index, const std::string &fallback) const
+{
+    size_t seen = 0;
+    for (const auto &a : args_) {
+        if (a.rfind("--", 0) == 0)
+            break; // flags terminate the positional section
+        if (seen++ == index)
+            return a;
+    }
+    return fallback;
+}
+
+std::string
+Args::flag(const std::string &name, const std::string &fallback) const
+{
+    for (size_t i = 0; i < args_.size(); ++i)
+        if (args_[i] == "--" + name && i + 1 < args_.size())
+            return args_[i + 1];
+    return fallback;
+}
+
+long
+Args::flagInt(const std::string &name, long fallback) const
+{
+    const std::string v = flag(name, "");
+    return v.empty() ? fallback : std::atol(v.c_str());
+}
+
+double
+Args::flagDouble(const std::string &name, double fallback) const
+{
+    const std::string v = flag(name, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+bool
+Args::has(const std::string &name) const
+{
+    for (const auto &a : args_)
+        if (a == "--" + name)
+            return true;
+    return false;
+}
+
+std::pair<int, int>
+parseGrid(const std::string &grid)
+{
+    const auto x = grid.find('x');
+    SCNN_REQUIRE(x != std::string::npos && x > 0 &&
+                     x + 1 < grid.size(),
+                 "grid must look like 2x2, got '" << grid << "'");
+    const int h = std::atoi(grid.substr(0, x).c_str());
+    const int w = std::atoi(grid.substr(x + 1).c_str());
+    SCNN_REQUIRE(h >= 1 && w >= 1, "grid extents must be >= 1");
+    return {h, w};
+}
+
+} // namespace scnn

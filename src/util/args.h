@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal command-line argument parser shared by the CLI tool and
+ * the benchmark harnesses: positional arguments followed by
+ * `--name value` flags (and bare `--name` switches).
+ */
+#ifndef SCNN_UTIL_ARGS_H
+#define SCNN_UTIL_ARGS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scnn {
+
+/** Parsed argument list with positional/flag accessors. */
+class Args
+{
+  public:
+    Args(int argc, const char *const *argv);
+
+    /** @p index-th positional argument, or @p fallback. */
+    std::string positional(size_t index,
+                           const std::string &fallback = "") const;
+
+    /** Value following `--name`, or @p fallback. */
+    std::string flag(const std::string &name,
+                     const std::string &fallback) const;
+
+    /** Integer-valued flag. */
+    long flagInt(const std::string &name, long fallback) const;
+
+    /** Double-valued flag. */
+    double flagDouble(const std::string &name, double fallback) const;
+
+    /** True if `--name` appears at all (switch). */
+    bool has(const std::string &name) const;
+
+  private:
+    std::vector<std::string> args_;
+};
+
+/** Parse "HxW" into a (h, w) pair; fatal on malformed input. */
+std::pair<int, int> parseGrid(const std::string &grid);
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_ARGS_H

@@ -1,0 +1,66 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace scnn {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throwing instead of abort() lets tests assert on panics; the
+    // default terminate handler still kills the process when uncaught.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace detail
+
+} // namespace scnn

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the splitcnn library.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs), fatal() is for user errors (bad
+ * configuration), warn()/inform() are advisory.
+ */
+#ifndef SCNN_UTIL_LOGGING_H
+#define SCNN_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace scnn {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Set the minimum severity that is actually printed.
+ * Defaults to Info. Thread-unsafe by design (set once at startup).
+ */
+void setLogLevel(LogLevel level);
+
+/** Current minimum severity. */
+LogLevel logLevel();
+
+/** Emit one log line to stderr if @p level passes the filter. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Builds a message with ostream syntax and emits it on destruction. */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level) : level_(level) {}
+
+    ~LogStream() { logMessage(level_, out_.str()); }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        out_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream out_;
+};
+
+/** Print the message and abort(); used for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print the message and exit(1); used for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+} // namespace scnn
+
+#define SCNN_LOG_DEBUG ::scnn::detail::LogStream(::scnn::LogLevel::Debug)
+#define SCNN_LOG_INFO ::scnn::detail::LogStream(::scnn::LogLevel::Info)
+#define SCNN_LOG_WARN ::scnn::detail::LogStream(::scnn::LogLevel::Warn)
+#define SCNN_LOG_ERROR ::scnn::detail::LogStream(::scnn::LogLevel::Error)
+
+/** Abort with a message: something that must never happen happened. */
+#define SCNN_PANIC(msg)                                                    \
+    do {                                                                   \
+        std::ostringstream scnn_panic_os_;                                 \
+        scnn_panic_os_ << msg;                                             \
+        ::scnn::detail::panicImpl(__FILE__, __LINE__,                      \
+                                  scnn_panic_os_.str());                   \
+    } while (0)
+
+/** Exit with a message: the caller asked for something unsatisfiable. */
+#define SCNN_FATAL(msg)                                                    \
+    do {                                                                   \
+        std::ostringstream scnn_fatal_os_;                                 \
+        scnn_fatal_os_ << msg;                                             \
+        ::scnn::detail::fatalImpl(__FILE__, __LINE__,                      \
+                                  scnn_fatal_os_.str());                   \
+    } while (0)
+
+/** Internal invariant check; compiled in all build types. */
+#define SCNN_CHECK(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            SCNN_PANIC("check failed: " #cond ": " << msg);                \
+        }                                                                  \
+    } while (0)
+
+/** User-input validation check. */
+#define SCNN_REQUIRE(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            SCNN_FATAL("requirement failed: " #cond ": " << msg);          \
+        }                                                                  \
+    } while (0)
+
+#endif // SCNN_UTIL_LOGGING_H

@@ -1,0 +1,109 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    SCNN_CHECK(lo <= hi, "uniformInt range [" << lo << ", " << hi << "]");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % span);
+}
+
+float
+Rng::uniform()
+{
+    // 24 high bits -> [0, 1) float with full mantissa coverage.
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+float
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    float u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-12f);
+    u2 = uniform();
+    const float mag = std::sqrt(-2.0f * std::log(u1));
+    const float two_pi = 6.28318530717958647692f;
+    spare_ = mag * std::sin(two_pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+} // namespace scnn

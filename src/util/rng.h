@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the library (weight init, data synthesis,
+ * stochastic splitting) flows through Rng so experiments are exactly
+ * reproducible from a seed.
+ */
+#ifndef SCNN_UTIL_RNG_H
+#define SCNN_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace scnn {
+
+/**
+ * A small, fast, seedable generator (xoshiro256**).
+ *
+ * Not cryptographic. Copyable; copies continue independent streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    float uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Standard normal via Box-Muller. */
+    float normal();
+
+    /** Normal with the given mean and standard deviation. */
+    float normal(float mean, float stddev);
+
+    /** Fork a child generator with a decorrelated state. */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    float spare_ = 0.0f;
+};
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_RNG_H

@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SCNN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SCNN_REQUIRE(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatFloat(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+    return buf;
+}
+
+} // namespace scnn

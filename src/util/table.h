@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small ASCII table / CSV emitter used by the benchmark harnesses to
+ * print paper-figure rows in a uniform format.
+ */
+#ifndef SCNN_UTIL_TABLE_H
+#define SCNN_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/**
+ * Column-aligned table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"layer", "bytes", "time"});
+ *   t.addRow({"conv1", "12.3", "0.004"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into a std::string. */
+std::string formatFloat(double value, int precision = 3);
+
+/** Human-readable byte count, e.g. "1.50 GB". */
+std::string formatBytes(double bytes);
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_TABLE_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the shared command-line argument parser.
+ */
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace scnn {
+namespace {
+
+Args
+make(std::initializer_list<const char *> argv)
+{
+    static std::vector<const char *> storage;
+    storage.assign(argv);
+    return Args(static_cast<int>(storage.size()), storage.data());
+}
+
+TEST(Args, PositionalsPrecedeFlags)
+{
+    Args args = make({"vgg19", "extra", "--batch", "64"});
+    EXPECT_EQ(args.positional(0), "vgg19");
+    EXPECT_EQ(args.positional(1), "extra");
+    EXPECT_EQ(args.positional(2, "dflt"), "dflt");
+}
+
+TEST(Args, FlagsParse)
+{
+    Args args = make({"model", "--batch", "64", "--width", "0.5",
+                      "--naive"});
+    EXPECT_EQ(args.flagInt("batch", 1), 64);
+    EXPECT_DOUBLE_EQ(args.flagDouble("width", 1.0), 0.5);
+    EXPECT_TRUE(args.has("naive"));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.flagInt("missing", 7), 7);
+    EXPECT_EQ(args.flag("missing", "x"), "x");
+}
+
+TEST(Args, FlagTerminatesPositionalSection)
+{
+    Args args = make({"--flag", "v", "late"});
+    EXPECT_EQ(args.positional(0, "none"), "none");
+}
+
+TEST(ParseGrid, AcceptsWellFormed)
+{
+    EXPECT_EQ(parseGrid("2x2"), (std::pair<int, int>{2, 2}));
+    EXPECT_EQ(parseGrid("3x1"), (std::pair<int, int>{3, 1}));
+    EXPECT_EQ(parseGrid("10x4"), (std::pair<int, int>{10, 4}));
+}
+
+TEST(ParseGrid, RejectsMalformed)
+{
+    EXPECT_THROW(parseGrid("22"), std::exception);
+    EXPECT_THROW(parseGrid("x2"), std::exception);
+    EXPECT_THROW(parseGrid("2x"), std::exception);
+    EXPECT_THROW(parseGrid("0x2"), std::exception);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for checkpointing and the plan report: round trips, cross
+ * split/unsplit loading (the SSCNN deployment path), error handling.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/splitter.h"
+#include "hmms/plan_report.h"
+#include "hmms/planner.h"
+#include "models/models.h"
+#include "sim/device.h"
+#include "tensor/tensor_ops.h"
+#include "train/checkpoint.h"
+
+namespace scnn {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Checkpoint, RoundTripPreservesValues)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(1);
+    ParamStore a(g, rng);
+    const std::string path = tempPath("ckpt_roundtrip.bin");
+    saveParams(a, g, path);
+
+    Rng rng2(999); // different init
+    ParamStore b(g, rng2);
+    loadParams(b, g, path);
+    for (ParamId p = 0; p < static_cast<ParamId>(a.size()); ++p)
+        EXPECT_TRUE(allClose(a.value(p), b.value(p), 0.0f))
+            << "param " << p;
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SplitTrainedWeightsLoadIntoUnsplitGraph)
+{
+    // The Section 3.3 deployment path: a checkpoint written against
+    // the split graph loads into the unsplit one.
+    Graph base = buildResNet18({.batch = 1, .image = 32, .width = 0.125});
+    Graph split = splitCnnTransform(
+        base, {.depth = 0.5, .splits_h = 2, .splits_w = 2});
+    Rng rng(2);
+    ParamStore trained(split, rng);
+    const std::string path = tempPath("ckpt_split.bin");
+    saveParams(trained, split, path);
+
+    Rng rng2(3);
+    ParamStore deployed(base, rng2);
+    loadParams(deployed, base, path);
+    for (ParamId p = 0; p < static_cast<ParamId>(trained.size()); ++p)
+        EXPECT_TRUE(
+            allClose(trained.value(p), deployed.value(p), 0.0f));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongGraph)
+{
+    Graph a = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Graph b = buildResNet18({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(4);
+    ParamStore pa(a, rng);
+    const std::string path = tempPath("ckpt_wrong.bin");
+    saveParams(pa, a, path);
+    Rng rng2(5);
+    ParamStore pb(b, rng2);
+    EXPECT_THROW(loadParams(pb, b, path), std::exception);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFile)
+{
+    const std::string path = tempPath("ckpt_garbage.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(6);
+    ParamStore params(g, rng);
+    EXPECT_THROW(loadParams(params, g, path), std::exception);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFile)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(7);
+    ParamStore params(g, rng);
+    EXPECT_THROW(loadParams(params, g, "/nonexistent/nope.bin"),
+                 std::exception);
+}
+
+TEST(PlanReport, StatsAndTableAreConsistent)
+{
+    Graph g = buildVgg19({.batch = 8, .image = 64, .width = 0.5});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    const PlanStats stats = planStats(plan);
+    EXPECT_EQ(stats.offloaded_count,
+              static_cast<int>(plan.offloaded.size()));
+    EXPECT_EQ(stats.offloaded_bytes, plan.offloaded_bytes);
+    EXPECT_GE(stats.mean_offload_span, 0.0);
+    EXPECT_GE(stats.max_prefetch_span, 0);
+
+    const std::string report = describePlan(g, plan, assignment);
+    EXPECT_NE(report.find("offloaded"), std::string::npos);
+    // Every offloaded TSO appears in the table.
+    for (TsoId tso : plan.offloaded)
+        EXPECT_NE(report.find(assignment.tso(tso).name),
+                  std::string::npos);
+}
+
+TEST(PlanReport, HmmsSpansExceedLayerWiseSpans)
+{
+    // The core behavioural difference: HMMS spreads offloads across
+    // layers, layer-wise syncs in the same step.
+    Graph g = buildVgg19({.batch = 16, .image = 64, .width = 1.0});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto lw = planStats(planMemory(
+        g, spec, {PlannerKind::LayerWise, 1.0, {}}, assignment));
+    auto hm = planStats(planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                                   assignment));
+    EXPECT_EQ(lw.max_offload_span, 0);
+    EXPECT_GT(hm.max_offload_span, 0);
+}
+
+} // namespace
+} // namespace scnn

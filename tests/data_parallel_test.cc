@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Data-parallel step simulation tests: pipelining hides
+ * communication exactly when backward dominates, degenerates to the
+ * sequential sum otherwise, and the paper's max(T_b, T_comm) model
+ * emerges as the many-bucket limit.
+ */
+#include "dist/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/allreduce_model.h"
+
+namespace scnn {
+namespace {
+
+DataParallelConfig
+vggLike()
+{
+    DataParallelConfig cfg;
+    cfg.learners = 4;
+    cfg.t_forward = 0.18;
+    cfg.t_backward = 0.36;
+    cfg.gradient_bytes = 575'000'000;
+    cfg.link_bandwidth_bits = 10.0e9;
+    cfg.alpha = 0.8;
+    return cfg;
+}
+
+TEST(DataParallel, SingleLearnerHasNoCommunication)
+{
+    DataParallelConfig cfg = vggLike();
+    cfg.learners = 1;
+    const auto r = simulateDataParallelStep(cfg);
+    EXPECT_DOUBLE_EQ(r.step_time, cfg.t_forward + cfg.t_backward);
+    EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+    EXPECT_EQ(r.comm_time, 0.0);
+}
+
+TEST(DataParallel, PipeliningBeatsSequential)
+{
+    DataParallelConfig cfg = vggLike();
+    cfg.pipelined = false;
+    const auto seq = simulateDataParallelStep(cfg);
+    cfg.pipelined = true;
+    const auto pipe = simulateDataParallelStep(cfg);
+    EXPECT_LT(pipe.step_time, seq.step_time);
+    EXPECT_LT(pipe.exposed_comm, seq.exposed_comm);
+    // Same total bytes moved either way.
+    EXPECT_NEAR(pipe.comm_time, seq.comm_time, seq.comm_time * 0.01);
+}
+
+TEST(DataParallel, CommFreeWhenBackwardDominates)
+{
+    DataParallelConfig cfg = vggLike();
+    cfg.gradient_bytes = 1'000'000; // tiny gradients
+    const auto r = simulateDataParallelStep(cfg);
+    EXPECT_NEAR(r.step_time, cfg.t_forward + cfg.t_backward, 1e-3);
+    EXPECT_GT(r.efficiency, 0.99);
+}
+
+TEST(DataParallel, ManyBucketsApproachPaperMaxModel)
+{
+    // The paper's T = T_f + max(T_b, comm): with many buckets and
+    // comm >> T_b, the step time approaches T_f + comm (ring flavor).
+    DataParallelConfig cfg = vggLike();
+    cfg.link_bandwidth_bits = 1.0e9; // starved: comm dominates
+    cfg.buckets = 256;
+    const auto r = simulateDataParallelStep(cfg);
+    RingConfig ring;
+    ring.learners = cfg.learners;
+    ring.gradient_bytes = cfg.gradient_bytes;
+    ring.link_bandwidth_bits = {cfg.link_bandwidth_bits};
+    ring.alpha = cfg.alpha;
+    ring.step_latency = 0.0;
+    const double comm = simulateRingAllreduce(ring).total_time;
+    // First bucket can only start once some backward ran; bound the
+    // difference by one bucket of backward time.
+    EXPECT_NEAR(r.step_time, cfg.t_forward + comm,
+                cfg.t_backward / 128);
+}
+
+TEST(DataParallel, EpochTimeScalesWithLearners)
+{
+    DataParallelConfig cfg = vggLike();
+    cfg.gradient_bytes = 0; // ideal scaling
+    const double t4 = dataParallelEpochTime(cfg, 1'281'167, 64);
+    cfg.learners = 8;
+    const double t8 = dataParallelEpochTime(cfg, 1'281'167, 64);
+    EXPECT_NEAR(t4 / t8, 2.0, 1e-6);
+}
+
+TEST(DataParallel, LargerLocalBatchCutsExposedCommPerEpoch)
+{
+    // The Split-CNN story: 6x local batch -> 6x fewer allreduces.
+    DataParallelConfig cfg = vggLike();
+    cfg.link_bandwidth_bits = 2.0e9;
+    const double small = dataParallelEpochTime(cfg, 1'281'167, 64);
+    // 6x batch: compute per step scales 6x, comm stays constant.
+    cfg.t_forward *= 6;
+    cfg.t_backward *= 6;
+    const double large = dataParallelEpochTime(cfg, 1'281'167, 384);
+    EXPECT_LT(large, small);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for the Graphviz DOT exporter.
+ */
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/splitter.h"
+#include "models/models.h"
+
+namespace scnn {
+namespace {
+
+TEST(Dot, ContainsAllNodesAndEdges)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    const std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph splitcnn"), std::string::npos);
+    for (const auto &n : g.nodes())
+        EXPECT_NE(dot.find("n" + std::to_string(n.id) + " [label"),
+                  std::string::npos)
+            << n.name;
+    // Edge count: one per node input.
+    size_t edges = 0, pos = 0;
+    while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+        ++edges;
+        pos += 4;
+    }
+    size_t expect = 0;
+    for (const auto &n : g.nodes())
+        expect += n.inputs.size();
+    EXPECT_EQ(edges, expect);
+}
+
+TEST(Dot, HighlightsSplitJoinStructure)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Graph split = splitCnnTransform(
+        g, {.depth = 0.5, .splits_h = 2, .splits_w = 2});
+    const std::string dot = toDot(split);
+    EXPECT_NE(dot.find("lightgoldenrod"), std::string::npos);
+    EXPECT_NE(dot.find("Slice"), std::string::npos);
+    EXPECT_NE(dot.find("Concat"), std::string::npos);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * End-to-end executor tests: full-graph numeric gradient checks
+ * through conv/BN/pool/residual/linear stacks, BN train/eval modes,
+ * and gradient flow through Slice/Concat (the split join).
+ */
+#include "train/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/splitter.h"
+#include "kernels/activations.h"
+#include "models/models.h"
+#include "tensor/tensor_ops.h"
+
+namespace scnn {
+namespace {
+
+float
+lossOf(Executor &ex, const Tensor &input,
+       const std::vector<int64_t> &labels, bool training)
+{
+    Tensor logits = ex.forward(input, training, nullptr);
+    Tensor probs;
+    return softmaxXentForward(logits, labels, probs);
+}
+
+TEST(Executor, EndToEndGradientCheckSmallCnn)
+{
+    GraphBuilder b;
+    TensorId x = b.input(Shape{2, 2, 6, 6});
+    x = b.conv2d(x, 3, Window2d::square(3, 1, 1), true, "conv1");
+    x = b.relu(x, "relu1");
+    x = b.maxPool(x, Window2d::square(2, 2, 0), "pool1");
+    b.markCutPoint(x);
+    x = b.flatten(x);
+    x = b.linear(x, 4, true, "fc");
+    Graph g = b.build();
+
+    Rng rng(1);
+    ParamStore params(g, rng);
+    Executor ex(g, params);
+
+    Tensor input(Shape{2, 2, 6, 6});
+    Rng drng(2);
+    input.fillNormal(drng, 0.0f, 1.0f);
+    const std::vector<int64_t> labels = {1, 3};
+
+    // Analytic gradients.
+    ForwardCache cache;
+    Tensor logits = ex.forward(input, true, &cache);
+    Tensor probs;
+    softmaxXentForward(logits, labels, probs);
+    params.zeroGrad();
+    ex.backward(cache, softmaxXentBackward(probs, labels));
+
+    // Numeric check over every parameter tensor. ReLU and max-pool
+    // kinks make finite differences noisy when a perturbation flips
+    // an activation or argmax, so use a combined abs/rel tolerance.
+    const float eps = 3e-3f;
+    for (ParamId p = 0; p < static_cast<ParamId>(params.size()); ++p) {
+        Tensor &value = params.value(p);
+        const Tensor &analytic = params.grad(p);
+        for (int64_t i = 0; i < value.numel(); i += 7) { // subsample
+            const float orig = value.at(i);
+            value.at(i) = orig + eps;
+            const float hi = lossOf(ex, input, labels, true);
+            value.at(i) = orig - eps;
+            const float lo = lossOf(ex, input, labels, true);
+            value.at(i) = orig;
+            const float numeric = (hi - lo) / (2.0f * eps);
+            const float tol =
+                1e-2f + 0.05f * std::fabs(numeric);
+            EXPECT_NEAR(analytic.at(i), numeric, tol)
+                << "param " << p << " element " << i;
+        }
+    }
+}
+
+TEST(Executor, GradientCheckThroughResidualAndBn)
+{
+    GraphBuilder b;
+    TensorId x = b.input(Shape{2, 3, 4, 4});
+    TensorId identity =
+        b.conv2d(x, 4, Window2d::square(1, 1, 0), false, "proj");
+    TensorId y = b.conv2d(x, 4, Window2d::square(3, 1, 1), false,
+                          "conv1");
+    y = b.batchNorm(y, "bn1");
+    y = b.relu(y, "relu1");
+    x = b.add({y, identity}, "res");
+    x = b.globalAvgPool(x, "gap");
+    x = b.flatten(x);
+    x = b.linear(x, 3, true, "fc");
+    Graph g = b.build();
+
+    Rng rng(3);
+    ParamStore params(g, rng);
+    Executor ex(g, params);
+    Tensor input(Shape{2, 3, 4, 4});
+    Rng drng(4);
+    input.fillNormal(drng, 0.0f, 1.0f);
+    const std::vector<int64_t> labels = {0, 2};
+
+    ForwardCache cache;
+    Tensor logits = ex.forward(input, true, &cache);
+    Tensor probs;
+    softmaxXentForward(logits, labels, probs);
+    params.zeroGrad();
+    ex.backward(cache, softmaxXentBackward(probs, labels));
+
+    // BN running-stat updates during the numeric probes do not affect
+    // the loss value (batch statistics are used in training mode), so
+    // central differences remain valid.
+    const float eps = 1e-2f;
+    for (ParamId p = 0; p < static_cast<ParamId>(params.size()); ++p) {
+        Tensor &value = params.value(p);
+        const Tensor &analytic = params.grad(p);
+        for (int64_t i = 0; i < value.numel(); i += 5) {
+            const float orig = value.at(i);
+            value.at(i) = orig + eps;
+            const float hi = lossOf(ex, input, labels, true);
+            value.at(i) = orig - eps;
+            const float lo = lossOf(ex, input, labels, true);
+            value.at(i) = orig;
+            EXPECT_NEAR(analytic.at(i), (hi - lo) / (2.0f * eps), 1e-2f)
+                << "param " << p << " element " << i;
+        }
+    }
+}
+
+TEST(Executor, GradientFlowsThroughSliceConcat)
+{
+    // Gradients through the split join must match the unsplit model
+    // for a lossless (k == s) region.
+    GraphBuilder b;
+    TensorId x = b.input(Shape{1, 2, 8, 8});
+    x = b.conv2d(x, 3, Window2d::square(2, 2, 0), true, "conv1");
+    b.markCutPoint(x);
+    x = b.flatten(x);
+    x = b.linear(x, 2, true, "fc");
+    Graph g = b.build();
+    Graph split = splitCnnTransform(
+        g, {.depth = 1.0, .splits_h = 2, .splits_w = 2});
+
+    Rng rng(5);
+    ParamStore pa(g, rng);
+    Rng rng2(5);
+    ParamStore pb(split, rng2);
+
+    Tensor input(Shape{1, 2, 8, 8});
+    Rng drng(6);
+    input.fillNormal(drng, 0.0f, 1.0f);
+    const std::vector<int64_t> labels = {1};
+
+    auto run = [&](const Graph &graph, ParamStore &params) {
+        Executor ex(graph, params);
+        ForwardCache cache;
+        Tensor logits = ex.forward(input, true, &cache);
+        Tensor probs;
+        softmaxXentForward(logits, labels, probs);
+        params.zeroGrad();
+        ex.backward(cache, softmaxXentBackward(probs, labels));
+    };
+    run(g, pa);
+    run(split, pb);
+
+    for (ParamId p = 0; p < static_cast<ParamId>(pa.size()); ++p)
+        EXPECT_LT(maxAbsDiff(pa.grad(p), pb.grad(p)), 1e-4f)
+            << "param " << p;
+}
+
+TEST(Executor, BatchNormTrainEvalModesDiffer)
+{
+    GraphBuilder b;
+    TensorId x = b.input(Shape{4, 2, 3, 3});
+    x = b.batchNorm(x, "bn");
+    Graph g = b.build();
+
+    Rng rng(7);
+    ParamStore params(g, rng);
+    Executor ex(g, params);
+    Tensor input(Shape{4, 2, 3, 3});
+    Rng drng(8);
+    input.fillNormal(drng, 5.0f, 2.0f);
+
+    Tensor train_out = ex.forward(input, true, nullptr);
+    Tensor eval_out = ex.forward(input, false, nullptr);
+    // Fresh running stats (mean 0, var 1) differ from batch stats.
+    EXPECT_GT(maxAbsDiff(train_out, eval_out), 0.1f);
+
+    // After many training passes the running stats converge and the
+    // two modes agree.
+    for (int i = 0; i < 200; ++i)
+        ex.forward(input, true, nullptr);
+    Tensor eval_out2 = ex.forward(input, false, nullptr);
+    EXPECT_LT(maxAbsDiff(train_out, eval_out2), 0.05f);
+}
+
+TEST(Executor, RejectsWrongInputShape)
+{
+    Graph g = buildVgg19({.batch = 2, .image = 32, .width = 0.125});
+    Rng rng(9);
+    ParamStore params(g, rng);
+    Executor ex(g, params);
+    Tensor bad(Shape{1, 3, 32, 32});
+    EXPECT_THROW(ex.forward(bad, false, nullptr), std::exception);
+}
+
+TEST(Executor, RejectsIncompatibleParamStore)
+{
+    Graph a = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Graph b = buildResNet18({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(10);
+    ParamStore params(a, rng);
+    EXPECT_THROW(Executor(b, params), std::exception);
+}
+
+TEST(ParamStore, InitializersMatchSpec)
+{
+    Graph g = buildResNet18({.batch = 1, .image = 32, .width = 0.25});
+    Rng rng(11);
+    ParamStore params(g, rng);
+    for (size_t p = 0; p < g.params().size(); ++p) {
+        const auto &info = g.params()[p];
+        const Tensor &v = params.value(static_cast<ParamId>(p));
+        if (info.init == ParamInit::Zero) {
+            EXPECT_EQ(v.at(0), 0.0f) << info.name;
+        } else if (info.init == ParamInit::One) {
+            EXPECT_EQ(v.at(0), 1.0f) << info.name;
+        } else if (info.init == ParamInit::KaimingConv) {
+            // Std close to sqrt(2 / fan_in) for large tensors.
+            if (v.numel() < 1000)
+                continue;
+            double sq = 0.0;
+            for (int64_t i = 0; i < v.numel(); ++i)
+                sq += double(v.at(i)) * v.at(i);
+            const auto &d = info.shape.dims();
+            const double want = 2.0 / double(d[1] * d[2] * d[3]);
+            EXPECT_NEAR(sq / v.numel(), want, want * 0.2) << info.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * HMMS tests: TSO storage assignment (in-place ReLU, summation-error
+ * sharing), the first-fit allocator, offload/prefetch planners
+ * (Algorithm 1 invariants, layer-wise comparator), and static memory
+ * planning (lifetimes, pools, capacity checks).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/backward.h"
+#include "hmms/first_fit.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "hmms/tso.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "util/rng.h"
+
+namespace scnn {
+namespace {
+
+Graph
+convReluChain()
+{
+    GraphBuilder b;
+    TensorId x = b.input(Shape{4, 3, 16, 16});
+    x = b.conv2d(x, 8, Window2d::square(3, 1, 1), true, "conv1");
+    x = b.relu(x, "relu1");
+    x = b.conv2d(x, 8, Window2d::square(3, 1, 1), true, "conv2");
+    x = b.relu(x, "relu2");
+    x = b.maxPool(x, Window2d::square(2, 2, 0), "pool");
+    x = b.flatten(x);
+    x = b.linear(x, 10, true, "fc");
+    return b.build();
+}
+
+TEST(StorageAssignment, InPlaceReluSharesInputTso)
+{
+    Graph g = convReluChain();
+    auto assignment = assignStorage(g, g.topoOrder());
+    EXPECT_EQ(assignment.inplace_relu_count, 2);
+    for (const auto &n : g.nodes()) {
+        if (n.kind != OpKind::ReLU)
+            continue;
+        EXPECT_EQ(assignment.valueTso(n.inputs[0]),
+                  assignment.valueTso(n.output))
+            << n.name;
+    }
+}
+
+TEST(StorageAssignment, InPlaceReluDisabledKeepsSeparateTsos)
+{
+    Graph g = convReluChain();
+    auto assignment =
+        assignStorage(g, g.topoOrder(), {.inplace_relu = false});
+    EXPECT_EQ(assignment.inplace_relu_count, 0);
+    for (const auto &n : g.nodes()) {
+        if (n.kind != OpKind::ReLU)
+            continue;
+        EXPECT_NE(assignment.valueTso(n.inputs[0]),
+                  assignment.valueTso(n.output));
+    }
+}
+
+TEST(StorageAssignment, NoInPlaceWhenInputHasTwoConsumers)
+{
+    // Residual fork: the ReLU input also feeds the shortcut.
+    GraphBuilder b;
+    TensorId x = b.input(Shape{1, 4, 8, 8});
+    TensorId y = b.conv2d(x, 4, Window2d::square(3, 1, 1), true, "c1");
+    TensorId r = b.relu(y, "r1");
+    b.add({r, y}, "res"); // y consumed twice: conv output reused
+    Graph g = b.build();
+    auto assignment = assignStorage(g, g.topoOrder());
+    const Node *relu = nullptr;
+    for (const auto &n : g.nodes())
+        if (n.kind == OpKind::ReLU)
+            relu = &n;
+    ASSERT_NE(relu, nullptr);
+    EXPECT_NE(assignment.valueTso(relu->inputs[0]),
+              assignment.valueTso(relu->output));
+}
+
+TEST(StorageAssignment, SummationErrorSharing)
+{
+    GraphBuilder b;
+    TensorId x = b.input(Shape{1, 4, 8, 8});
+    TensorId a = b.conv2d(x, 4, Window2d::square(3, 1, 1), true, "a");
+    TensorId c = b.conv2d(x, 4, Window2d::square(3, 1, 1), true, "c");
+    TensorId s = b.add({a, c}, "sum");
+    b.globalAvgPool(s, "gap");
+    Graph g = b.build();
+    auto assignment = assignStorage(g, g.topoOrder());
+    EXPECT_EQ(assignment.sum_error_shares, 2);
+    // All three error terms occupy the same TSO (Section 4.2).
+    EXPECT_EQ(assignment.gradTso(a), assignment.gradTso(s));
+    EXPECT_EQ(assignment.gradTso(c), assignment.gradTso(s));
+
+    auto no_share = assignStorage(g, g.topoOrder(),
+                                  {.share_sum_error = false});
+    EXPECT_NE(no_share.gradTso(a), no_share.gradTso(s));
+}
+
+TEST(StorageAssignment, OptimizationsReduceTotalBytes)
+{
+    Graph g = buildResNet18({.batch = 2, .image = 32, .width = 0.25});
+    auto topo = g.topoOrder();
+    auto opt = assignStorage(g, topo);
+    auto plain = assignStorage(g, topo,
+                               {.inplace_relu = false,
+                                .share_sum_error = false,
+                                .share_flatten = false});
+    EXPECT_LT(opt.totalBytes(), plain.totalBytes());
+    EXPECT_GT(opt.inplace_relu_count, 0);
+    EXPECT_GT(opt.sum_error_shares, 0);
+}
+
+TEST(FirstFit, ReusesFreedSpace)
+{
+    FirstFitAllocator alloc;
+    const int64_t a = alloc.allocate(1000);
+    const int64_t b = alloc.allocate(1000);
+    EXPECT_NE(a, b);
+    alloc.free(a);
+    const int64_t c = alloc.allocate(512);
+    EXPECT_EQ(c, a); // first fit lands in the freed hole
+    EXPECT_LE(alloc.peak(), 2048 + 512);
+    alloc.free(b);
+    alloc.free(c);
+    EXPECT_EQ(alloc.liveBytes(), 0);
+}
+
+TEST(FirstFit, NeverOverlapsLiveBlocks)
+{
+    FirstFitAllocator alloc;
+    Rng rng(5);
+    std::vector<std::pair<int64_t, int64_t>> live; // addr, size
+    for (int i = 0; i < 300; ++i) {
+        if (!live.empty() && rng.uniform() < 0.4) {
+            const size_t k = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(live.size()) - 1));
+            alloc.free(live[k].first);
+            live.erase(live.begin() + static_cast<long>(k));
+        } else {
+            const int64_t size = rng.uniformInt(1, 4096);
+            const int64_t addr = alloc.allocate(size);
+            for (const auto &[a, s] : live)
+                EXPECT_TRUE(addr + size <= a || a + s <= addr)
+                    << "overlap at iteration " << i;
+            live.emplace_back(addr, size);
+        }
+    }
+}
+
+TEST(FirstFit, AlignmentRespected)
+{
+    FirstFitAllocator alloc;
+    alloc.allocate(100, 256);
+    const int64_t b = alloc.allocate(100, 256);
+    EXPECT_EQ(b % 256, 0);
+}
+
+TEST(FirstFit, RejectsDoubleFreeAndZeroAlloc)
+{
+    FirstFitAllocator alloc;
+    const int64_t a = alloc.allocate(10);
+    alloc.free(a);
+    EXPECT_THROW(alloc.free(a), std::exception);
+    EXPECT_THROW(alloc.allocate(0), std::exception);
+}
+
+class PlannerOnModels : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    Graph
+    model() const
+    {
+        return buildModel(GetParam(), {.batch = 4,
+                                       .image = 64,
+                                       .classes = 10,
+                                       .width = 0.25});
+    }
+};
+
+TEST_P(PlannerOnModels, HmmsPlanSatisfiesFourMomentOrdering)
+{
+    Graph g = model();
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    plan.validate(); // panics on any ordering violation
+    EXPECT_FALSE(plan.offloaded.empty());
+    EXPECT_LE(plan.offloaded_bytes, plan.candidate_bytes);
+}
+
+TEST_P(PlannerOnModels, LayerWisePlanIsValidToo)
+{
+    Graph g = model();
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::LayerWise, 1.0, {}},
+                           assignment);
+    plan.validate();
+}
+
+TEST_P(PlannerOnModels, BaselinePlanOffloadsNothing)
+{
+    Graph g = model();
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan =
+        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment);
+    EXPECT_TRUE(plan.offloaded.empty());
+    for (const auto &a : plan.actions) {
+        EXPECT_TRUE(a.start_offload.empty());
+        EXPECT_TRUE(a.start_prefetch.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PlannerOnModels,
+                         ::testing::Values("vgg19", "resnet18",
+                                           "resnet50", "alexnet"));
+
+TEST(Planner, CapLimitsOffloadedBytes)
+{
+    Graph g = buildVgg19({.batch = 8, .image = 32, .width = 0.5});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto full = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    auto half = planMemory(g, spec, {PlannerKind::Hmms, 0.5, {}},
+                           assignment);
+    EXPECT_LE(half.offloaded_bytes,
+              static_cast<int64_t>(0.5 * half.candidate_bytes) + 1);
+    EXPECT_LT(half.offloaded_bytes, full.offloaded_bytes);
+}
+
+TEST(Planner, LayerWiseSyncsInConsumerLayer)
+{
+    // vDNN semantics: start and sync of an offload are in the same
+    // step (the consumer layer).
+    Graph g = buildVgg19({.batch = 4, .image = 32, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::LayerWise, 1.0, {}},
+                           assignment);
+    for (size_t i = 0; i < plan.actions.size(); ++i) {
+        for (TsoId tso : plan.actions[i].start_offload) {
+            const auto &sync = plan.actions[i].sync_offload_free;
+            EXPECT_TRUE(std::find(sync.begin(), sync.end(), tso) !=
+                        sync.end())
+                << "layer-wise offload not synced in its own layer";
+        }
+    }
+}
+
+TEST(Planner, HmmsSpreadsSyncsBeyondConsumerLayer)
+{
+    // The whole point of Algorithm 1: syncs may happen layers later.
+    Graph g = buildVgg19({.batch = 8, .image = 64, .width = 1.0});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    int spread = 0;
+    for (size_t i = 0; i < plan.actions.size(); ++i) {
+        for (TsoId tso : plan.actions[i].start_offload) {
+            const auto &sync = plan.actions[i].sync_offload_free;
+            if (std::find(sync.begin(), sync.end(), tso) == sync.end())
+                ++spread;
+        }
+    }
+    EXPECT_GT(spread, 0) << "no offload outlived its trigger layer";
+}
+
+TEST(StaticPlanner, IntervalsNeverOverlapInAddressSpace)
+{
+    Graph g = buildResNet18({.batch = 2, .image = 32, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    auto mem = planStaticMemory(g, assignment, plan);
+    for (size_t a = 0; a < mem.intervals.size(); ++a) {
+        for (size_t b = a + 1; b < mem.intervals.size(); ++b) {
+            const auto &x = mem.intervals[a];
+            const auto &y = mem.intervals[b];
+            const bool time_overlap = x.alloc_step <= y.free_step &&
+                                      y.alloc_step <= x.free_step;
+            if (!time_overlap)
+                continue;
+            EXPECT_TRUE(x.addr + x.bytes <= y.addr ||
+                        y.addr + y.bytes <= x.addr)
+                << "address overlap between " << x.tso << " and "
+                << y.tso;
+        }
+    }
+}
+
+TEST(StaticPlanner, OffloadedTsosHaveTwoDeviceLives)
+{
+    Graph g = buildVgg19({.batch = 4, .image = 32, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    ASSERT_FALSE(plan.offloaded.empty());
+    auto mem = planStaticMemory(g, assignment, plan);
+    for (TsoId tso : plan.offloaded) {
+        int lives = 0, prefetch_lives = 0;
+        for (const auto &iv : mem.intervals) {
+            if (iv.tso != tso || iv.is_gradient)
+                continue;
+            ++lives;
+            prefetch_lives += iv.is_prefetch;
+        }
+        EXPECT_EQ(lives, 2) << "TSO " << tso;
+        EXPECT_EQ(prefetch_lives, 1) << "TSO " << tso;
+    }
+}
+
+TEST(StaticPlanner, OffloadingReducesDevicePeak)
+{
+    Graph g = buildVgg19({.batch = 16, .image = 64, .width = 1.0});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto none = planMemory(g, spec, {PlannerKind::None, 1.0, {}},
+                           assignment);
+    auto hmms = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    auto mem_none = planStaticMemory(g, assignment, none);
+    auto mem_hmms = planStaticMemory(g, assignment, hmms);
+    EXPECT_LT(mem_hmms.device_general_peak,
+              mem_none.device_general_peak);
+    EXPECT_EQ(mem_hmms.host_pool_bytes, hmms.offloaded_bytes);
+    EXPECT_EQ(mem_none.host_pool_bytes, 0);
+}
+
+TEST(StaticPlanner, NaiveLifetimesCostMoreThanStaticPlanning)
+{
+    Graph g = buildResNet18({.batch = 4, .image = 32, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::None, 1.0, {}},
+                           assignment);
+    auto planned = planStaticMemory(g, assignment, plan);
+    auto naive = planStaticMemory(g, assignment, plan, {},
+                                  {.naive_lifetimes = true});
+    EXPECT_GT(naive.device_general_peak,
+              planned.device_general_peak * 2);
+}
+
+TEST(StaticPlanner, ParamPoolCountsValuesGradsAndMomentum)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan =
+        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment);
+    auto mem = planStaticMemory(g, assignment, plan);
+    int64_t expect = 0;
+    for (const auto &p : g.params()) {
+        const int64_t bytes = p.shape.numel() * 4;
+        expect += p.requires_grad ? 3 * bytes : bytes;
+    }
+    EXPECT_EQ(mem.param_pool_bytes, expect);
+}
+
+
+TEST(StaticPlanner, FirstFitPeakBoundedByPackingLowerBound)
+{
+    Graph g = buildResNet50({.batch = 4, .image = 64, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
+                           assignment);
+    auto mem = planStaticMemory(g, assignment, plan);
+    const int64_t pool = mem.device_general_peak - mem.workspace_bytes;
+    EXPECT_GE(pool, mem.max_live_bytes);
+    // First-fit should not waste more than ~60% over the ideal
+    // packing on these workloads.
+    EXPECT_LT(mem.fragmentationOverhead(), 0.6)
+        << "pool " << pool << " vs live " << mem.max_live_bytes;
+}
+
+TEST(Profile, MemoryBoundLayersHaveLittleOffloadBudget)
+{
+    // Figure 1's core observation: pooling (memory bound) cannot
+    // offload its own input; big convolutions can.
+    Graph g = buildVgg19({.batch = 64,
+                          .image = 224,
+                          .classes = 1000,
+                          .width = 1.0,
+                          .batch_norm = false});
+    DeviceSpec spec;
+    auto prof = profileForwardPass(g, spec);
+    double conv_budget = 0.0, conv_gen = 0.0;
+    for (const auto &l : prof.layers) {
+        if (l.kind == OpKind::MaxPool2d) {
+            // A pool can offload far less than its input size.
+            EXPECT_LT(l.offloadable_bytes, l.generated_bytes * 0.5)
+                << l.name;
+        }
+        if (l.kind == OpKind::Conv2d) {
+            conv_budget += l.offloadable_bytes;
+            conv_gen += l.generated_bytes;
+        }
+    }
+    EXPECT_GT(conv_budget, conv_gen);
+}
+
+TEST(Profile, PaperFigure1Fractions)
+{
+    DeviceSpec spec;
+    // VGG-19 can offload everything (fraction capped at 1).
+    auto vgg = profileForwardPass(
+        buildVgg19({.batch = 64,
+                    .image = 224,
+                    .classes = 1000,
+                    .width = 1.0,
+                    .batch_norm = false}),
+        spec);
+    EXPECT_DOUBLE_EQ(vgg.offloadable_fraction, 1.0);
+
+    // ResNet-18 can offload only part (paper: ~55%).
+    auto r18 = profileForwardPass(
+        buildResNet18(
+            {.batch = 64, .image = 224, .classes = 1000, .width = 1.0}),
+        spec);
+    EXPECT_GT(r18.offloadable_fraction, 0.4);
+    EXPECT_LT(r18.offloadable_fraction, 0.8);
+
+    // ResNet-50 is worse (paper: ~40%), and the memory-efficient
+    // (recompute-BN) ResNet-18 is better (paper: ~70%).
+    auto r50 = profileForwardPass(
+        buildResNet50(
+            {.batch = 64, .image = 224, .classes = 1000, .width = 1.0}),
+        spec);
+    EXPECT_LT(r50.offloadable_fraction, r18.offloadable_fraction);
+
+    auto r18me = profileForwardPass(
+        buildResNet18(
+            {.batch = 64, .image = 224, .classes = 1000, .width = 1.0}),
+        spec, {.recompute_bn = true});
+    EXPECT_GT(r18me.offloadable_fraction, r18.offloadable_fraction);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Cross-module integration tests: the full Split-CNN + HMMS pipeline
+ * (transform -> storage assignment -> Algorithm-1 plan -> static
+ * layout -> simulation) on zoo models, the downsampling (k < s)
+ * extension, and end-to-end headline properties (splitting + HMMS
+ * raises the trainable batch size; HMMS beats layer-wise).
+ */
+#include <gtest/gtest.h>
+
+#include "core/splitter.h"
+#include "graph/backward.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+#include "tensor/tensor_ops.h"
+#include "train/executor.h"
+
+namespace scnn {
+namespace {
+
+/** Full pipeline for one graph; returns total device bytes. */
+StaticMemoryPlan
+pipeline(const Graph &g, const DeviceSpec &spec, PlannerKind kind,
+         const BackwardOptions &bo = {})
+{
+    auto assignment = assignStorage(g, g.topoOrder());
+    const double cap =
+        kind == PlannerKind::None
+            ? 0.0
+            : profileForwardPass(g, spec, bo).offloadable_fraction;
+    auto plan = planMemory(g, spec, {kind, cap, bo}, assignment);
+    plan.validate();
+    auto mem = planStaticMemory(g, assignment, plan, bo);
+    // The simulator must accept every valid plan.
+    auto sim = simulatePlan(g, spec, plan, assignment, bo);
+    EXPECT_GT(sim.total_time, 0.0);
+    return mem;
+}
+
+TEST(Integration, SplitPlusHmmsShrinksDeviceFootprint)
+{
+    DeviceSpec spec;
+    ModelConfig cfg{.batch = 64,
+                    .image = 224,
+                    .classes = 1000,
+                    .width = 1.0,
+                    .batch_norm = false};
+    Graph base = buildVgg19(cfg);
+    Graph split = splitCnnTransform(
+        base, {.depth = 0.75, .splits_h = 2, .splits_w = 2});
+
+    const auto base_mem = pipeline(base, spec, PlannerKind::None);
+    const auto split_mem = pipeline(split, spec, PlannerKind::Hmms);
+    EXPECT_LT(split_mem.totalDeviceBytes(),
+              base_mem.totalDeviceBytes());
+    // Factor 1 of Section 6.3: the shared conv workspace shrinks by
+    // roughly the patch count.
+    EXPECT_LT(split_mem.workspace_bytes,
+              base_mem.workspace_bytes / 2);
+}
+
+TEST(Integration, PipelineRunsOnEveryZooModelSplitOrNot)
+{
+    DeviceSpec spec;
+    for (const char *name : {"vgg19", "resnet18", "resnet50",
+                             "alexnet"}) {
+        ModelConfig cfg{.batch = 8,
+                        .image = 64,
+                        .classes = 10,
+                        .width = 0.25};
+        Graph base = buildModel(name, cfg);
+        Graph split = splitCnnTransform(
+            base, {.depth = 0.5, .splits_h = 2, .splits_w = 2});
+        for (const Graph *g : {&base, &split})
+            for (PlannerKind kind :
+                 {PlannerKind::None, PlannerKind::LayerWise,
+                  PlannerKind::Hmms})
+                pipeline(*g, spec, kind);
+    }
+}
+
+TEST(Integration, DownsamplingShortcutSplitsExactly)
+{
+    // k < s extension: a 1x1 stride-2 conv splits losslessly at lb.
+    GraphBuilder b;
+    TensorId x = b.input(Shape{1, 4, 16, 16});
+    x = b.conv2d(x, 8, Window2d{1, 1, 2, 2, 0, 0, 0, 0}, true,
+                 "down");
+    b.markCutPoint(x);
+    x = b.flatten(x);
+    x = b.linear(x, 3, true, "fc");
+    Graph g = b.build();
+    Graph split = splitCnnTransform(
+        g, {.depth = 1.0, .splits_h = 2, .splits_w = 2});
+
+    Rng rng(1);
+    ParamStore params(g, rng);
+    Tensor input(Shape{1, 4, 16, 16});
+    Rng drng(2);
+    input.fillNormal(drng, 0.0f, 1.0f);
+    Executor ea(g, params), eb(split, params);
+    Tensor out_a = ea.forward(input, false, nullptr);
+    Tensor out_b = eb.forward(input, false, nullptr);
+    EXPECT_LT(maxAbsDiff(out_a, out_b), 1e-5f);
+}
+
+TEST(Integration, RecomputeBnRaisesOffloadLimitAndBackwardTime)
+{
+    DeviceSpec spec;
+    Graph g = buildResNet18(
+        {.batch = 64, .image = 224, .classes = 1000, .width = 1.0});
+    auto plain = profileForwardPass(g, spec);
+    auto recomputed =
+        profileForwardPass(g, spec, {.recompute_bn = true});
+    EXPECT_GT(recomputed.offloadable_fraction,
+              plain.offloadable_fraction);
+    EXPECT_GT(recomputed.total_bwd_time, plain.total_bwd_time);
+    // Forward is untouched.
+    EXPECT_DOUBLE_EQ(recomputed.total_fwd_time, plain.total_fwd_time);
+}
+
+TEST(Integration, MaxBatchOrderingHoldsOnVgg)
+{
+    // conventional <= static-planned <= split+HMMS.
+    DeviceSpec spec;
+    auto max_batch = [&](bool planned, bool split_offload) {
+        int64_t lo = 1, hi = 1024;
+        while (lo < hi) {
+            const int64_t mid = (lo + hi + 1) / 2;
+            ModelConfig cfg{.batch = mid,
+                            .image = 224,
+                            .classes = 1000,
+                            .width = 1.0,
+                            .batch_norm = false};
+            Graph g = buildVgg19(cfg);
+            if (split_offload)
+                g = splitCnnTransform(g, {.depth = 0.75,
+                                          .splits_h = 2,
+                                          .splits_w = 2});
+            auto assignment = assignStorage(g, g.topoOrder());
+            const double cap =
+                split_offload
+                    ? profileForwardPass(g, spec).offloadable_fraction
+                    : 0.0;
+            auto plan = planMemory(
+                g, spec,
+                {split_offload ? PlannerKind::Hmms : PlannerKind::None,
+                 cap,
+                 {}},
+                assignment);
+            auto mem = planStaticMemory(
+                g, assignment, plan, {},
+                {.naive_lifetimes = !planned});
+            if (mem.fits(spec.memory_capacity))
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        return lo;
+    };
+    const int64_t conventional = max_batch(false, false);
+    const int64_t planned = max_batch(true, false);
+    const int64_t full = max_batch(true, true);
+    EXPECT_LT(conventional, planned);
+    EXPECT_LT(planned, full);
+    // The paper's headline: several-fold improvement end to end.
+    EXPECT_GE(full, 4 * conventional);
+}
+
+TEST(Integration, HmmsBeatsLayerWiseOnBothFig8Networks)
+{
+    DeviceSpec spec;
+    for (const char *name : {"vgg19", "resnet50"}) {
+        ModelConfig cfg{.batch = 64,
+                        .image = 224,
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm =
+                            std::string(name) != "vgg19"};
+        Graph g = buildModel(name, cfg);
+        auto assignment = assignStorage(g, g.topoOrder());
+        const double cap =
+            profileForwardPass(g, spec).offloadable_fraction;
+        auto run = [&](PlannerKind kind) {
+            auto plan =
+                planMemory(g, spec, {kind, cap, {}}, assignment);
+            return simulatePlan(g, spec, plan, assignment).total_time;
+        };
+        const double base = run(PlannerKind::None);
+        const double lw = run(PlannerKind::LayerWise);
+        const double hm = run(PlannerKind::Hmms);
+        // Figure 8 ordering: baseline <= HMMS < layer-wise, HMMS
+        // within a few percent of baseline.
+        EXPECT_LE(base, hm + 1e-12) << name;
+        EXPECT_LT(hm, lw) << name;
+        EXPECT_LT(hm / base - 1.0, 0.06) << name;
+        EXPECT_GT(lw / base - 1.0, 0.10) << name;
+    }
+}
+
+TEST(Integration, StochasticTransformPreservesExecutableSemantics)
+{
+    // Every stochastic draw yields a runnable graph with the same
+    // output shape and the same parameter table.
+    Graph g = buildResNet18({.batch = 2, .image = 32, .width = 0.125});
+    Rng rng(3);
+    Rng prng(4);
+    ParamStore params(g, rng);
+    Tensor input(Shape{2, 3, 32, 32});
+    Rng drng(5);
+    input.fillNormal(drng, 0.0f, 1.0f);
+    for (int draw = 0; draw < 5; ++draw) {
+        Graph split = splitCnnTransform(g,
+                                        {.depth = 0.5,
+                                         .splits_h = 2,
+                                         .splits_w = 2,
+                                         .stochastic = true,
+                                         .omega = 0.2},
+                                        &prng);
+        ASSERT_TRUE(params.compatibleWith(split));
+        Executor ex(split, params);
+        Tensor out = ex.forward(input, false, nullptr);
+        EXPECT_EQ(out.shape(), Shape({2, 10}));
+    }
+}
+
+} // namespace
+} // namespace scnn

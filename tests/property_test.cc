@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Cross-cutting property tests: determinism, monotonicity, and
+ * parameterized invariants over the planner/model/cap space.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/splitter.h"
+#include "data/synthetic.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+#include "train/trainer.h"
+
+namespace scnn {
+namespace {
+
+TEST(Determinism, TrainingIsBitReproducibleFromSeed)
+{
+    SyntheticDataset data({.classes = 4,
+                           .image = 16,
+                           .train_samples = 64,
+                           .test_samples = 32,
+                           .noise = 0.5f});
+    GraphBuilder b;
+    TensorId x = b.input(Shape{16, 3, 16, 16});
+    x = b.conv2d(x, 8, Window2d::square(3, 1, 1), false, "c");
+    x = b.batchNorm(x, "bn");
+    x = b.relu(x, "r");
+    b.markCutPoint(x);
+    x = b.globalAvgPool(x);
+    x = b.flatten(x);
+    x = b.linear(x, 4, true, "fc");
+    Graph g = b.build();
+
+    TrainConfig cfg;
+    cfg.mode = TrainMode::StochasticSplit;
+    cfg.split = {.depth = 1.0, .splits_h = 2, .splits_w = 2};
+    cfg.epochs = 2;
+    cfg.batch = 16;
+    cfg.seed = 42;
+    auto r1 = trainModel(g, cfg, data);
+    auto r2 = trainModel(g, cfg, data);
+    ASSERT_EQ(r1.epochs.size(), r2.epochs.size());
+    for (size_t e = 0; e < r1.epochs.size(); ++e) {
+        EXPECT_EQ(r1.epochs[e].train_loss, r2.epochs[e].train_loss);
+        EXPECT_EQ(r1.epochs[e].test_error, r2.epochs[e].test_error);
+    }
+}
+
+TEST(Determinism, PlansAreReproducible)
+{
+    Graph g = buildResNet50({.batch = 4, .image = 64, .width = 0.25});
+    DeviceSpec spec;
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto p1 = planMemory(g, spec, {PlannerKind::Hmms, 0.7, {}},
+                         assignment);
+    auto p2 = planMemory(g, spec, {PlannerKind::Hmms, 0.7, {}},
+                         assignment);
+    EXPECT_EQ(p1.offloaded, p2.offloaded);
+    EXPECT_EQ(p1.offloaded_bytes, p2.offloaded_bytes);
+    auto m1 = planStaticMemory(g, assignment, p1);
+    auto m2 = planStaticMemory(g, assignment, p2);
+    EXPECT_EQ(m1.device_general_peak, m2.device_general_peak);
+}
+
+TEST(Monotonicity, ProfileCumulativeSeriesNeverDecrease)
+{
+    DeviceSpec spec;
+    Graph g = buildResNet18({.batch = 8, .image = 64, .width = 0.5});
+    auto prof = profileForwardPass(g, spec);
+    double gen = 0.0, off = 0.0;
+    for (const auto &l : prof.layers) {
+        EXPECT_GE(l.cum_generated, gen);
+        EXPECT_GE(l.cum_offloadable, off);
+        gen = l.cum_generated;
+        off = l.cum_offloadable;
+    }
+    EXPECT_DOUBLE_EQ(gen, prof.total_generated);
+    EXPECT_DOUBLE_EQ(off, prof.total_offloadable);
+}
+
+TEST(Monotonicity, DevicePeakGrowsWithBatch)
+{
+    DeviceSpec spec;
+    int64_t prev = 0;
+    for (int64_t batch : {2, 4, 8, 16}) {
+        Graph g = buildVgg19({.batch = batch,
+                              .image = 64,
+                              .classes = 10,
+                              .width = 0.5});
+        auto assignment = assignStorage(g, g.topoOrder());
+        auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
+                               assignment);
+        auto mem = planStaticMemory(g, assignment, plan);
+        EXPECT_GT(mem.totalDeviceBytes(), prev);
+        prev = mem.totalDeviceBytes();
+    }
+}
+
+TEST(Monotonicity, HigherCapOffloadsAtLeastAsMuch)
+{
+    DeviceSpec spec;
+    Graph g = buildResNet50({.batch = 8, .image = 64, .width = 0.25});
+    auto assignment = assignStorage(g, g.topoOrder());
+    int64_t prev = -1;
+    for (double cap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        auto plan = planMemory(g, spec, {PlannerKind::Hmms, cap, {}},
+                               assignment);
+        EXPECT_GE(plan.offloaded_bytes, prev);
+        prev = plan.offloaded_bytes;
+    }
+}
+
+class PlannerSimSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, PlannerKind, double, bool>>
+{
+};
+
+TEST_P(PlannerSimSweep, PlanValidatesAndSimCompletes)
+{
+    const auto [model, kind, cap, split] = GetParam();
+    DeviceSpec spec;
+    ModelConfig cfg{.batch = 4,
+                    .image = 64,
+                    .classes = 10,
+                    .width = 0.25};
+    Graph g = buildModel(model, cfg);
+    if (split)
+        g = splitCnnTransform(
+            g, {.depth = 0.5, .splits_h = 2, .splits_w = 2});
+    auto assignment = assignStorage(g, g.topoOrder());
+    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
+    plan.validate();
+    auto sim = simulatePlan(g, spec, plan, assignment);
+    // Simulated time is at least the pure-compute time and the
+    // kernels appear in schedule order without overlap.
+    EXPECT_GE(sim.total_time, sim.compute_busy - 1e-12);
+    for (size_t k = 1; k < sim.kernels.size(); ++k)
+        EXPECT_GE(sim.kernels[k].start,
+                  sim.kernels[k - 1].end - 1e-12);
+    auto mem = planStaticMemory(g, assignment, plan);
+    EXPECT_GT(mem.device_general_peak, 0);
+    EXPECT_EQ(mem.host_pool_bytes, plan.offloaded_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, PlannerSimSweep,
+    ::testing::Combine(::testing::Values("vgg19", "resnet18",
+                                         "resnet50"),
+                       ::testing::Values(PlannerKind::None,
+                                         PlannerKind::LayerWise,
+                                         PlannerKind::Hmms),
+                       ::testing::Values(0.3, 0.7, 1.0),
+                       ::testing::Bool()));
+
+TEST(Splitter, MoreDepthNeverShrinksSplitConvCount)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    int prev = -1;
+    for (double depth : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        SplitReport report;
+        splitCnnTransform(g, {.depth = depth}, nullptr, &report);
+        EXPECT_GE(report.convs_split, prev);
+        prev = report.convs_split;
+    }
+}
+
+TEST(Dataset, TestSplitIsStableAcrossBatchSlices)
+{
+    SyntheticDataset data({.classes = 4,
+                           .image = 16,
+                           .train_samples = 32,
+                           .test_samples = 64});
+    std::vector<int64_t> l1, l2;
+    Tensor a = data.testBatch(0, 32, l1);
+    Tensor b = data.testBatch(32, 32, l2);
+    // Slices must not alias (different labels generically) and must
+    // be deterministic on repeat access.
+    std::vector<int64_t> l3;
+    Tensor c = data.testBatch(0, 32, l3);
+    EXPECT_EQ(l1, l3);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_EQ(a.at(i), c.at(i));
+}
+
+} // namespace
+} // namespace scnn

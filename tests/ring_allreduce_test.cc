@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ring-allreduce simulation tests: agreement with the closed-form
+ * bound, convergence to 2|G|/B as the ring grows, min-bandwidth
+ * gating, and latency effects.
+ */
+#include "dist/ring_allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/allreduce_model.h"
+
+namespace scnn {
+namespace {
+
+TEST(RingAllreduce, MatchesBoundWithZeroLatency)
+{
+    RingConfig cfg;
+    cfg.learners = 4;
+    cfg.gradient_bytes = 100'000'000;
+    cfg.link_bandwidth_bits = {10.0e9};
+    cfg.step_latency = 0.0;
+    cfg.alpha = 1.0;
+    const RingResult r = simulateRingAllreduce(cfg);
+    EXPECT_NEAR(r.total_time, r.bound, 1e-9);
+    EXPECT_EQ(r.steps, 6);
+    EXPECT_DOUBLE_EQ(r.reduce_scatter, r.allgather);
+}
+
+TEST(RingAllreduce, ApproachesTwoGOverBAsRingGrows)
+{
+    // (N-1)/N -> 1: the paper's 2|G|/B_min lower bound.
+    RingConfig cfg;
+    cfg.gradient_bytes = 575'000'000; // VGG-19 |G|
+    cfg.link_bandwidth_bits = {10.0e9};
+    cfg.step_latency = 0.0;
+    cfg.alpha = 0.8;
+    const double limit =
+        allreduceTime(cfg.gradient_bytes, 10.0e9, 0.8);
+    double prev = 0.0;
+    for (int n : {2, 4, 16, 64, 256}) {
+        cfg.learners = n;
+        const double t = simulateRingAllreduce(cfg).total_time;
+        EXPECT_LT(t, limit);      // bound is a supremum over N
+        EXPECT_GT(t, prev);       // monotone in N (for fixed |G|)
+        prev = t;
+    }
+    EXPECT_NEAR(prev, limit, limit * 0.01); // within 1% at N = 256
+}
+
+TEST(RingAllreduce, SlowestLinkGatesTheRing)
+{
+    RingConfig fast;
+    fast.learners = 4;
+    fast.gradient_bytes = 10'000'000;
+    fast.link_bandwidth_bits = {10.0e9, 10.0e9, 10.0e9, 10.0e9};
+    fast.step_latency = 0.0;
+
+    RingConfig mixed = fast;
+    mixed.link_bandwidth_bits = {10.0e9, 10.0e9, 1.0e9, 10.0e9};
+
+    const double t_fast = simulateRingAllreduce(fast).total_time;
+    const double t_mixed = simulateRingAllreduce(mixed).total_time;
+    EXPECT_NEAR(t_mixed, 10.0 * t_fast, t_fast * 0.01);
+}
+
+TEST(RingAllreduce, LatencyDominatesSmallMessages)
+{
+    RingConfig cfg;
+    cfg.learners = 8;
+    cfg.gradient_bytes = 64; // tiny
+    cfg.link_bandwidth_bits = {10.0e9};
+    cfg.step_latency = 1e-3;
+    const RingResult r = simulateRingAllreduce(cfg);
+    EXPECT_NEAR(r.total_time, r.steps * 1e-3, 1e-6);
+    EXPECT_GT(r.total_time, r.bound); // bound ignores latency
+}
+
+TEST(RingAllreduce, RejectsDegenerateConfigs)
+{
+    RingConfig cfg;
+    cfg.learners = 1;
+    EXPECT_THROW(simulateRingAllreduce(cfg), std::exception);
+    cfg.learners = 4;
+    cfg.alpha = 0.0;
+    EXPECT_THROW(simulateRingAllreduce(cfg), std::exception);
+    cfg.alpha = 0.8;
+    cfg.link_bandwidth_bits = {0.0};
+    EXPECT_THROW(simulateRingAllreduce(cfg), std::exception);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for Shape, Tensor and the split/concat/pad tensor ops.
+ */
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace scnn {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    Shape s{2, 3, 4, 5};
+    EXPECT_EQ(s.rank(), 4);
+    EXPECT_EQ(s.numel(), 120);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(-1), 5);
+    EXPECT_EQ(s.strides(), (std::vector<int64_t>{60, 20, 5, 1}));
+    EXPECT_EQ(s.toString(), "[2, 3, 4, 5]");
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape{2, 2});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t(Shape{2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 42.0f;
+    EXPECT_EQ(t.at(t.numel() - 1), 42.0f);
+    EXPECT_EQ(t.at4(1, 2, 3, 4), 42.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Rng rng(1);
+    Tensor t(Shape{3, 4});
+    t.fillNormal(rng, 0.0f, 1.0f);
+    Tensor r = t.reshape(Shape{2, 6});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), r.at(i));
+}
+
+TEST(Tensor, ReshapeRejectsNumelMismatch)
+{
+    Tensor t(Shape{3, 4});
+    EXPECT_THROW(t.reshape(Shape{5, 5}), std::exception);
+}
+
+TEST(TensorOps, SplitConcatRoundTripOnW)
+{
+    Rng rng(2);
+    Tensor t(Shape{2, 3, 8, 10});
+    t.fillNormal(rng, 0.0f, 1.0f);
+    auto parts = splitDim(t, 3, {0, 3, 7});
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].shape(), Shape({2, 3, 8, 3}));
+    EXPECT_EQ(parts[1].shape(), Shape({2, 3, 8, 4}));
+    EXPECT_EQ(parts[2].shape(), Shape({2, 3, 8, 3}));
+    Tensor back = concatDim(parts, 3);
+    EXPECT_TRUE(allClose(t, back, 0.0f));
+}
+
+TEST(TensorOps, SplitConcatRoundTripOnH)
+{
+    Rng rng(3);
+    Tensor t(Shape{1, 2, 9, 4});
+    t.fillNormal(rng, 0.0f, 1.0f);
+    auto parts = splitDim(t, 2, {0, 2, 5, 8});
+    Tensor back = concatDim(parts, 2);
+    EXPECT_TRUE(allClose(t, back, 0.0f));
+}
+
+TEST(TensorOps, SplitValuesMatchSlices)
+{
+    Tensor t(Shape{1, 1, 2, 6});
+    for (int64_t i = 0; i < 12; ++i)
+        t.at(i) = static_cast<float>(i);
+    auto parts = splitDim(t, 3, {0, 4});
+    EXPECT_EQ(parts[0].at4(0, 0, 1, 3), 9.0f);
+    EXPECT_EQ(parts[1].at4(0, 0, 0, 0), 4.0f);
+    EXPECT_EQ(parts[1].at4(0, 0, 1, 1), 11.0f);
+}
+
+TEST(TensorOps, SplitRejectsBadScheme)
+{
+    Tensor t(Shape{1, 1, 2, 6});
+    EXPECT_THROW(splitDim(t, 3, {1, 4}), std::exception);
+    EXPECT_THROW(splitDim(t, 3, {0, 4, 4}), std::exception);
+    EXPECT_THROW(splitDim(t, 3, {0, 6}), std::exception);
+}
+
+TEST(TensorOps, ConcatRejectsMismatchedExtents)
+{
+    Tensor a(Shape{1, 1, 2, 3});
+    Tensor b(Shape{1, 1, 3, 3});
+    EXPECT_THROW(concatDim({a, b}, 3), std::exception);
+}
+
+TEST(TensorOps, Pad2dPositive)
+{
+    Tensor t(Shape{1, 1, 2, 2}, 1.0f);
+    Tensor p = pad2d(t, 1, 1, 1, 1);
+    EXPECT_EQ(p.shape(), Shape({1, 1, 4, 4}));
+    EXPECT_EQ(p.at4(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(p.at4(0, 0, 1, 1), 1.0f);
+    EXPECT_EQ(p.at4(0, 0, 2, 2), 1.0f);
+    EXPECT_EQ(p.at4(0, 0, 3, 3), 0.0f);
+}
+
+TEST(TensorOps, Pad2dNegativeCrops)
+{
+    Tensor t(Shape{1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        t.at(i) = static_cast<float>(i);
+    // Crop one row from the top, one column from the right.
+    Tensor c = pad2d(t, -1, 0, 0, -1);
+    EXPECT_EQ(c.shape(), Shape({1, 1, 3, 3}));
+    EXPECT_EQ(c.at4(0, 0, 0, 0), 4.0f);
+    EXPECT_EQ(c.at4(0, 0, 2, 2), 14.0f);
+}
+
+TEST(TensorOps, Pad2dMixedPadAndCrop)
+{
+    Tensor t(Shape{1, 1, 2, 2}, 3.0f);
+    Tensor m = pad2d(t, 1, -1, -1, 1);
+    EXPECT_EQ(m.shape(), Shape({1, 1, 2, 2}));
+    EXPECT_EQ(m.at4(0, 0, 0, 0), 0.0f); // new padded row
+    EXPECT_EQ(m.at4(0, 0, 1, 0), 3.0f); // original (0, 1)
+    EXPECT_EQ(m.at4(0, 0, 1, 1), 0.0f); // new padded col
+}
+
+TEST(TensorOps, AxpyAndAdd)
+{
+    Tensor a(Shape{4}, 1.0f);
+    Tensor b(Shape{4}, 2.0f);
+    axpy(3.0f, b, a);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(a.at(i), 7.0f);
+    Tensor c = add(a, b);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(c.at(i), 9.0f);
+}
+
+TEST(TensorOps, MaxAbsDiff)
+{
+    Tensor a(Shape{3}, 1.0f);
+    Tensor b(Shape{3}, 1.0f);
+    b.at(2) = 1.5f;
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 0.5f);
+    EXPECT_FALSE(allClose(a, b, 0.1f));
+    EXPECT_TRUE(allClose(a, b, 0.6f));
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace scnn

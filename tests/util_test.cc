@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the util layer: tables/formatting, logging and the
+ * panic/fatal distinction, and Window2d helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernels/window.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace scnn {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long-header"});
+    t.addRow({"xxxxx", "1"});
+    t.addRow({"y", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Every line has the same start column for the second field.
+    const auto col = out.find("long-header");
+    EXPECT_NE(out.find("1"), std::string::npos);
+    EXPECT_GT(col, 0u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsBadRows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::exception);
+    EXPECT_THROW(Table({}), std::exception);
+}
+
+TEST(Format, Float)
+{
+    EXPECT_EQ(formatFloat(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFloat(-1.0, 0), "-1");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.50 MB");
+    EXPECT_EQ(formatBytes(1.0 * 1024 * 1024 * 1024 * 1024 * 8),
+              "8.00 TB");
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(SCNN_PANIC("internal bug " << 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(SCNN_FATAL("user error"), std::runtime_error);
+}
+
+TEST(Logging, CheckAndRequirePassThrough)
+{
+    SCNN_CHECK(1 + 1 == 2, "arithmetic works");
+    SCNN_REQUIRE(true, "ok");
+    EXPECT_THROW(SCNN_CHECK(false, "nope"), std::logic_error);
+    EXPECT_THROW(SCNN_REQUIRE(false, "nope"), std::runtime_error);
+}
+
+TEST(Logging, LevelFilters)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    // These must not crash (output is suppressed/emitted to stderr).
+    SCNN_LOG_DEBUG << "hidden";
+    SCNN_LOG_ERROR << "visible";
+    setLogLevel(before);
+}
+
+TEST(Window2d, ToStringAndOutExtent)
+{
+    const Window2d w{3, 3, 2, 2, 1, 0, 1, 1};
+    EXPECT_EQ(w.toString(), "k=3x3 s=2x2 p=(1,0)x(1,1)");
+    EXPECT_EQ(w.outH(9), (9 + 1 + 0 - 3) / 2 + 1);
+    EXPECT_EQ(w.outW(9), (9 + 1 + 1 - 3) / 2 + 1);
+    const Window2d sq = Window2d::square(2, 2, 0);
+    EXPECT_EQ(sq.kh, 2);
+    EXPECT_EQ(sq.sw, 2);
+    EXPECT_EQ(sq.ph_b, 0);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Winograd F(2x2, 3x3) tests: exact agreement with the direct im2col
+ * convolution across shapes/paddings, odd output extents, bias
+ * handling, geometry rejection, and the workspace accounting.
+ */
+#include "kernels/winograd.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/conv2d.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace scnn {
+namespace {
+
+class WinogradSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, bool>>
+{
+};
+
+TEST_P(WinogradSweep, MatchesDirectConvolution)
+{
+    const auto [n, c, oc, hw, pad, bias] = GetParam();
+    Rng rng(static_cast<uint64_t>(n * 131 + c * 31 + hw));
+    Tensor x(Shape{n, c, hw, hw});
+    Tensor w(Shape{oc, c, 3, 3});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    w.fillNormal(rng, 0.0f, 0.5f);
+    Tensor b;
+    if (bias) {
+        b = Tensor(Shape{oc});
+        b.fillNormal(rng, 0.0f, 0.5f);
+    }
+    const Window2d win = Window2d::square(3, 1, pad);
+    Tensor fast = conv2dForwardWinograd(x, w, b, win);
+    Tensor ref = conv2dForward(x, w, b, win);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    EXPECT_LT(maxAbsDiff(fast, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinogradSweep,
+    ::testing::Combine(::testing::Values(1, 2),      // batch
+                       ::testing::Values(1, 3, 8),   // in channels
+                       ::testing::Values(1, 4),      // out channels
+                       ::testing::Values(4, 7, 12),  // spatial (odd!)
+                       ::testing::Values(0, 1),      // padding
+                       ::testing::Bool()));          // bias
+
+TEST(Winograd, AsymmetricPadding)
+{
+    Rng rng(9);
+    Tensor x(Shape{1, 2, 9, 11});
+    Tensor w(Shape{3, 2, 3, 3});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    w.fillNormal(rng, 0.0f, 0.5f);
+    const Window2d win{3, 3, 1, 1, 1, 0, 0, 1}; // split-style pads
+    Tensor fast = conv2dForwardWinograd(x, w, Tensor(), win);
+    Tensor ref = conv2dForward(x, w, Tensor(), win);
+    EXPECT_LT(maxAbsDiff(fast, ref), 1e-3f);
+}
+
+TEST(Winograd, RejectsNonWinogradGeometry)
+{
+    Tensor x(Shape{1, 1, 8, 8});
+    Tensor w5(Shape{1, 1, 5, 5});
+    EXPECT_FALSE(winogradApplicable(Window2d::square(5, 1, 2)));
+    EXPECT_FALSE(winogradApplicable(Window2d::square(3, 2, 1)));
+    EXPECT_TRUE(winogradApplicable(Window2d::square(3, 1, 1)));
+    EXPECT_THROW(
+        conv2dForwardWinograd(x, w5, Tensor(),
+                              Window2d::square(5, 1, 2)),
+        std::exception);
+}
+
+TEST(Winograd, WorkspaceGrowsWithChannels)
+{
+    Tensor x8(Shape{1, 8, 8, 8}), x32(Shape{1, 32, 8, 8});
+    Tensor w8(Shape{16, 8, 3, 3}), w32(Shape{16, 32, 3, 3});
+    const Window2d win = Window2d::square(3, 1, 1);
+    EXPECT_LT(winogradWorkspaceBytes(x8, w8, win),
+              winogradWorkspaceBytes(x32, w32, win));
+}
+
+} // namespace
+} // namespace scnn

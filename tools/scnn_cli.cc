@@ -1,0 +1,255 @@
+/**
+ * @file
+ * splitcnn command-line tool.
+ *
+ *   scnn profile  <model> [--batch N] [--image N] [--recompute-bn]
+ *       Figure-1-style forward profile and offload limit.
+ *   scnn plan     <model> [--batch N] [--planner hmms|layerwise|none]
+ *                 [--cap F] [--split D] [--grid HxW]
+ *       Build and describe an offload/prefetch plan + memory pools.
+ *   scnn maxbatch <model> [--split D] [--grid HxW] [--naive]
+ *                 [--recompute-bn]
+ *       Binary-search the largest trainable batch on the device.
+ *   scnn dot      <model> [--split D] [--grid HxW] [--batch N]
+ *       Emit the (optionally split) computation graph as Graphviz.
+ *   scnn train    [--epochs N] [--samples N] [--mode base|scnn|sscnn]
+ *                 [--depth D] [--grid HxW]
+ *       Small CPU training run on the synthetic dataset.
+ *
+ * Models: alexnet, vgg19, resnet18, resnet50.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/splitter.h"
+#include "data/synthetic.h"
+#include "graph/dot.h"
+#include "hmms/plan_report.h"
+#include "hmms/planner.h"
+#include "hmms/residency_checker.h"
+#include "hmms/static_planner.h"
+#include "models/models.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+#include "train/trainer.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace scnn {
+namespace {
+
+Graph
+buildFromArgs(const Args &args, int64_t default_batch = 64)
+{
+    const std::string model = args.positional(0, "vgg19");
+    ModelConfig cfg{.batch = args.flagInt("batch", default_batch),
+                    .image = args.flagInt("image", 224),
+                    .classes = args.flagInt("classes", 1000),
+                    .width = args.flagDouble("width", 1.0),
+                    .batch_norm = model != "vgg19"};
+    Graph g = buildModel(model, cfg);
+    const double depth = args.flagDouble("split", 0.0);
+    if (depth > 0.0) {
+        const auto [h, w] = parseGrid(args.flag("grid", "2x2"));
+        g = splitCnnTransform(
+            g, {.depth = depth, .splits_h = h, .splits_w = w});
+    }
+    return g;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    DeviceSpec spec;
+    BackwardOptions bo{.recompute_bn = args.has("recompute-bn")};
+    Graph g = buildFromArgs(args);
+    auto prof = profileForwardPass(g, spec, bo);
+    Table t({"layer", "time(ms)", "generated(MB)", "offloadable(MB)"});
+    for (const auto &l : prof.layers) {
+        if (l.fwd_time == 0.0 && l.generated_bytes == 0.0)
+            continue;
+        t.addRow({l.name, formatFloat(l.fwd_time * 1e3, 3),
+                  formatFloat(l.generated_bytes / 1e6, 1),
+                  formatFloat(l.offloadable_bytes / 1e6, 1)});
+    }
+    t.print(std::cout);
+    std::printf("forward %.1f ms, backward %.1f ms; generated %.2f "
+                "GB, offload limit %.0f%%\n",
+                prof.total_fwd_time * 1e3, prof.total_bwd_time * 1e3,
+                prof.total_generated / 1e9,
+                100 * prof.offloadable_fraction);
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    DeviceSpec spec;
+    Graph g = buildFromArgs(args);
+    const std::string planner = args.flag("planner", "hmms");
+    PlannerKind kind = PlannerKind::Hmms;
+    if (planner == "layerwise")
+        kind = PlannerKind::LayerWise;
+    else if (planner == "none")
+        kind = PlannerKind::None;
+    else
+        SCNN_REQUIRE(planner == "hmms",
+                     "unknown planner '" << planner << "'");
+
+    auto assignment = assignStorage(g, g.topoOrder());
+    const double cap = args.flagDouble(
+        "cap", profileForwardPass(g, spec).offloadable_fraction);
+    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
+    auto mem = planStaticMemory(g, assignment, plan);
+    auto sim = simulatePlan(g, spec, plan, assignment);
+    auto check = checkResidency(g, assignment, plan, mem);
+
+    std::cout << describePlan(g, plan, assignment);
+    std::printf("pools: device general %.2f GB (workspace %.2f GB), "
+                "parameters %.2f GB, pinned host %.2f GB\n",
+                mem.device_general_peak / 1e9,
+                mem.workspace_bytes / 1e9, mem.param_pool_bytes / 1e9,
+                mem.host_pool_bytes / 1e9);
+    std::printf("simulated iteration %.1f ms (stall %.1f ms); "
+                "residency check: %s\n",
+                sim.total_time * 1e3, sim.stall_time * 1e3,
+                check.ok() ? "ok" : check.toString().c_str());
+    return check.ok() ? 0 : 1;
+}
+
+int
+cmdMaxBatch(const Args &args)
+{
+    DeviceSpec spec;
+    BackwardOptions bo{.recompute_bn = args.has("recompute-bn")};
+    const double depth = args.flagDouble("split", 0.0);
+    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2"));
+    const std::string model = args.positional(0, "vgg19");
+
+    auto fits = [&](int64_t batch) {
+        ModelConfig cfg{.batch = batch,
+                        .image = args.flagInt("image", 224),
+                        .classes = 1000,
+                        .width = 1.0,
+                        .batch_norm = model != "vgg19"};
+        Graph g = buildModel(model, cfg);
+        if (depth > 0.0)
+            g = splitCnnTransform(
+                g, {.depth = depth, .splits_h = gh, .splits_w = gw});
+        auto assignment = assignStorage(g, g.topoOrder());
+        const double cap =
+            depth > 0.0
+                ? profileForwardPass(g, spec, bo).offloadable_fraction
+                : 0.0;
+        auto plan = planMemory(
+            g, spec,
+            {depth > 0.0 ? PlannerKind::Hmms : PlannerKind::None, cap,
+             bo},
+            assignment);
+        auto mem = planStaticMemory(
+            g, assignment, plan, bo,
+            {.naive_lifetimes = args.has("naive")});
+        return mem.fits(spec.memory_capacity);
+    };
+    int64_t lo = 0, hi = 8192;
+    while (lo < hi) {
+        const int64_t mid = (lo + hi + 1) / 2;
+        if (fits(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    std::printf("%s: max batch %lld on a %.0f GB device\n",
+                model.c_str(), static_cast<long long>(lo),
+                spec.memory_capacity / 1e9);
+    return 0;
+}
+
+int
+cmdDot(const Args &args)
+{
+    Graph g = buildFromArgs(args, /*default_batch=*/1);
+    std::cout << toDot(g);
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    SyntheticDataset data(
+        {.classes = 10,
+         .image = 32,
+         .train_samples =
+             static_cast<int>(args.flagInt("samples", 512)),
+         .test_samples = 256,
+         .noise = 1.6f});
+    TrainConfig cfg;
+    const std::string mode = args.flag("mode", "base");
+    cfg.mode = mode == "scnn"    ? TrainMode::SplitCnn
+               : mode == "sscnn" ? TrainMode::StochasticSplit
+                                 : TrainMode::Baseline;
+    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2"));
+    cfg.split = {.depth = args.flagDouble("depth", 0.5),
+                 .splits_h = gh,
+                 .splits_w = gw,
+                 .omega = 0.2};
+    cfg.epochs = static_cast<int>(args.flagInt("epochs", 8));
+    cfg.batch = 32;
+    cfg.sgd.lr = 0.05f;
+    cfg.lr_milestones = {(cfg.epochs * 3) / 5, (cfg.epochs * 4) / 5};
+
+    Graph g = buildModel(args.positional(0, "vgg19"),
+                         {.batch = cfg.batch,
+                          .image = 32,
+                          .classes = 10,
+                          .width = 0.0625});
+    auto result = trainModel(g, cfg, data);
+    for (const auto &e : result.epochs)
+        std::printf("epoch %2d: loss %.3f, test error %.1f%%\n",
+                    e.epoch, e.train_loss, e.test_error);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: scnn <profile|plan|maxbatch|dot|train> "
+                 "<model> [flags]\nsee the header of "
+                 "tools/scnn_cli.cc for the full flag list\n");
+    return 2;
+}
+
+} // namespace
+} // namespace scnn
+
+int
+main(int argc, char **argv)
+{
+    using namespace scnn;
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args(argc - 2, argv + 2);
+    try {
+        if (cmd == "profile")
+            return cmdProfile(args);
+        if (cmd == "plan")
+            return cmdPlan(args);
+        if (cmd == "maxbatch")
+            return cmdMaxBatch(args);
+        if (cmd == "dot")
+            return cmdDot(args);
+        if (cmd == "train")
+            return cmdTrain(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -50,7 +50,7 @@ storageOptimizationAblation()
                                .share_sum_error = sum,
                                .share_flatten = true});
             auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
-                                   assignment);
+                                   assignment).value();
             auto mem = planStaticMemory(g, assignment, plan);
             t.addRow({relu ? "on" : "off", sum ? "on" : "off",
                       formatFloat(assignment.totalBytes() / 1e9, 2),
@@ -79,7 +79,7 @@ allocatorAblation()
             {PlannerKind::Hmms,
              profileForwardPass(g, spec).offloadable_fraction,
              {}},
-            assignment);
+            assignment).value();
         auto ff = planStaticMemory(g, assignment, plan, {},
                                    {.fit = FitPolicy::FirstFit});
         auto bf = planStaticMemory(g, assignment, plan, {},
@@ -111,8 +111,8 @@ interconnectAblation()
             auto run = [&](PlannerKind kind) {
                 auto plan = planMemory(
                     g, spec, {kind, prof.offloadable_fraction, {}},
-                    assignment);
-                return simulatePlan(g, spec, plan, assignment)
+                    assignment).value();
+                return simulatePlan(g, spec, plan, assignment).value()
                     .total_time;
             };
             const double base = run(PlannerKind::None);
@@ -143,8 +143,8 @@ streamCountAblation()
         Graph g = vggBatch(64);
         auto assignment = assignStorage(g, g.topoOrder());
         auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                               assignment);
-        auto sim = simulatePlan(g, spec, plan, assignment);
+                               assignment).value();
+        auto sim = simulatePlan(g, spec, plan, assignment).value();
         t.addRow({std::to_string(streams),
                   formatFloat(sim.total_time * 1e3, 1),
                   formatFloat(sim.stall_time * 1e3, 1)});
@@ -171,7 +171,7 @@ splitGeometryAblation()
                 {PlannerKind::Hmms,
                  profileForwardPass(g, spec).offloadable_fraction,
                  {}},
-                assignment);
+                assignment).value();
             auto mem = planStaticMemory(g, assignment, plan);
             t.addRow({formatFloat(100 * depth, 0) + "%",
                       std::to_string(h) + "x" + std::to_string(w),

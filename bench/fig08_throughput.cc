@@ -46,8 +46,8 @@ main()
                                  PlannerKind::LayerWise,
                                  PlannerKind::Hmms}) {
             auto plan =
-                planMemory(g, spec, {kind, cap, {}}, assignment);
-            auto sim = simulatePlan(g, spec, plan, assignment);
+                planMemory(g, spec, {kind, cap, {}}, assignment).value();
+            auto sim = simulatePlan(g, spec, plan, assignment).value();
             auto mem = planStaticMemory(g, assignment, plan);
             if (kind == PlannerKind::None)
                 base_time = sim.total_time;

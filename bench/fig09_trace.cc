@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "hmms/planner.h"
+#include "sim/faults.h"
 #include "sim/profile.h"
 #include "sim/stream_sim.h"
 
@@ -33,13 +34,29 @@ main()
 
     for (PlannerKind kind :
          {PlannerKind::None, PlannerKind::LayerWise, PlannerKind::Hmms}) {
-        auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
-        auto sim = simulatePlan(g, spec, plan, assignment);
+        auto plan = planMemory(g, spec, {kind, cap, {}}, assignment).value();
+        auto sim = simulatePlan(g, spec, plan, assignment).value();
         std::printf("\n--- %s: iteration %.1f ms, stall %.1f ms ---\n",
                     plannerKindName(kind), sim.total_time * 1e3,
                     sim.stall_time * 1e3);
         std::cout << renderTimeline(sim, spec, 96);
     }
+    // Not part of the paper figure: the same HMMS schedule under an
+    // injected fault plan, to show the timeline's fault lane.
+    FaultPlan faults;
+    faults.seed = 42;
+    faults.transfer_failure_rate = 0.1;
+    faults.bandwidth = {{0.1, 0.15, 0.5}};
+    auto plan = planMemory(g, spec, {PlannerKind::Hmms, cap, {}},
+                           assignment).value();
+    auto sim = simulatePlan(g, spec, plan, assignment, {},
+                            &faults).value();
+    std::printf("\n--- HMMS + injected faults: iteration %.1f ms, "
+                "%d transfer retries, %.1f ms degraded-link ---\n",
+                sim.total_time * 1e3, sim.transfer_retries,
+                sim.degraded_time * 1e3);
+    std::cout << renderTimeline(sim, spec, 96);
+
     std::printf("\npaper shape: layer-wise shows '!' stalls "
                 "throughout; HMMS keeps the compute lane solid while "
                 "'v'/'^' transfers overlap it\n");

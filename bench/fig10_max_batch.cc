@@ -59,12 +59,12 @@ evaluate(const std::string &model, const Variant &variant,
             cap = profileForwardPass(g, spec, bo).offloadable_fraction;
             kind = PlannerKind::Hmms;
         }
-        auto plan = planMemory(g, spec, {kind, cap, bo}, assignment);
+        auto plan = planMemory(g, spec, {kind, cap, bo}, assignment).value();
         auto mem = planStaticMemory(
             g, assignment, plan, bo,
             {.naive_lifetimes = variant.naive});
         if (throughput) {
-            auto sim = simulatePlan(g, spec, plan, assignment, bo);
+            auto sim = simulatePlan(g, spec, plan, assignment, bo).value();
             *throughput = sim.throughput(batch);
         }
         return mem.fits(spec.memory_capacity);

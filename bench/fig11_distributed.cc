@@ -48,9 +48,9 @@ main()
                                      .offloadable_fraction
                                : 0.0,
                          {}};
-        auto plan = planMemory(g, spec, pc, assignment);
+        auto plan = planMemory(g, spec, pc, assignment).value();
         auto prof = profileForwardPass(g, spec);
-        auto sim = simulatePlan(g, spec, plan, assignment);
+        auto sim = simulatePlan(g, spec, plan, assignment).value();
         DistConfig d;
         d.batch = batch;
         d.t_forward = prof.total_fwd_time;

@@ -52,7 +52,7 @@ maxBatch(const Config &c, const DeviceSpec &spec)
             g, spec,
             {c.offload ? PlannerKind::Hmms : PlannerKind::None, cap,
              {}},
-            assignment);
+            assignment).value();
         auto mem = planStaticMemory(
             g, assignment, plan, {},
             {.naive_lifetimes = !c.static_planning});

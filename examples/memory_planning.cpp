@@ -48,7 +48,7 @@ main()
     // Step 4: offload/prefetch planning (Algorithm 1).
     auto plan = planMemory(
         g, spec, {PlannerKind::Hmms, prof.offloadable_fraction, {}},
-        assignment);
+        assignment).value();
     std::printf("plan: %zu TSOs offloaded (%.2f GB of %.2f GB "
                 "candidates) across %d memory streams\n",
                 plan.offloaded.size(), plan.offloaded_bytes / 1e9,
@@ -66,7 +66,7 @@ main()
                 mem.fits(spec.memory_capacity) ? "yes" : "no");
 
     // Simulated execution.
-    auto sim = simulatePlan(g, spec, plan, assignment);
+    auto sim = simulatePlan(g, spec, plan, assignment).value();
     std::printf("simulated iteration: %.1f ms (compute %.1f ms, "
                 "stall %.1f ms) -> %.1f images/s\n\n",
                 sim.total_time * 1e3, sim.compute_busy * 1e3,

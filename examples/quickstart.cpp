@@ -79,9 +79,9 @@ main()
     DeviceSpec spec; // P100 + NVLink defaults
     auto assignment = assignStorage(split, split.topoOrder());
     auto plan = planMemory(split, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto mem = planStaticMemory(split, assignment, plan);
-    auto sim = simulatePlan(split, spec, plan, assignment);
+    auto sim = simulatePlan(split, spec, plan, assignment).value();
     std::printf("HMMS plan: offloads %.1f MB, device peak %.1f MB, "
                 "iteration %.3f ms (stall %.3f ms)\n",
                 plan.offloaded_bytes / 1e6,

@@ -86,14 +86,24 @@ main()
         sgd.step(params);
     }
     const char *path = "/tmp/scnn_deploy.ckpt";
-    saveParams(params, split_graph, path);
+    const Status saved = saveParams(params, split_graph, path);
+    if (!saved.ok()) {
+        std::fprintf(stderr, "checkpoint save failed: %s\n",
+                     saved.toString().c_str());
+        return 1;
+    }
     std::printf("checkpoint written to %s (parameter table shared by "
                 "split and unsplit graphs)\n",
                 path);
 
     Rng rng2(123);
     ParamStore deployed(model, rng2); // fresh (different init)
-    loadParams(deployed, model, path);
+    const Status loaded = loadParams(deployed, model, path);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "checkpoint load failed: %s\n",
+                     loaded.toString().c_str());
+        return 1;
+    }
     const float err =
         evaluateTestError(model, deployed, data, cfg.batch);
     std::printf("deployed on the unsplit network: %.1f%% error — no "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/faults.h"
 #include "util/logging.h"
 
 namespace scnn {
@@ -15,6 +16,9 @@ simulateRingAllreduce(const RingConfig &config)
                  "no link bandwidths given");
     SCNN_REQUIRE(config.alpha > 0.0 && config.alpha <= 1.0,
                  "alpha must be in (0, 1]");
+    SCNN_REQUIRE(config.link_drop_rate >= 0.0 &&
+                     config.link_drop_rate <= 1.0,
+                 "link_drop_rate must be in [0, 1]");
 
     const int n = config.learners;
     const double chunk_bits =
@@ -35,6 +39,32 @@ simulateRingAllreduce(const RingConfig &config)
     result.reduce_scatter = (n - 1) * step_time;
     result.allgather = (n - 1) * step_time;
     result.total_time = result.reduce_scatter + result.allgather;
+
+    // A dropped chunk repeats the whole (synchronous) step after an
+    // exponential backoff; the zero-rate path above stays untouched
+    // so fault-free results are bit-identical to the legacy model.
+    if (config.link_drop_rate > 0.0) {
+        for (int step = 0; step < result.steps; ++step) {
+            double penalty = 0.0;
+            int failed = 0;
+            while (failed < config.max_step_retries &&
+                   faultUniform(config.fault_seed, kFaultStreamRing,
+                                static_cast<uint64_t>(step) * 64 +
+                                    static_cast<uint64_t>(failed)) <
+                       config.link_drop_rate) {
+                penalty += step_time + config.retry_backoff *
+                                           (1 << failed);
+                ++failed;
+            }
+            result.retries += failed;
+            result.retry_time += penalty;
+            if (step < n - 1)
+                result.reduce_scatter += penalty;
+            else
+                result.allgather += penalty;
+        }
+        result.total_time += result.retry_time;
+    }
     result.bound = 2.0 * 8.0 *
                    static_cast<double>(config.gradient_bytes) *
                    (n - 1) / (n * config.alpha * min_bw);

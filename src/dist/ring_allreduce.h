@@ -28,6 +28,16 @@ struct RingConfig
     double step_latency = 50e-6;
     /** Bandwidth utilization efficiency (the paper's alpha). */
     double alpha = 0.8;
+
+    // Fault injection (zero drop rate leaves results untouched).
+    /** Probability that one attempt of a ring step drops its chunk. */
+    double link_drop_rate = 0.0;
+    /** Seed for the deterministic drop draws (see sim/faults.h). */
+    uint64_t fault_seed = 0;
+    /** Failed attempts before a step is forced through. */
+    int max_step_retries = 4;
+    /** First retry backoff (seconds); doubles per failed attempt. */
+    double retry_backoff = 100e-6;
 };
 
 /** Result of one simulated allreduce. */
@@ -39,6 +49,9 @@ struct RingResult
     int steps = 0;                ///< 2 * (N - 1)
     /** The closed-form bound 2|G|(N-1)/(N * alpha * B_min). */
     double bound = 0.0;
+    // Fault accounting (zero without link_drop_rate).
+    int retries = 0;         ///< dropped step attempts, total
+    double retry_time = 0.0; ///< repeated-step + backoff seconds
 };
 
 /**

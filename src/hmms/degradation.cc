@@ -1,0 +1,185 @@
+#include "hmms/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "sim/profile.h"
+
+namespace scnn {
+
+std::string
+DegradationReport::toString() const
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "DegradationReport: capacity %.2f GB, %d attempts, "
+                  "%s\n",
+                  static_cast<double>(capacity) / 1e9,
+                  static_cast<int>(attempts.size()),
+                  success ? "recovered" : "exhausted");
+    std::string out = line;
+    for (size_t i = 0; i < attempts.size(); ++i) {
+        const DegradationAttempt &a = attempts[i];
+        std::string what = a.action;
+        if (a.split) {
+            char geom[48];
+            std::snprintf(geom, sizeof(geom), " (depth %.0f%%, %dx%d)",
+                          100.0 * a.split_options.depth,
+                          a.split_options.splits_h,
+                          a.split_options.splits_w);
+            what += geom;
+        }
+        std::snprintf(line, sizeof(line),
+                      "  [%d] %-32s %-10s cap %3.0f%%  peak %6.2f GB"
+                      "  %s\n",
+                      static_cast<int>(i + 1), what.c_str(),
+                      plannerKindName(a.kind), 100.0 * a.offload_cap,
+                      static_cast<double>(a.device_bytes) / 1e9,
+                      a.fits ? "fits" : "does not fit");
+        out += line;
+    }
+    return out;
+}
+
+StatusOr<DegradedPlan>
+planWithDegradation(const Graph &base, const DeviceSpec &spec,
+                    const PlannerConfig &initial,
+                    DegradationReport *report,
+                    const DegradationOptions &options)
+{
+    SCNN_RETURN_IF_ERROR(validateDeviceSpec(spec));
+
+    DegradationReport local;
+    DegradationReport &rep = report != nullptr ? *report : local;
+    rep = DegradationReport{};
+    rep.capacity = spec.memory_capacity;
+
+    std::optional<DegradedPlan> found;
+    auto tryRung = [&](Graph g, PlannerKind kind, double cap,
+                       bool is_split, const SplitOptions &sopt,
+                       const char *action) -> Status {
+        cap = std::clamp(cap, 0.0, 1.0);
+        StorageAssignment assignment =
+            assignStorage(g, g.topoOrder());
+        SCNN_ASSIGN_OR_RETURN(
+            MemoryPlan plan,
+            planMemory(g, spec, {kind, cap, options.backward},
+                       assignment));
+        StaticMemoryPlan mem =
+            planStaticMemory(g, assignment, plan, options.backward);
+
+        DegradationAttempt attempt;
+        attempt.action = action;
+        attempt.kind = kind;
+        attempt.offload_cap = cap;
+        attempt.split = is_split;
+        attempt.split_options = sopt;
+        attempt.device_bytes = mem.totalDeviceBytes();
+        attempt.fits = mem.fits(spec.memory_capacity);
+        rep.attempts.push_back(attempt);
+
+        if (attempt.fits && !found) {
+            DegradedPlan result;
+            result.graph = std::move(g);
+            result.assignment = std::move(assignment);
+            result.plan = std::move(plan);
+            result.memory = std::move(mem);
+            result.config = {kind, cap, options.backward};
+            result.split_applied = is_split;
+            result.split = sopt;
+            found = std::move(result);
+        }
+        return Status();
+    };
+
+    // Rung 1: the caller's own configuration.
+    SCNN_RETURN_IF_ERROR(tryRung(base, initial.kind,
+                                 initial.offload_cap, false, {},
+                                 "initial"));
+
+    // Rung 2: raise the offload cap under the HMMS scheduler.
+    if (!found) {
+        std::vector<double> caps = options.offload_caps;
+        if (caps.empty())
+            caps = {profileForwardPass(base, spec)
+                        .offloadable_fraction,
+                    1.0};
+        std::sort(caps.begin(), caps.end());
+        double prev = -1.0;
+        for (double cap : caps) {
+            if (found)
+                break;
+            // Skip rungs that cannot offload more than what already
+            // failed (and exact duplicates within the ladder).
+            if (initial.kind == PlannerKind::Hmms &&
+                cap <= initial.offload_cap)
+                continue;
+            if (cap == prev)
+                continue;
+            prev = cap;
+            SCNN_RETURN_IF_ERROR(tryRung(base, PlannerKind::Hmms,
+                                         cap, false, {},
+                                         "raise offload cap"));
+        }
+    }
+
+    // Rung 3: LayerWise scheduler — eager per-layer sync frees
+    // device copies sooner (smaller footprint, slower iteration).
+    if (!found && options.try_layerwise)
+        SCNN_RETURN_IF_ERROR(tryRung(base, PlannerKind::LayerWise,
+                                     1.0, false, {},
+                                     "layer-wise scheduler"));
+
+    // Rung 4: Split-CNN at progressively finer geometry.
+    if (!found) {
+        std::vector<SplitOptions> ladder = options.splits;
+        if (ladder.empty())
+            ladder = {
+                SplitOptions{.depth = 0.5, .splits_h = 2,
+                             .splits_w = 2},
+                SplitOptions{.depth = 1.0, .splits_h = 2,
+                             .splits_w = 2},
+                SplitOptions{.depth = 1.0, .splits_h = 3,
+                             .splits_w = 3},
+                SplitOptions{.depth = 1.0, .splits_h = 4,
+                             .splits_w = 4},
+            };
+        for (const SplitOptions &sopt : ladder) {
+            if (found)
+                break;
+            // A grid finer than the join tensor's spatial extent
+            // cannot produce non-empty patches; skip the rung rather
+            // than trip the splitter's input validation.
+            const int cut = chooseCutPoint(base, sopt.depth);
+            if (cut < 0)
+                continue;
+            const Shape &join =
+                base.tensor(base.cutPoints()[static_cast<size_t>(cut)]
+                                .tensor)
+                    .shape;
+            if (join.dim(2) < sopt.splits_h ||
+                join.dim(3) < sopt.splits_w)
+                continue;
+            SCNN_RETURN_IF_ERROR(
+                tryRung(splitCnnTransform(base, sopt),
+                        PlannerKind::Hmms, 1.0, true, sopt,
+                        "split-cnn re-split"));
+        }
+    }
+
+    rep.success = found.has_value();
+    if (!found)
+        return resourceExhausted(
+            "no fallback configuration fits " +
+            std::to_string(static_cast<double>(
+                               spec.memory_capacity) /
+                           1e9) +
+            " GB after " + std::to_string(rep.attempts.size()) +
+            " attempts");
+    return std::move(*found);
+}
+
+} // namespace scnn

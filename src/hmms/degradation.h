@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Graceful-degradation fallback chain: when a memory plan no longer
+ * fits the (possibly degraded) device capacity, escalate through the
+ * knob space the paper gives us instead of dying:
+ *
+ *   1. the caller's own configuration, as-is;
+ *   2. raise the offload cap (profiled theoretical limit, then 1.0)
+ *      under the HMMS scheduler;
+ *   3. fall back to the LayerWise scheduler at full cap — its eager
+ *      per-layer synchronization frees device copies sooner, buying
+ *      a smaller footprint at a throughput cost;
+ *   4. apply Split-CNN at progressively deeper/finer geometry
+ *      (depth 0.5 2x2 -> 1.0 2x2 -> 1.0 3x3 -> 1.0 4x4), replanning
+ *      each rung with HMMS at full cap; rungs whose grid exceeds
+ *      the join tensor's spatial extent are skipped, not attempted.
+ *
+ * The ladder is finite, so the chain always terminates: either some
+ * rung fits and a complete re-plan is returned, or every rung is
+ * recorded in the DegradationReport and ResourceExhausted comes
+ * back.
+ */
+#ifndef SCNN_HMMS_DEGRADATION_H
+#define SCNN_HMMS_DEGRADATION_H
+
+#include <string>
+#include <vector>
+
+#include "core/splitter.h"
+#include "graph/backward.h"
+#include "graph/graph.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "hmms/tso.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace scnn {
+
+/** Knobs of the fallback chain; defaults follow the doc above. */
+struct DegradationOptions
+{
+    /**
+     * Offload-cap escalation rungs. Empty selects the default
+     * ladder: the profiled theoretical limit, then 1.0.
+     */
+    std::vector<double> offload_caps;
+    /** Try the LayerWise scheduler before resorting to splits. */
+    bool try_layerwise = true;
+    /**
+     * Split-geometry rungs, tried in order. Empty selects the
+     * default ladder documented above.
+     */
+    std::vector<SplitOptions> splits;
+    /** Backward options threaded through every re-plan. */
+    BackwardOptions backward;
+};
+
+/** One rung of the chain and whether its plan fit. */
+struct DegradationAttempt
+{
+    std::string action; ///< "initial", "raise offload cap", ...
+    PlannerKind kind = PlannerKind::Hmms;
+    double offload_cap = 0.0;
+    bool split = false;
+    SplitOptions split_options;
+    int64_t device_bytes = 0; ///< static-plan peak of this rung
+    bool fits = false;
+};
+
+/** Everything the chain tried, in order, and how it ended. */
+struct DegradationReport
+{
+    int64_t capacity = 0; ///< capacity the chain planned against
+    std::vector<DegradationAttempt> attempts;
+    bool success = false;
+
+    std::string toString() const;
+};
+
+/** A complete re-plan produced by a successful fallback. */
+struct DegradedPlan
+{
+    Graph graph; ///< possibly split copy of the caller's graph
+    StorageAssignment assignment;
+    MemoryPlan plan;
+    StaticMemoryPlan memory;
+    PlannerConfig config; ///< the configuration that finally fit
+    bool split_applied = false;
+    SplitOptions split; ///< valid when split_applied
+};
+
+/**
+ * Plan @p base for @p spec starting from @p initial and walking the
+ * fallback chain until some rung's static plan fits
+ * spec.memory_capacity.
+ *
+ * @param report optional; receives every attempt even on failure.
+ * @returns the first fitting re-plan, or ResourceExhausted when the
+ *          whole ladder is spent.
+ */
+StatusOr<DegradedPlan>
+planWithDegradation(const Graph &base, const DeviceSpec &spec,
+                    const PlannerConfig &initial,
+                    DegradationReport *report = nullptr,
+                    const DegradationOptions &options = {});
+
+} // namespace scnn
+
+#endif // SCNN_HMMS_DEGRADATION_H

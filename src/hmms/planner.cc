@@ -1,6 +1,7 @@
 #include "hmms/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "sim/cost_model.h"
@@ -221,11 +222,24 @@ selectUnderCap(const ScheduleInfo &info,
 
 } // namespace
 
-MemoryPlan
+StatusOr<MemoryPlan>
 planMemory(const Graph &graph, const DeviceSpec &spec,
            const PlannerConfig &config,
            const StorageAssignment &assignment)
 {
+    SCNN_RETURN_IF_ERROR(validateDeviceSpec(spec));
+    if (!std::isfinite(config.offload_cap) ||
+        config.offload_cap < 0.0 || config.offload_cap > 1.0)
+        return invalidArgument(
+            "offload cap must lie in [0, 1], got " +
+            std::to_string(config.offload_cap));
+    if (assignment.value_tso.size() != graph.tensors().size())
+        return failedPrecondition(
+            "storage assignment does not belong to this graph (" +
+            std::to_string(assignment.value_tso.size()) +
+            " tensor entries vs " +
+            std::to_string(graph.tensors().size()) + " tensors)");
+
     const ScheduleInfo info =
         buildScheduleInfo(graph, spec, config, assignment);
 

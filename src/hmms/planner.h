@@ -23,6 +23,7 @@
 #include "hmms/plan.h"
 #include "hmms/tso.h"
 #include "sim/device.h"
+#include "util/status.h"
 
 namespace scnn {
 
@@ -56,10 +57,15 @@ struct PlannerConfig
  *
  * @param assignment the TSO assignment from assignStorage (must use
  *        the same graph and the same BackwardOptions-needed set).
+ *
+ * Fails with InvalidArgument when @p spec is nonsensical or the
+ * offload cap falls outside [0, 1], and with FailedPrecondition when
+ * @p assignment does not belong to @p graph.
  */
-MemoryPlan planMemory(const Graph &graph, const DeviceSpec &spec,
-                      const PlannerConfig &config,
-                      const StorageAssignment &assignment);
+StatusOr<MemoryPlan> planMemory(const Graph &graph,
+                                const DeviceSpec &spec,
+                                const PlannerConfig &config,
+                                const StorageAssignment &assignment);
 
 } // namespace scnn
 

@@ -18,12 +18,23 @@ ResidencyReport::toString() const
     return os.str();
 }
 
-ResidencyReport
+StatusOr<ResidencyReport>
 checkResidency(const Graph &graph, const StorageAssignment &assignment,
                const MemoryPlan &plan,
                const StaticMemoryPlan &static_plan,
                const BackwardOptions &backward)
 {
+    if (assignment.value_tso.size() != graph.tensors().size())
+        return failedPrecondition(
+            "storage assignment does not belong to this graph");
+    if (plan.steps.size() != plan.actions.size())
+        return failedPrecondition(
+            "memory plan step/action tables disagree");
+    if (plan.tso_stream.size() != assignment.tsos.size())
+        return failedPrecondition(
+            "memory plan does not belong to this storage "
+            "assignment");
+
     ResidencyReport report;
     const int total = static_cast<int>(plan.steps.size());
 

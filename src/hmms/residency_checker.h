@@ -22,6 +22,7 @@
 #include "hmms/plan.h"
 #include "hmms/static_planner.h"
 #include "hmms/tso.h"
+#include "util/status.h"
 
 namespace scnn {
 
@@ -47,12 +48,17 @@ struct ResidencyReport
  * Verify @p static_plan against the op schedule of @p plan.
  *
  * @param backward must match the options the plans were built with.
+ *
+ * Fails with FailedPrecondition when the inputs visibly belong to
+ * different graphs or plans (mismatched table sizes) instead of
+ * indexing out of range.
  */
-ResidencyReport checkResidency(const Graph &graph,
-                               const StorageAssignment &assignment,
-                               const MemoryPlan &plan,
-                               const StaticMemoryPlan &static_plan,
-                               const BackwardOptions &backward = {});
+StatusOr<ResidencyReport>
+checkResidency(const Graph &graph,
+               const StorageAssignment &assignment,
+               const MemoryPlan &plan,
+               const StaticMemoryPlan &static_plan,
+               const BackwardOptions &backward = {});
 
 } // namespace scnn
 

@@ -1,0 +1,47 @@
+#include "sim/device.h"
+
+#include <cmath>
+
+namespace scnn {
+
+Status
+validateDeviceSpec(const DeviceSpec &spec)
+{
+    auto positive = [](double v) {
+        return std::isfinite(v) && v > 0.0;
+    };
+    if (!positive(spec.peak_flops))
+        return invalidArgument(
+            "DeviceSpec.peak_flops must be positive and finite");
+    if (!positive(spec.mem_bandwidth))
+        return invalidArgument(
+            "DeviceSpec.mem_bandwidth must be positive and finite");
+    if (!positive(spec.nvlink_bandwidth))
+        return invalidArgument(
+            "DeviceSpec.nvlink_bandwidth must be positive and "
+            "finite");
+    if (spec.memory_capacity <= 0)
+        return invalidArgument(
+            "DeviceSpec.memory_capacity must be positive");
+    if (spec.memory_streams < 1)
+        return invalidArgument(
+            "DeviceSpec.memory_streams must be at least 1");
+    if (!positive(spec.flops_efficiency) ||
+        spec.flops_efficiency > 1.0)
+        return invalidArgument(
+            "DeviceSpec.flops_efficiency must lie in (0, 1]");
+    if (!positive(spec.bandwidth_efficiency) ||
+        spec.bandwidth_efficiency > 1.0)
+        return invalidArgument(
+            "DeviceSpec.bandwidth_efficiency must lie in (0, 1]");
+    if (!std::isfinite(spec.launch_overhead) ||
+        spec.launch_overhead < 0.0)
+        return invalidArgument(
+            "DeviceSpec.launch_overhead must be non-negative");
+    if (!positive(spec.winograd_speedup))
+        return invalidArgument(
+            "DeviceSpec.winograd_speedup must be positive");
+    return Status();
+}
+
+} // namespace scnn

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace scnn {
 
 /** Hardware parameters of the simulated GPU + interconnect. */
@@ -51,6 +53,13 @@ struct DeviceSpec
         return spec;
     }
 };
+
+/**
+ * Reject nonsensical device descriptions (zero/negative/non-finite
+ * bandwidths or capacity, bad efficiencies) before they silently
+ * turn into NaN/inf times. Checked at simulatePlan/planMemory entry.
+ */
+Status validateDeviceSpec(const DeviceSpec &spec);
 
 } // namespace scnn
 

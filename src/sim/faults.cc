@@ -1,0 +1,133 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scnn {
+namespace {
+
+/** splitmix64 finalizer: a strong 64-bit mixing function. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+double
+faultUniform(uint64_t seed, uint64_t stream, uint64_t index)
+{
+    const uint64_t h = mix64(seed ^ mix64(stream ^ mix64(index)));
+    // Top 53 bits -> uniform double in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultPlan::affectsSim() const
+{
+    return !bandwidth.empty() || transfer_failure_rate > 0.0 ||
+           kernel_jitter > 0.0;
+}
+
+Status
+FaultPlan::validate() const
+{
+    auto inUnit = [](double v) {
+        return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+    };
+    if (!inUnit(transfer_failure_rate))
+        return invalidArgument(
+            "transfer_failure_rate must lie in [0, 1]");
+    if (!inUnit(link_drop_rate))
+        return invalidArgument("link_drop_rate must lie in [0, 1]");
+    if (max_transfer_retries < 0)
+        return invalidArgument(
+            "max_transfer_retries must be non-negative");
+    if (!std::isfinite(retry_backoff) || retry_backoff < 0.0)
+        return invalidArgument("retry_backoff must be non-negative");
+    if (!std::isfinite(retry_backoff_growth) ||
+        retry_backoff_growth < 1.0)
+        return invalidArgument("retry_backoff_growth must be >= 1");
+    if (!std::isfinite(kernel_jitter) || kernel_jitter < 0.0 ||
+        kernel_jitter >= 1.0)
+        return invalidArgument("kernel_jitter must lie in [0, 1)");
+    for (const BandwidthFault &w : bandwidth) {
+        if (!std::isfinite(w.start) || w.start < 0.0)
+            return invalidArgument(
+                "bandwidth window start must be non-negative");
+        if (!std::isfinite(w.duration) || w.duration < 0.0)
+            return invalidArgument(
+                "bandwidth window duration must be non-negative");
+        if (!std::isfinite(w.factor) || w.factor <= 0.0 ||
+            w.factor > 1.0)
+            return invalidArgument(
+                "bandwidth window factor must lie in (0, 1]");
+    }
+    for (const CapacityFault &c : capacity) {
+        if (c.epoch < 0)
+            return invalidArgument(
+                "capacity fault epoch must be non-negative");
+        if (c.capacity <= 0)
+            return invalidArgument(
+                "capacity fault must leave positive capacity");
+    }
+    for (int e : crash_epochs)
+        if (e < 0)
+            return invalidArgument(
+                "crash epoch must be non-negative");
+    return Status();
+}
+
+double
+bandwidthFactorAt(const FaultPlan &plan, double t)
+{
+    double factor = 1.0;
+    for (const BandwidthFault &w : plan.bandwidth)
+        if (t >= w.start && t < w.start + w.duration)
+            factor *= w.factor;
+    return factor;
+}
+
+double
+transferEndTime(const FaultPlan *plan, double start, int64_t bytes,
+                double bandwidth)
+{
+    // Fast path preserves the pre-fault expression bit for bit.
+    const bool windowed =
+        plan != nullptr &&
+        std::any_of(plan->bandwidth.begin(), plan->bandwidth.end(),
+                    [&](const BandwidthFault &w) {
+                        return w.start + w.duration > start;
+                    });
+    if (!windowed)
+        return start + static_cast<double>(bytes) / bandwidth;
+
+    // Piecewise-constant integration over window boundaries.
+    double t = start;
+    double remaining = static_cast<double>(bytes);
+    for (;;) {
+        double boundary = std::numeric_limits<double>::infinity();
+        for (const BandwidthFault &w : plan->bandwidth) {
+            if (w.start > t)
+                boundary = std::min(boundary, w.start);
+            const double end = w.start + w.duration;
+            if (end > t)
+                boundary = std::min(boundary, end);
+        }
+        const double eff = bandwidth * bandwidthFactorAt(*plan, t);
+        const double finish = t + remaining / eff;
+        if (finish <= boundary ||
+            boundary == std::numeric_limits<double>::infinity())
+            return finish;
+        remaining -= (boundary - t) * eff;
+        remaining = std::max(remaining, 0.0);
+        t = boundary;
+    }
+}
+
+} // namespace scnn

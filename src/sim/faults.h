@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the stream simulator,
+ * the trainer, and the ring-allreduce model.
+ *
+ * A FaultPlan is pure data: every random decision is a stateless
+ * hash of (seed, stream, index), so the same plan always produces
+ * bit-identical simulation results regardless of evaluation order,
+ * and an empty plan leaves every code path byte-identical to a run
+ * without fault injection.
+ *
+ * Fault classes modeled:
+ *  - NVLink bandwidth degradation windows (piecewise-constant
+ *    multiplicative factor on the host<->device link);
+ *  - transient transfer failures: a failed attempt occupies the full
+ *    transfer duration (corruption is detected at completion), then
+ *    retries after exponential backoff;
+ *  - kernel-time jitter (multiplicative, uniform);
+ *  - device capacity shrink events at epoch granularity (consumed by
+ *    the trainer, which re-plans through the degradation chain);
+ *  - injected crashes at epoch granularity (the trainer restores
+ *    from its last checkpoint);
+ *  - dropped ring-allreduce link steps (consumed by dist/).
+ */
+#ifndef SCNN_SIM_FAULTS_H
+#define SCNN_SIM_FAULTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scnn {
+
+/** One NVLink degradation window: bandwidth *= factor over it. */
+struct BandwidthFault
+{
+    double start = 0.0;    ///< seconds into the iteration
+    double duration = 0.0; ///< seconds
+    double factor = 1.0;   ///< 0 < factor <= 1; 0.5 = half bandwidth
+};
+
+/** Device capacity shrink, applied before training @p epoch. */
+struct CapacityFault
+{
+    int epoch = 0;
+    int64_t capacity = 0; ///< new device capacity in bytes
+};
+
+/** Hash streams keyed into faultUniform (never renumber). */
+enum : uint64_t {
+    kFaultStreamTransfer = 1,
+    kFaultStreamKernel = 2,
+    kFaultStreamRing = 3,
+};
+
+/** Declarative fault schedule. Default-constructed plan is empty. */
+struct FaultPlan
+{
+    uint64_t seed = 0;
+
+    // --- stream simulator ---
+    std::vector<BandwidthFault> bandwidth;
+    /** Probability that one transfer attempt fails in flight. */
+    double transfer_failure_rate = 0.0;
+    /** Failed attempts before a transfer is forced to succeed. */
+    int max_transfer_retries = 6;
+    /** First backoff delay (seconds); grows geometrically. */
+    double retry_backoff = 20e-6;
+    double retry_backoff_growth = 2.0;
+    /** Kernel time *= 1 + jitter * U(-1, 1). 0 disables. */
+    double kernel_jitter = 0.0;
+
+    // --- trainer ---
+    std::vector<CapacityFault> capacity;
+    std::vector<int> crash_epochs;
+
+    // --- distributed ---
+    /** Probability that a ring step's transfer drops (per attempt). */
+    double link_drop_rate = 0.0;
+
+    /** True if any field can change stream-simulator behaviour. */
+    bool affectsSim() const;
+
+    /** Range-check all knobs. */
+    Status validate() const;
+};
+
+/**
+ * Deterministic uniform [0, 1) draw for decision @p index of hash
+ * stream @p stream under @p seed (splitmix64 finalizer). Stateless:
+ * evaluation order does not matter.
+ */
+double faultUniform(uint64_t seed, uint64_t stream, uint64_t index);
+
+/** Product of the factors of all windows active at time @p t. */
+double bandwidthFactorAt(const FaultPlan &plan, double t);
+
+/**
+ * Completion time of a transfer of @p bytes starting at @p start on
+ * a link of nominal @p bandwidth (bytes/s), integrating through the
+ * plan's degradation windows. With no plan or no windows this is
+ * exactly start + bytes / bandwidth.
+ */
+double transferEndTime(const FaultPlan *plan, double start,
+                       int64_t bytes, double bandwidth);
+
+/** Timeline annotation produced by the simulator under faults. */
+struct FaultMarker
+{
+    double time = 0.0;
+    char tag = '?'; ///< 'x' transfer retry, '~' bandwidth window
+    std::string what;
+};
+
+} // namespace scnn
+
+#endif // SCNN_SIM_FAULTS_H

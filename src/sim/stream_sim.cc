@@ -16,16 +16,25 @@ SimResult::throughput(int64_t batch) const
                             : 0.0;
 }
 
-SimResult
+StatusOr<SimResult>
 simulatePlan(const Graph &graph, const DeviceSpec &spec,
              const MemoryPlan &plan, const StorageAssignment &assignment,
-             const BackwardOptions &backward)
+             const BackwardOptions &backward, const FaultPlan *faults)
 {
+    SCNN_RETURN_IF_ERROR(validateDeviceSpec(spec));
+    if (faults != nullptr)
+        SCNN_RETURN_IF_ERROR(faults->validate());
+    // An absent or empty plan must leave the timeline bit-identical
+    // to the fault-free simulator, so every fault code path below is
+    // guarded by this flag.
+    const bool fault_active = faults != nullptr && faults->affectsSim();
+
     SimResult result;
     std::vector<double> stream_avail(
         static_cast<size_t>(std::max(1, spec.memory_streams)), 0.0);
     std::vector<double> transfer_end(assignment.tsos.size(), -1.0);
 
+    uint64_t transfer_index = 0;
     double now = 0.0;
     for (size_t i = 0; i < plan.steps.size(); ++i) {
         const ExecStep &step = plan.steps[i];
@@ -36,15 +45,53 @@ simulatePlan(const Graph &graph, const DeviceSpec &spec,
             const int s = plan.tso_stream[static_cast<size_t>(tso)];
             SCNN_CHECK(s >= 0, "transfer on unassigned stream");
             const int64_t bytes = assignment.tso(tso).bytes;
-            const double start =
+            double start =
                 std::max(stream_avail[static_cast<size_t>(s)], now);
-            const double end =
-                start + static_cast<double>(bytes) /
-                            spec.nvlink_bandwidth;
+            int retries = 0;
+            double end;
+            if (fault_active) {
+                // A failed attempt occupies the link for the full
+                // transfer (corruption is detected at completion),
+                // then backs off geometrically before retrying.
+                // After max_transfer_retries the attempt succeeds:
+                // injected failures are transient.
+                while (retries < faults->max_transfer_retries &&
+                       faultUniform(faults->seed,
+                                    kFaultStreamTransfer,
+                                    transfer_index * 4096 +
+                                        static_cast<uint64_t>(
+                                            retries)) <
+                           faults->transfer_failure_rate) {
+                    const double fail_end = transferEndTime(
+                        faults, start, bytes, spec.nvlink_bandwidth);
+                    const double backoff =
+                        faults->retry_backoff *
+                        std::pow(faults->retry_backoff_growth,
+                                 retries);
+                    result.retry_time += (fail_end - start) + backoff;
+                    result.fault_markers.push_back(
+                        {fail_end, 'x',
+                         "transfer retry (tso " +
+                             std::to_string(tso) + ")"});
+                    start = fail_end + backoff;
+                    ++retries;
+                }
+                result.transfer_retries += retries;
+                end = transferEndTime(faults, start, bytes,
+                                      spec.nvlink_bandwidth);
+                if (!faults->bandwidth.empty())
+                    result.degraded_time +=
+                        (end - start) - static_cast<double>(bytes) /
+                                            spec.nvlink_bandwidth;
+            } else {
+                end = start + static_cast<double>(bytes) /
+                                  spec.nvlink_bandwidth;
+            }
+            ++transfer_index;
             stream_avail[static_cast<size_t>(s)] = end;
             transfer_end[static_cast<size_t>(tso)] = end;
             result.transfers.push_back(
-                {tso, d2h, s, start, end, bytes});
+                {tso, d2h, s, start, end, bytes, retries});
         };
 
         // 1. Issue transfers scheduled at this step's start.
@@ -67,11 +114,15 @@ simulatePlan(const Graph &graph, const DeviceSpec &spec,
         }
 
         // 3. Execute the kernel on the compute stream.
-        const double t =
-            step.backward
-                ? backwardTime(graph, node, spec,
-                               backward.recompute_bn)
-                : forwardTime(graph, node, spec);
+        double t = step.backward
+                       ? backwardTime(graph, node, spec,
+                                      backward.recompute_bn)
+                       : forwardTime(graph, node, spec);
+        if (fault_active && faults->kernel_jitter > 0.0) {
+            const double u =
+                faultUniform(faults->seed, kFaultStreamKernel, i);
+            t *= 1.0 + faults->kernel_jitter * (2.0 * u - 1.0);
+        }
         KernelRecord kr;
         kr.node = step.node;
         kr.backward = step.backward;
@@ -94,6 +145,23 @@ simulatePlan(const Graph &graph, const DeviceSpec &spec,
         }
     }
     result.total_time = now;
+    if (fault_active) {
+        for (const BandwidthFault &w : faults->bandwidth)
+            if (w.start < result.total_time &&
+                w.start + w.duration > 0.0)
+                result.fault_markers.push_back(
+                    {std::max(w.start, 0.0), '~',
+                     "link at " +
+                         std::to_string(
+                             static_cast<int>(100.0 * w.factor)) +
+                         "% bandwidth"});
+        std::stable_sort(result.fault_markers.begin(),
+                         result.fault_markers.end(),
+                         [](const FaultMarker &a,
+                            const FaultMarker &b) {
+                             return a.time < b.time;
+                         });
+    }
     return result;
 }
 
@@ -153,7 +221,22 @@ renderTimeline(const SimResult &result, const DeviceSpec &spec,
               })
            << "|\n";
     }
+    if (!result.fault_markers.empty()) {
+        os << "faults   |"
+           << lane([&](double lo, double hi) {
+                  for (const auto &m : result.fault_markers) {
+                      if (m.time >= lo && m.time < hi)
+                          return m.tag;
+                      if (m.time >= total && hi >= total)
+                          return m.tag;
+                  }
+                  return '.';
+              })
+           << "|\n";
+    }
     os << "('#' kernel, '!' stalled, 'v' offload, '^' prefetch)\n";
+    if (!result.fault_markers.empty())
+        os << "('x' transfer retry, '~' degraded-link window)\n";
     return os.str();
 }
 

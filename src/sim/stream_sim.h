@@ -18,6 +18,8 @@
 #include "graph/graph.h"
 #include "hmms/plan.h"
 #include "sim/device.h"
+#include "sim/faults.h"
+#include "util/status.h"
 
 namespace scnn {
 
@@ -27,9 +29,10 @@ struct TransferRecord
     TsoId tso = kInvalidTso;
     bool d2h = true; ///< offload (true) or prefetch (false)
     int stream = 0;
-    double start = 0.0;
+    double start = 0.0; ///< start of the successful attempt
     double end = 0.0;
     int64_t bytes = 0;
+    int retries = 0; ///< failed attempts preceding @c start
 };
 
 /** One kernel execution in the trace. */
@@ -51,6 +54,13 @@ struct SimResult
     std::vector<KernelRecord> kernels;
     std::vector<TransferRecord> transfers;
 
+    // Fault accounting (all zero / empty without fault injection).
+    int transfer_retries = 0; ///< failed transfer attempts, total
+    double retry_time = 0.0;  ///< wasted attempt + backoff seconds
+    double degraded_time = 0.0; ///< extra transfer seconds from
+                                ///< bandwidth-degradation windows
+    std::vector<FaultMarker> fault_markers; ///< timeline annotations
+
     /** Images per second given the iteration batch size. */
     double throughput(int64_t batch) const;
 };
@@ -60,16 +70,24 @@ struct SimResult
  *
  * @param assignment provides TSO sizes for transfer durations.
  * @param backward recompute options must match those used to plan.
+ * @param faults optional deterministic fault schedule; nullptr or an
+ *        empty plan reproduces the fault-free timeline bit for bit.
+ *
+ * Fails with InvalidArgument on a nonsensical DeviceSpec or
+ * FaultPlan instead of producing NaN/inf times.
  */
-SimResult simulatePlan(const Graph &graph, const DeviceSpec &spec,
-                       const MemoryPlan &plan,
-                       const StorageAssignment &assignment,
-                       const BackwardOptions &backward = {});
+StatusOr<SimResult> simulatePlan(const Graph &graph,
+                                 const DeviceSpec &spec,
+                                 const MemoryPlan &plan,
+                                 const StorageAssignment &assignment,
+                                 const BackwardOptions &backward = {},
+                                 const FaultPlan *faults = nullptr);
 
 /**
  * Render an nvprof-like text timeline (Figure 9): one lane for the
  * compute stream and one per memory stream, bucketed into @p columns
- * time columns.
+ * time columns. Simulations that ran under fault injection get an
+ * extra lane marking retries ('x') and degraded-link windows ('~').
  */
 std::string renderTimeline(const SimResult &result,
                            const DeviceSpec &spec, int columns = 100);

@@ -1,16 +1,19 @@
 #include "train/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "util/logging.h"
+#include "util/crc32.h"
 
 namespace scnn {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'C', 'N', 'N', '0', '0', '0', '1'};
+constexpr char kMagicV2[8] = {'S', 'C', 'N', 'N', '0', '0', '0', '2'};
+constexpr char kMagicV1[8] = {'S', 'C', 'N', 'N', '0', '0', '0', '1'};
 
 struct FileCloser
 {
@@ -24,71 +27,158 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/** fwrite wrapper that extends the running payload checksum. */
+bool
+writeChecked(std::FILE *f, const void *data, size_t size,
+             uint32_t *crc)
+{
+    if (std::fwrite(data, 1, size, f) != size)
+        return false;
+    if (crc != nullptr)
+        *crc = crc32Update(*crc, data, size);
+    return true;
+}
+
+/** fread wrapper that extends the running payload checksum. */
+bool
+readChecked(std::FILE *f, void *data, size_t size, uint32_t *crc)
+{
+    if (std::fread(data, 1, size, f) != size)
+        return false;
+    if (crc != nullptr)
+        *crc = crc32Update(*crc, data, size);
+    return true;
+}
+
 } // namespace
 
-void
+Status
 saveParams(const ParamStore &params, const Graph &graph,
            const std::string &path)
 {
-    SCNN_REQUIRE(params.compatibleWith(graph),
-                 "store/graph mismatch in saveParams");
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    SCNN_REQUIRE(f, "cannot open '" << path << "' for writing");
+    if (!params.compatibleWith(graph))
+        return failedPrecondition(
+            "parameter store does not match the graph in "
+            "saveParams");
 
-    SCNN_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) ==
-                     sizeof(kMagic),
-                 "short write");
-    const uint64_t count = graph.params().size();
-    SCNN_REQUIRE(std::fwrite(&count, sizeof(count), 1, f.get()) == 1,
-                 "short write");
-    for (size_t p = 0; p < count; ++p) {
-        const Tensor &value =
-            params.value(static_cast<ParamId>(p));
-        const uint64_t numel = static_cast<uint64_t>(value.numel());
-        SCNN_REQUIRE(std::fwrite(&numel, sizeof(numel), 1, f.get()) ==
-                         1,
-                     "short write");
-        SCNN_REQUIRE(std::fwrite(value.data(), sizeof(float),
-                                 static_cast<size_t>(numel),
-                                 f.get()) == numel,
-                     "short write");
+    // Write to a sibling temporary and rename into place so a crash
+    // (or a full disk) never destroys the previous checkpoint.
+    const std::string tmp = path + ".tmp";
+    uint32_t crc = 0;
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            return ioError("cannot open '" + tmp +
+                           "' for writing");
+
+        if (!writeChecked(f.get(), kMagicV2, sizeof(kMagicV2),
+                          nullptr))
+            return ioError("short write to '" + tmp + "'");
+        const uint64_t count = graph.params().size();
+        bool ok = writeChecked(f.get(), &count, sizeof(count), &crc);
+        for (size_t p = 0; ok && p < count; ++p) {
+            const Tensor &value =
+                params.value(static_cast<ParamId>(p));
+            const uint64_t numel =
+                static_cast<uint64_t>(value.numel());
+            ok = writeChecked(f.get(), &numel, sizeof(numel), &crc) &&
+                 writeChecked(f.get(), value.data(),
+                              sizeof(float) *
+                                  static_cast<size_t>(numel),
+                              &crc);
+        }
+        if (ok)
+            ok = writeChecked(f.get(), &crc, sizeof(crc), nullptr);
+        if (ok)
+            ok = std::fflush(f.get()) == 0;
+        if (!ok) {
+            f.reset();
+            std::remove(tmp.c_str());
+            return ioError("short write to '" + tmp + "'");
+        }
     }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return ioError("cannot rename '" + tmp + "' to '" + path +
+                       "'");
+    }
+    return Status();
 }
 
-void
+Status
 loadParams(ParamStore &params, const Graph &graph,
            const std::string &path)
 {
-    SCNN_REQUIRE(params.compatibleWith(graph),
-                 "store/graph mismatch in loadParams");
+    if (!params.compatibleWith(graph))
+        return failedPrecondition(
+            "parameter store does not match the graph in "
+            "loadParams");
     FilePtr f(std::fopen(path.c_str(), "rb"));
-    SCNN_REQUIRE(f, "cannot open '" << path << "' for reading");
+    if (!f)
+        return notFound("cannot open '" + path + "' for reading");
 
     char magic[8];
-    SCNN_REQUIRE(std::fread(magic, 1, sizeof(magic), f.get()) ==
-                         sizeof(magic) &&
-                     std::equal(magic, magic + 8, kMagic),
-                 "'" << path << "' is not a splitcnn checkpoint");
+    if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic))
+        return dataLoss("'" + path +
+                        "' is truncated (no checkpoint header)");
+    const bool v2 = std::equal(magic, magic + 8, kMagicV2);
+    const bool v1 = std::equal(magic, magic + 8, kMagicV1);
+    if (!v2 && !v1)
+        return invalidArgument("'" + path +
+                               "' is not a splitcnn checkpoint");
+    uint32_t crc = 0;
+    uint32_t *crc_ptr = v2 ? &crc : nullptr;
+
     uint64_t count = 0;
-    SCNN_REQUIRE(std::fread(&count, sizeof(count), 1, f.get()) == 1,
-                 "truncated checkpoint");
-    SCNN_REQUIRE(count == graph.params().size(),
-                 "checkpoint has " << count << " params, graph has "
-                                   << graph.params().size());
+    if (!readChecked(f.get(), &count, sizeof(count), crc_ptr))
+        return dataLoss("'" + path + "' is truncated");
+    if (count != graph.params().size())
+        return invalidArgument(
+            "'" + path + "' holds " + std::to_string(count) +
+            " params, the graph has " +
+            std::to_string(graph.params().size()));
+
+    // Stage all payloads first: the store is only touched once the
+    // whole file (and, for v2, its checksum) has been accepted.
+    std::vector<std::vector<float>> staged(
+        static_cast<size_t>(count));
+    for (size_t p = 0; p < count; ++p) {
+        const Tensor &value = params.value(static_cast<ParamId>(p));
+        uint64_t numel = 0;
+        if (!readChecked(f.get(), &numel, sizeof(numel), crc_ptr))
+            return dataLoss("'" + path + "' is truncated");
+        if (numel != static_cast<uint64_t>(value.numel()))
+            return invalidArgument(
+                "param " + std::to_string(p) + " in '" + path +
+                "' has " + std::to_string(numel) +
+                " elements, expected " +
+                std::to_string(value.numel()));
+        staged[p].resize(static_cast<size_t>(numel));
+        if (!readChecked(f.get(), staged[p].data(),
+                         sizeof(float) * static_cast<size_t>(numel),
+                         crc_ptr))
+            return dataLoss("'" + path + "' is truncated");
+    }
+    if (v2) {
+        uint32_t stored = 0;
+        if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1)
+            return dataLoss("'" + path +
+                            "' is truncated (missing CRC footer)");
+        if (stored != crc)
+            return dataLoss("'" + path +
+                            "' failed its CRC-32 check (corrupt "
+                            "checkpoint)");
+    }
+    if (std::fgetc(f.get()) != EOF)
+        return dataLoss("'" + path +
+                        "' has trailing bytes after the checkpoint "
+                        "payload");
+
     for (size_t p = 0; p < count; ++p) {
         Tensor &value = params.value(static_cast<ParamId>(p));
-        uint64_t numel = 0;
-        SCNN_REQUIRE(std::fread(&numel, sizeof(numel), 1, f.get()) == 1,
-                     "truncated checkpoint");
-        SCNN_REQUIRE(numel == static_cast<uint64_t>(value.numel()),
-                     "param " << p << " has " << numel
-                              << " elements, expected "
-                              << value.numel());
-        SCNN_REQUIRE(std::fread(value.data(), sizeof(float),
-                                static_cast<size_t>(numel),
-                                f.get()) == numel,
-                     "truncated checkpoint");
+        std::copy(staged[p].begin(), staged[p].end(), value.data());
     }
+    return Status();
 }
 
 } // namespace scnn

@@ -5,6 +5,12 @@
  * parameter table, a checkpoint trained on a split network loads
  * directly into the unsplit one (and vice versa) — the deployment
  * path Section 3.3 motivates for Stochastic Split-CNN.
+ *
+ * Robustness: saves are atomic (written to a temporary file and
+ * renamed into place, so a crash mid-save never clobbers the last
+ * good checkpoint) and carry a CRC-32 footer that load verifies, so
+ * truncated or bit-flipped files are detected instead of silently
+ * deploying garbage weights.
  */
 #ifndef SCNN_TRAIN_CHECKPOINT_H
 #define SCNN_TRAIN_CHECKPOINT_H
@@ -13,25 +19,37 @@
 
 #include "graph/graph.h"
 #include "train/executor.h"
+#include "util/status.h"
 
 namespace scnn {
 
 /**
- * Write parameter values to @p path.
+ * Write parameter values to @p path atomically.
  *
- * Format: magic "SCNN0001", u64 param count, then per parameter a
- * u64 element count followed by that many little-endian floats.
- * Gradients and optimizer state are not saved.
+ * Format: magic "SCNN0002", u64 param count, then per parameter a
+ * u64 element count followed by that many little-endian floats, and
+ * finally a u32 CRC-32 of everything after the magic. Gradients and
+ * optimizer state are not saved.
+ *
+ * @returns IoError when the filesystem refuses the write,
+ *          FailedPrecondition when @p params and @p graph disagree.
  */
-void saveParams(const ParamStore &params, const Graph &graph,
-                const std::string &path);
+Status saveParams(const ParamStore &params, const Graph &graph,
+                  const std::string &path);
 
 /**
- * Load parameter values from @p path into @p params. Fails if the
- * file's parameter table does not match the store's.
+ * Load parameter values from @p path into @p params. Also accepts
+ * the legacy "SCNN0001" format (no checksum). The store is only
+ * modified after the whole file — including the CRC footer — has
+ * been read and verified, so a failed load never leaves @p params
+ * half-overwritten.
+ *
+ * @returns NotFound when the file cannot be opened, DataLoss when it
+ *          is truncated or fails the checksum, InvalidArgument when
+ *          its parameter table does not match the store's.
  */
-void loadParams(ParamStore &params, const Graph &graph,
-                const std::string &path);
+Status loadParams(ParamStore &params, const Graph &graph,
+                  const std::string &path);
 
 } // namespace scnn
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "hmms/degradation.h"
 #include "kernels/activations.h"
+#include "train/checkpoint.h"
 #include "util/logging.h"
 
 namespace scnn {
@@ -67,8 +69,50 @@ trainModel(const Graph &base, const TrainConfig &config,
 
     Rng data_rng = rng.fork();
     Rng split_rng = rng.fork();
+    bool have_checkpoint = false;
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        // Injected capacity shrinks fire before the epoch trains:
+        // re-plan memory through the degradation chain and log what
+        // it took to fit (or that nothing fits). The CPU executor
+        // itself keeps running either way — this models the memory
+        // manager's control path, not an actual OOM.
+        if (config.faults != nullptr) {
+            for (const CapacityFault &fault :
+                 config.faults->capacity) {
+                if (fault.epoch != epoch)
+                    continue;
+                DeviceSpec degraded = config.device;
+                degraded.memory_capacity = fault.capacity;
+                const Graph &plan_graph =
+                    fixed_split ? *fixed_split : base;
+                DegradationReport dreport;
+                auto replanned = planWithDegradation(
+                    plan_graph, degraded,
+                    {PlannerKind::Hmms, 1.0, {}}, &dreport);
+                ++result.replans;
+                std::string entry =
+                    "epoch " + std::to_string(epoch) +
+                    ": capacity shrank to " +
+                    std::to_string(fault.capacity / (1 << 20)) +
+                    " MB; ";
+                if (replanned.ok()) {
+                    const DegradedPlan &dp = *replanned;
+                    entry += "re-planned with " +
+                             std::string(plannerKindName(
+                                 dp.config.kind)) +
+                             (dp.split_applied ? " + split" : "") +
+                             " after " +
+                             std::to_string(dreport.attempts.size()) +
+                             " attempt(s)";
+                } else {
+                    entry += replanned.status().toString();
+                }
+                result.fault_log.push_back(entry);
+                SCNN_LOG_DEBUG << entry;
+            }
+        }
+
         sgd.setLr(schedule.lrAt(epoch));
         const auto order = data.shuffledEpoch(data_rng);
         double loss_sum = 0.0;
@@ -151,6 +195,44 @@ trainModel(const Graph &base, const TrainConfig &config,
         SCNN_LOG_DEBUG << "epoch " << epoch << " loss "
                        << stats.train_loss << " err% "
                        << stats.test_error;
+
+        // An injected crash loses this epoch's parameter update (the
+        // process "died" before checkpointing); recovery restores
+        // the last epoch that saved successfully. Ordinary epochs
+        // save atomically when a checkpoint path is configured.
+        const bool crashed =
+            config.faults != nullptr &&
+            std::find(config.faults->crash_epochs.begin(),
+                      config.faults->crash_epochs.end(),
+                      epoch) != config.faults->crash_epochs.end();
+        if (crashed) {
+            ++result.restores;
+            std::string entry = "epoch " + std::to_string(epoch) +
+                                ": injected crash; ";
+            if (have_checkpoint) {
+                const Status s = loadParams(params, base,
+                                            config.checkpoint_path);
+                entry += s.ok()
+                             ? "restored parameters from last "
+                               "checkpoint"
+                             : "restore failed: " + s.toString();
+            } else {
+                entry += "no checkpoint yet, continuing with live "
+                         "parameters";
+            }
+            result.fault_log.push_back(entry);
+            SCNN_LOG_DEBUG << entry;
+        } else if (!config.checkpoint_path.empty()) {
+            const Status s =
+                saveParams(params, base, config.checkpoint_path);
+            if (s.ok()) {
+                have_checkpoint = true;
+            } else {
+                result.fault_log.push_back(
+                    "epoch " + std::to_string(epoch) +
+                    ": checkpoint save failed: " + s.toString());
+            }
+        }
     }
     return result;
 }

@@ -9,11 +9,14 @@
 #ifndef SCNN_TRAIN_TRAINER_H
 #define SCNN_TRAIN_TRAINER_H
 
+#include <string>
 #include <vector>
 
 #include "core/splitter.h"
 #include "data/synthetic.h"
 #include "graph/graph.h"
+#include "sim/device.h"
+#include "sim/faults.h"
 #include "train/sgd.h"
 
 namespace scnn {
@@ -47,6 +50,19 @@ struct TrainConfig
      * when the normalization regime changes between train and test.
      */
     bool recalibrate_bn = true;
+    /**
+     * Optional fault schedule (epoch-granular capacity shrinks and
+     * injected crashes). Not owned; nullptr disables injection.
+     */
+    const FaultPlan *faults = nullptr;
+    /**
+     * When non-empty, parameters are checkpointed here (atomically)
+     * after every epoch, and an injected crash restores from the
+     * last successful save instead of losing the run.
+     */
+    std::string checkpoint_path;
+    /** Device model the trainer re-plans against on capacity faults. */
+    DeviceSpec device;
 };
 
 /** Per-epoch statistics. */
@@ -64,6 +80,13 @@ struct TrainResult
     float final_test_error = 100.0f;
     float best_test_error = 100.0f;
     SplitReport split_report;
+
+    // Fault-recovery accounting (all zero without a FaultPlan).
+    int replans = 0;  ///< capacity faults answered by the
+                      ///< degradation chain
+    int restores = 0; ///< injected crashes answered by a checkpoint
+                      ///< restore
+    std::vector<std::string> fault_log; ///< one line per event
 };
 
 /**

@@ -58,17 +58,19 @@ Args::has(const std::string &name) const
     return false;
 }
 
-std::pair<int, int>
+StatusOr<std::pair<int, int>>
 parseGrid(const std::string &grid)
 {
     const auto x = grid.find('x');
-    SCNN_REQUIRE(x != std::string::npos && x > 0 &&
-                     x + 1 < grid.size(),
-                 "grid must look like 2x2, got '" << grid << "'");
+    if (x == std::string::npos || x == 0 || x + 1 >= grid.size())
+        return invalidArgument("grid must look like 2x2, got '" +
+                               grid + "'");
     const int h = std::atoi(grid.substr(0, x).c_str());
     const int w = std::atoi(grid.substr(x + 1).c_str());
-    SCNN_REQUIRE(h >= 1 && w >= 1, "grid extents must be >= 1");
-    return {h, w};
+    if (h < 1 || w < 1)
+        return invalidArgument("grid extents must be >= 1, got '" +
+                               grid + "'");
+    return std::pair<int, int>{h, w};
 }
 
 } // namespace scnn

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace scnn {
 
 /** Parsed argument list with positional/flag accessors. */
@@ -40,8 +42,11 @@ class Args
     std::vector<std::string> args_;
 };
 
-/** Parse "HxW" into a (h, w) pair; fatal on malformed input. */
-std::pair<int, int> parseGrid(const std::string &grid);
+/**
+ * Parse "HxW" into a (h, w) pair; InvalidArgument on malformed
+ * input.
+ */
+StatusOr<std::pair<int, int>> parseGrid(const std::string &grid);
 
 } // namespace scnn
 

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table-driven CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant),
+ * used as the integrity footer of checkpoint files.
+ */
+#ifndef SCNN_UTIL_CRC32_H
+#define SCNN_UTIL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scnn {
+
+/**
+ * Extend a running CRC-32 over @p size bytes at @p data. Start a
+ * fresh checksum with @p crc = 0; feed chunks in order for the same
+ * result as one shot over the concatenation.
+ */
+uint32_t crc32Update(uint32_t crc, const void *data, size_t size);
+
+/** One-shot CRC-32 of a buffer. */
+inline uint32_t
+crc32(const void *data, size_t size)
+{
+    return crc32Update(0, data, size);
+}
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_CRC32_H

@@ -1,0 +1,84 @@
+#include "util/status.h"
+
+namespace scnn {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "Ok";
+    case StatusCode::InvalidArgument:
+        return "InvalidArgument";
+    case StatusCode::NotFound:
+        return "NotFound";
+    case StatusCode::DataLoss:
+        return "DataLoss";
+    case StatusCode::ResourceExhausted:
+        return "ResourceExhausted";
+    case StatusCode::FailedPrecondition:
+        return "FailedPrecondition";
+    case StatusCode::IoError:
+        return "IoError";
+    case StatusCode::Internal:
+        return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "Ok";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+Status
+invalidArgument(std::string message)
+{
+    return Status(StatusCode::InvalidArgument, std::move(message));
+}
+
+Status
+notFound(std::string message)
+{
+    return Status(StatusCode::NotFound, std::move(message));
+}
+
+Status
+dataLoss(std::string message)
+{
+    return Status(StatusCode::DataLoss, std::move(message));
+}
+
+Status
+resourceExhausted(std::string message)
+{
+    return Status(StatusCode::ResourceExhausted, std::move(message));
+}
+
+Status
+failedPrecondition(std::string message)
+{
+    return Status(StatusCode::FailedPrecondition, std::move(message));
+}
+
+Status
+ioError(std::string message)
+{
+    return Status(StatusCode::IoError, std::move(message));
+}
+
+Status
+internalError(std::string message)
+{
+    return Status(StatusCode::Internal, std::move(message));
+}
+
+} // namespace scnn

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Lightweight Status / StatusOr<T> error propagation, used to turn
+ * user-facing failure paths (bad configuration, corrupt checkpoints,
+ * plans that no longer fit a degraded device) into recoverable
+ * errors instead of fatal() exits.
+ *
+ * Internal invariant violations keep using SCNN_PANIC / SCNN_CHECK:
+ * those indicate library bugs, not conditions a caller can recover
+ * from.
+ */
+#ifndef SCNN_UTIL_STATUS_H
+#define SCNN_UTIL_STATUS_H
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scnn {
+
+/** Canonical error space, loosely mirroring the absl taxonomy. */
+enum class StatusCode {
+    Ok = 0,
+    InvalidArgument,    ///< caller supplied a nonsensical value
+    NotFound,           ///< a named resource does not exist
+    DataLoss,           ///< stored data is truncated or corrupt
+    ResourceExhausted,  ///< no fallback fits the available capacity
+    FailedPrecondition, ///< inputs are individually valid but disagree
+    IoError,            ///< the operating system refused an I/O call
+    Internal,           ///< unclassified failure
+};
+
+/** Human-readable name of @p code ("InvalidArgument", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A cheap value type carrying success or an (code, message) error.
+ * Default-constructed Status is Ok.
+ */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "InvalidArgument: offload cap must lie in [0, 1]" (or "Ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+Status invalidArgument(std::string message);
+Status notFound(std::string message);
+Status dataLoss(std::string message);
+Status resourceExhausted(std::string message);
+Status failedPrecondition(std::string message);
+Status ioError(std::string message);
+Status internalError(std::string message);
+
+/**
+ * Either a T or the Status explaining why there is no T.
+ *
+ * value() on an error StatusOr throws std::runtime_error carrying
+ * the status text, which reproduces the old fatal() behaviour at
+ * call sites that have no recovery strategy (tools, benches).
+ */
+template <typename T> class StatusOr
+{
+  public:
+    StatusOr(const T &value) : value_(value) {}
+    StatusOr(T &&value) : value_(std::move(value)) {}
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            status_ = internalError(
+                "StatusOr constructed from an Ok status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    const T &value() const &
+    {
+        throwIfError();
+        return *value_;
+    }
+    T &value() &
+    {
+        throwIfError();
+        return *value_;
+    }
+    T &&value() &&
+    {
+        throwIfError();
+        return std::move(*value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    void throwIfError() const
+    {
+        if (!value_.has_value())
+            throw std::runtime_error(status_.toString());
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+/** Propagate a non-Ok Status to the caller. */
+#define SCNN_RETURN_IF_ERROR(expr)                                   \
+    do {                                                             \
+        ::scnn::Status scnn_status_ = (expr);                        \
+        if (!scnn_status_.ok())                                      \
+            return scnn_status_;                                     \
+    } while (0)
+
+#define SCNN_STATUS_CONCAT_IMPL(a, b) a##b
+#define SCNN_STATUS_CONCAT(a, b) SCNN_STATUS_CONCAT_IMPL(a, b)
+
+/** Unwrap a StatusOr into @p lhs, or propagate its error. */
+#define SCNN_ASSIGN_OR_RETURN(lhs, expr)                             \
+    auto SCNN_STATUS_CONCAT(scnn_statusor_, __LINE__) = (expr);      \
+    if (!SCNN_STATUS_CONCAT(scnn_statusor_, __LINE__).ok())          \
+        return SCNN_STATUS_CONCAT(scnn_statusor_, __LINE__)          \
+            .status();                                               \
+    lhs = std::move(SCNN_STATUS_CONCAT(scnn_statusor_, __LINE__))    \
+              .value()
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_STATUS_H

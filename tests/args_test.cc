@@ -45,17 +45,23 @@ TEST(Args, FlagTerminatesPositionalSection)
 
 TEST(ParseGrid, AcceptsWellFormed)
 {
-    EXPECT_EQ(parseGrid("2x2"), (std::pair<int, int>{2, 2}));
-    EXPECT_EQ(parseGrid("3x1"), (std::pair<int, int>{3, 1}));
-    EXPECT_EQ(parseGrid("10x4"), (std::pair<int, int>{10, 4}));
+    EXPECT_EQ(parseGrid("2x2").value(), (std::pair<int, int>{2, 2}));
+    EXPECT_EQ(parseGrid("3x1").value(), (std::pair<int, int>{3, 1}));
+    EXPECT_EQ(parseGrid("10x4").value(),
+              (std::pair<int, int>{10, 4}));
 }
 
 TEST(ParseGrid, RejectsMalformed)
 {
-    EXPECT_THROW(parseGrid("22"), std::exception);
-    EXPECT_THROW(parseGrid("x2"), std::exception);
-    EXPECT_THROW(parseGrid("2x"), std::exception);
-    EXPECT_THROW(parseGrid("0x2"), std::exception);
+    for (const char *bad : {"22", "x2", "2x", "0x2"}) {
+        const auto result = parseGrid(bad);
+        EXPECT_FALSE(result.ok()) << bad;
+        EXPECT_EQ(result.status().code(),
+                  StatusCode::InvalidArgument)
+            << bad;
+    }
+    // value() on an error reproduces the old fatal-style throw.
+    EXPECT_THROW(parseGrid("22").value(), std::runtime_error);
 }
 
 } // namespace

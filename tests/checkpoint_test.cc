@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "core/splitter.h"
 #include "hmms/plan_report.h"
@@ -31,11 +33,11 @@ TEST(Checkpoint, RoundTripPreservesValues)
     Rng rng(1);
     ParamStore a(g, rng);
     const std::string path = tempPath("ckpt_roundtrip.bin");
-    saveParams(a, g, path);
+    ASSERT_TRUE(saveParams(a, g, path).ok());
 
     Rng rng2(999); // different init
     ParamStore b(g, rng2);
-    loadParams(b, g, path);
+    ASSERT_TRUE(loadParams(b, g, path).ok());
     for (ParamId p = 0; p < static_cast<ParamId>(a.size()); ++p)
         EXPECT_TRUE(allClose(a.value(p), b.value(p), 0.0f))
             << "param " << p;
@@ -52,11 +54,11 @@ TEST(Checkpoint, SplitTrainedWeightsLoadIntoUnsplitGraph)
     Rng rng(2);
     ParamStore trained(split, rng);
     const std::string path = tempPath("ckpt_split.bin");
-    saveParams(trained, split, path);
+    ASSERT_TRUE(saveParams(trained, split, path).ok());
 
     Rng rng2(3);
     ParamStore deployed(base, rng2);
-    loadParams(deployed, base, path);
+    ASSERT_TRUE(loadParams(deployed, base, path).ok());
     for (ParamId p = 0; p < static_cast<ParamId>(trained.size()); ++p)
         EXPECT_TRUE(
             allClose(trained.value(p), deployed.value(p), 0.0f));
@@ -70,10 +72,12 @@ TEST(Checkpoint, RejectsWrongGraph)
     Rng rng(4);
     ParamStore pa(a, rng);
     const std::string path = tempPath("ckpt_wrong.bin");
-    saveParams(pa, a, path);
+    ASSERT_TRUE(saveParams(pa, a, path).ok());
     Rng rng2(5);
     ParamStore pb(b, rng2);
-    EXPECT_THROW(loadParams(pb, b, path), std::exception);
+    const Status s = loadParams(pb, b, path);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
     std::remove(path.c_str());
 }
 
@@ -86,7 +90,9 @@ TEST(Checkpoint, RejectsGarbageFile)
     Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
     Rng rng(6);
     ParamStore params(g, rng);
-    EXPECT_THROW(loadParams(params, g, path), std::exception);
+    const Status s = loadParams(params, g, path);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
     std::remove(path.c_str());
 }
 
@@ -95,8 +101,116 @@ TEST(Checkpoint, RejectsMissingFile)
     Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
     Rng rng(7);
     ParamStore params(g, rng);
-    EXPECT_THROW(loadParams(params, g, "/nonexistent/nope.bin"),
-                 std::exception);
+    const Status s = loadParams(params, g, "/nonexistent/nope.bin");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+}
+
+TEST(Checkpoint, DetectsTruncationAndLeavesStoreUntouched)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(8);
+    ParamStore a(g, rng);
+    const std::string path = tempPath("ckpt_trunc.bin");
+    ASSERT_TRUE(saveParams(a, g, path).ok());
+
+    // Chop the CRC footer plus a few payload bytes off the tail.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::resize_file(
+        path, static_cast<uintmax_t>(size - 9), ec);
+    ASSERT_FALSE(ec);
+
+    Rng rng2(9);
+    ParamStore b(g, rng2);
+    ParamStore before = b;
+    const Status s = loadParams(b, g, path);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::DataLoss);
+    // A failed load must not half-overwrite the store.
+    for (ParamId p = 0; p < static_cast<ParamId>(b.size()); ++p)
+        EXPECT_TRUE(allClose(b.value(p), before.value(p), 0.0f));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DetectsBitFlipViaCrc)
+{
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(10);
+    ParamStore a(g, rng);
+    const std::string path = tempPath("ckpt_corrupt.bin");
+    ASSERT_TRUE(saveParams(a, g, path).ok());
+
+    // Flip one bit in the middle of the payload.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+
+    Rng rng2(11);
+    ParamStore b(g, rng2);
+    const Status s = loadParams(b, g, path);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::DataLoss);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadsLegacyV1Format)
+{
+    // Hand-write the old "SCNN0001" layout (no CRC footer).
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(12);
+    ParamStore a(g, rng);
+    const std::string path = tempPath("ckpt_v1.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("SCNN0001", 1, 8, f);
+    const uint64_t count = g.params().size();
+    std::fwrite(&count, sizeof(count), 1, f);
+    for (size_t p = 0; p < count; ++p) {
+        const Tensor &value = a.value(static_cast<ParamId>(p));
+        const uint64_t numel = static_cast<uint64_t>(value.numel());
+        std::fwrite(&numel, sizeof(numel), 1, f);
+        std::fwrite(value.data(), sizeof(float),
+                    static_cast<size_t>(numel), f);
+    }
+    std::fclose(f);
+
+    Rng rng2(13);
+    ParamStore b(g, rng2);
+    ASSERT_TRUE(loadParams(b, g, path).ok());
+    for (ParamId p = 0; p < static_cast<ParamId>(a.size()); ++p)
+        EXPECT_TRUE(allClose(a.value(p), b.value(p), 0.0f));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveIsAtomicOverAnExistingCheckpoint)
+{
+    // Saving twice must go through the temp file both times and
+    // leave no ".tmp" debris next to the checkpoint.
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(14);
+    ParamStore a(g, rng);
+    const std::string path = tempPath("ckpt_atomic.bin");
+    ASSERT_TRUE(saveParams(a, g, path).ok());
+    ASSERT_TRUE(saveParams(a, g, path).ok());
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    Rng rng2(15);
+    ParamStore b(g, rng2);
+    EXPECT_TRUE(loadParams(b, g, path).ok());
+    std::remove(path.c_str());
 }
 
 TEST(PlanReport, StatsAndTableAreConsistent)
@@ -105,7 +219,7 @@ TEST(PlanReport, StatsAndTableAreConsistent)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     const PlanStats stats = planStats(plan);
     EXPECT_EQ(stats.offloaded_count,
               static_cast<int>(plan.offloaded.size()));
@@ -129,9 +243,9 @@ TEST(PlanReport, HmmsSpansExceedLayerWiseSpans)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto lw = planStats(planMemory(
-        g, spec, {PlannerKind::LayerWise, 1.0, {}}, assignment));
+        g, spec, {PlannerKind::LayerWise, 1.0, {}}, assignment).value());
     auto hm = planStats(planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                                   assignment));
+                                   assignment).value());
     EXPECT_EQ(lw.max_offload_span, 0);
     EXPECT_GT(hm.max_offload_span, 0);
 }

@@ -190,7 +190,7 @@ TEST_P(PlannerOnModels, HmmsPlanSatisfiesFourMomentOrdering)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     plan.validate(); // panics on any ordering violation
     EXPECT_FALSE(plan.offloaded.empty());
     EXPECT_LE(plan.offloaded_bytes, plan.candidate_bytes);
@@ -202,7 +202,7 @@ TEST_P(PlannerOnModels, LayerWisePlanIsValidToo)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::LayerWise, 1.0, {}},
-                           assignment);
+                           assignment).value();
     plan.validate();
 }
 
@@ -212,7 +212,7 @@ TEST_P(PlannerOnModels, BaselinePlanOffloadsNothing)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan =
-        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment);
+        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment).value();
     EXPECT_TRUE(plan.offloaded.empty());
     for (const auto &a : plan.actions) {
         EXPECT_TRUE(a.start_offload.empty());
@@ -230,9 +230,9 @@ TEST(Planner, CapLimitsOffloadedBytes)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto full = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto half = planMemory(g, spec, {PlannerKind::Hmms, 0.5, {}},
-                           assignment);
+                           assignment).value();
     EXPECT_LE(half.offloaded_bytes,
               static_cast<int64_t>(0.5 * half.candidate_bytes) + 1);
     EXPECT_LT(half.offloaded_bytes, full.offloaded_bytes);
@@ -246,7 +246,7 @@ TEST(Planner, LayerWiseSyncsInConsumerLayer)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::LayerWise, 1.0, {}},
-                           assignment);
+                           assignment).value();
     for (size_t i = 0; i < plan.actions.size(); ++i) {
         for (TsoId tso : plan.actions[i].start_offload) {
             const auto &sync = plan.actions[i].sync_offload_free;
@@ -264,7 +264,7 @@ TEST(Planner, HmmsSpreadsSyncsBeyondConsumerLayer)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     int spread = 0;
     for (size_t i = 0; i < plan.actions.size(); ++i) {
         for (TsoId tso : plan.actions[i].start_offload) {
@@ -282,7 +282,7 @@ TEST(StaticPlanner, IntervalsNeverOverlapInAddressSpace)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
     for (size_t a = 0; a < mem.intervals.size(); ++a) {
         for (size_t b = a + 1; b < mem.intervals.size(); ++b) {
@@ -306,7 +306,7 @@ TEST(StaticPlanner, OffloadedTsosHaveTwoDeviceLives)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     ASSERT_FALSE(plan.offloaded.empty());
     auto mem = planStaticMemory(g, assignment, plan);
     for (TsoId tso : plan.offloaded) {
@@ -328,9 +328,9 @@ TEST(StaticPlanner, OffloadingReducesDevicePeak)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto none = planMemory(g, spec, {PlannerKind::None, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto hmms = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto mem_none = planStaticMemory(g, assignment, none);
     auto mem_hmms = planStaticMemory(g, assignment, hmms);
     EXPECT_LT(mem_hmms.device_general_peak,
@@ -345,7 +345,7 @@ TEST(StaticPlanner, NaiveLifetimesCostMoreThanStaticPlanning)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::None, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto planned = planStaticMemory(g, assignment, plan);
     auto naive = planStaticMemory(g, assignment, plan, {},
                                   {.naive_lifetimes = true});
@@ -359,7 +359,7 @@ TEST(StaticPlanner, ParamPoolCountsValuesGradsAndMomentum)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan =
-        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment);
+        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
     int64_t expect = 0;
     for (const auto &p : g.params()) {
@@ -376,7 +376,7 @@ TEST(StaticPlanner, FirstFitPeakBoundedByPackingLowerBound)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
+                           assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
     const int64_t pool = mem.device_general_peak - mem.workspace_bytes;
     EXPECT_GE(pool, mem.max_live_bytes);

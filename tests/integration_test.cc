@@ -31,11 +31,11 @@ pipeline(const Graph &g, const DeviceSpec &spec, PlannerKind kind,
         kind == PlannerKind::None
             ? 0.0
             : profileForwardPass(g, spec, bo).offloadable_fraction;
-    auto plan = planMemory(g, spec, {kind, cap, bo}, assignment);
+    auto plan = planMemory(g, spec, {kind, cap, bo}, assignment).value();
     plan.validate();
     auto mem = planStaticMemory(g, assignment, plan, bo);
     // The simulator must accept every valid plan.
-    auto sim = simulatePlan(g, spec, plan, assignment, bo);
+    auto sim = simulatePlan(g, spec, plan, assignment, bo).value();
     EXPECT_GT(sim.total_time, 0.0);
     return mem;
 }
@@ -150,7 +150,7 @@ TEST(Integration, MaxBatchOrderingHoldsOnVgg)
                 {split_offload ? PlannerKind::Hmms : PlannerKind::None,
                  cap,
                  {}},
-                assignment);
+                assignment).value();
             auto mem = planStaticMemory(
                 g, assignment, plan, {},
                 {.naive_lifetimes = !planned});
@@ -186,8 +186,8 @@ TEST(Integration, HmmsBeatsLayerWiseOnBothFig8Networks)
             profileForwardPass(g, spec).offloadable_fraction;
         auto run = [&](PlannerKind kind) {
             auto plan =
-                planMemory(g, spec, {kind, cap, {}}, assignment);
-            return simulatePlan(g, spec, plan, assignment).total_time;
+                planMemory(g, spec, {kind, cap, {}}, assignment).value();
+            return simulatePlan(g, spec, plan, assignment).value().total_time;
         };
         const double base = run(PlannerKind::None);
         const double lw = run(PlannerKind::LayerWise);

@@ -58,9 +58,9 @@ TEST(Determinism, PlansAreReproducible)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto p1 = planMemory(g, spec, {PlannerKind::Hmms, 0.7, {}},
-                         assignment);
+                         assignment).value();
     auto p2 = planMemory(g, spec, {PlannerKind::Hmms, 0.7, {}},
-                         assignment);
+                         assignment).value();
     EXPECT_EQ(p1.offloaded, p2.offloaded);
     EXPECT_EQ(p1.offloaded_bytes, p2.offloaded_bytes);
     auto m1 = planStaticMemory(g, assignment, p1);
@@ -95,7 +95,7 @@ TEST(Monotonicity, DevicePeakGrowsWithBatch)
                               .width = 0.5});
         auto assignment = assignStorage(g, g.topoOrder());
         auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
-                               assignment);
+                               assignment).value();
         auto mem = planStaticMemory(g, assignment, plan);
         EXPECT_GT(mem.totalDeviceBytes(), prev);
         prev = mem.totalDeviceBytes();
@@ -110,7 +110,7 @@ TEST(Monotonicity, HigherCapOffloadsAtLeastAsMuch)
     int64_t prev = -1;
     for (double cap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
         auto plan = planMemory(g, spec, {PlannerKind::Hmms, cap, {}},
-                               assignment);
+                               assignment).value();
         EXPECT_GE(plan.offloaded_bytes, prev);
         prev = plan.offloaded_bytes;
     }
@@ -135,9 +135,9 @@ TEST_P(PlannerSimSweep, PlanValidatesAndSimCompletes)
         g = splitCnnTransform(
             g, {.depth = 0.5, .splits_h = 2, .splits_w = 2});
     auto assignment = assignStorage(g, g.topoOrder());
-    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
+    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment).value();
     plan.validate();
-    auto sim = simulatePlan(g, spec, plan, assignment);
+    auto sim = simulatePlan(g, spec, plan, assignment).value();
     // Simulated time is at least the pure-compute time and the
     // kernels appear in schedule order without overlap.
     EXPECT_GE(sim.total_time, sim.compute_busy - 1e-12);

@@ -42,9 +42,9 @@ TEST_P(ResidencySweep, NoViolations)
         kind == PlannerKind::None
             ? 0.0
             : profileForwardPass(g, spec, bo).offloadable_fraction;
-    auto plan = planMemory(g, spec, {kind, cap, bo}, assignment);
+    auto plan = planMemory(g, spec, {kind, cap, bo}, assignment).value();
     auto mem = planStaticMemory(g, assignment, plan, bo);
-    auto report = checkResidency(g, assignment, plan, mem, bo);
+    auto report = checkResidency(g, assignment, plan, mem, bo).value();
     EXPECT_TRUE(report.ok()) << report.toString();
     EXPECT_GT(report.checked_accesses, 100);
 }
@@ -65,7 +65,7 @@ TEST(ResidencyChecker, DetectsTruncatedLifetime)
     Graph g = buildVgg19({.batch = 2, .image = 32, .width = 0.25});
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
-                           assignment);
+                           assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
 
     // Corrupt: cut the longest-lived value interval short.
@@ -82,7 +82,7 @@ TEST(ResidencyChecker, DetectsTruncatedLifetime)
     ASSERT_GT(span, 1);
     mem.intervals[victim].free_step = mem.intervals[victim].alloc_step;
 
-    auto report = checkResidency(g, assignment, plan, mem);
+    auto report = checkResidency(g, assignment, plan, mem).value();
     EXPECT_FALSE(report.ok());
     EXPECT_NE(report.toString().find("not device-resident"),
               std::string::npos);
@@ -94,7 +94,7 @@ TEST(ResidencyChecker, DetectsAddressOverlap)
     Graph g = buildVgg19({.batch = 2, .image = 32, .width = 0.25});
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::None, 0, {}},
-                           assignment);
+                           assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
     ASSERT_GE(mem.intervals.size(), 2u);
     // Force two temporally-overlapping intervals onto one address.
@@ -107,7 +107,7 @@ TEST(ResidencyChecker, DetectsAddressOverlap)
                 y.alloc_step <= x.free_step) {
                 y.addr = x.addr;
                 auto report =
-                    checkResidency(g, assignment, plan, mem);
+                    checkResidency(g, assignment, plan, mem).value();
                 EXPECT_FALSE(report.ok());
                 return;
             }

@@ -107,8 +107,8 @@ TEST(StreamSim, BaselineTimeEqualsSumOfOpTimes)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan =
-        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment);
-    auto result = simulatePlan(g, spec, plan, assignment);
+        planMemory(g, spec, {PlannerKind::None, 1.0, {}}, assignment).value();
+    auto result = simulatePlan(g, spec, plan, assignment).value();
     EXPECT_NEAR(result.total_time, result.compute_busy, 1e-12);
     EXPECT_EQ(result.stall_time, 0.0);
     EXPECT_TRUE(result.transfers.empty());
@@ -131,8 +131,8 @@ TEST(StreamSim, HmmsPlanNeverStallsWhenBandwidthSuffices)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
-    auto result = simulatePlan(g, spec, plan, assignment);
+                           assignment).value();
+    auto result = simulatePlan(g, spec, plan, assignment).value();
     EXPECT_LT(result.stall_time, 0.02 * result.compute_busy);
     EXPECT_FALSE(result.transfers.empty());
 }
@@ -149,12 +149,13 @@ TEST(StreamSim, LayerWiseStallsMoreThanHmms)
     auto lw = simulatePlan(
         g, spec,
         planMemory(g, spec, {PlannerKind::LayerWise, 1.0, {}},
-                   assignment),
-        assignment);
+                   assignment).value(),
+        assignment).value();
     auto hm = simulatePlan(
         g, spec,
-        planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}}, assignment),
-        assignment);
+        planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}}, assignment)
+            .value(),
+        assignment).value();
     EXPECT_GT(lw.stall_time, hm.stall_time);
     EXPECT_GT(lw.total_time, hm.total_time * 1.05);
 }
@@ -165,8 +166,8 @@ TEST(StreamSim, TransfersNeverOverlapOnOneStream)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
-    auto result = simulatePlan(g, spec, plan, assignment);
+                           assignment).value();
+    auto result = simulatePlan(g, spec, plan, assignment).value();
     for (size_t a = 0; a < result.transfers.size(); ++a)
         for (size_t b = a + 1; b < result.transfers.size(); ++b) {
             const auto &x = result.transfers[a];
@@ -191,8 +192,8 @@ TEST(StreamSim, TimelineRendersLanes)
     DeviceSpec spec;
     auto assignment = assignStorage(g, g.topoOrder());
     auto plan = planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}},
-                           assignment);
-    auto result = simulatePlan(g, spec, plan, assignment);
+                           assignment).value();
+    auto result = simulatePlan(g, spec, plan, assignment).value();
     const std::string timeline = renderTimeline(result, spec, 60);
     EXPECT_NE(timeline.find("compute"), std::string::npos);
     EXPECT_NE(timeline.find("memcpy 0"), std::string::npos);

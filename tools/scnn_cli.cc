@@ -55,7 +55,7 @@ buildFromArgs(const Args &args, int64_t default_batch = 64)
     Graph g = buildModel(model, cfg);
     const double depth = args.flagDouble("split", 0.0);
     if (depth > 0.0) {
-        const auto [h, w] = parseGrid(args.flag("grid", "2x2"));
+        const auto [h, w] = parseGrid(args.flag("grid", "2x2")).value();
         g = splitCnnTransform(
             g, {.depth = depth, .splits_h = h, .splits_w = w});
     }
@@ -104,10 +104,10 @@ cmdPlan(const Args &args)
     auto assignment = assignStorage(g, g.topoOrder());
     const double cap = args.flagDouble(
         "cap", profileForwardPass(g, spec).offloadable_fraction);
-    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment);
+    auto plan = planMemory(g, spec, {kind, cap, {}}, assignment).value();
     auto mem = planStaticMemory(g, assignment, plan);
-    auto sim = simulatePlan(g, spec, plan, assignment);
-    auto check = checkResidency(g, assignment, plan, mem);
+    auto sim = simulatePlan(g, spec, plan, assignment).value();
+    auto check = checkResidency(g, assignment, plan, mem).value();
 
     std::cout << describePlan(g, plan, assignment);
     std::printf("pools: device general %.2f GB (workspace %.2f GB), "
@@ -128,7 +128,7 @@ cmdMaxBatch(const Args &args)
     DeviceSpec spec;
     BackwardOptions bo{.recompute_bn = args.has("recompute-bn")};
     const double depth = args.flagDouble("split", 0.0);
-    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2"));
+    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2")).value();
     const std::string model = args.positional(0, "vgg19");
 
     auto fits = [&](int64_t batch) {
@@ -150,7 +150,7 @@ cmdMaxBatch(const Args &args)
             g, spec,
             {depth > 0.0 ? PlannerKind::Hmms : PlannerKind::None, cap,
              bo},
-            assignment);
+            assignment).value();
         auto mem = planStaticMemory(
             g, assignment, plan, bo,
             {.naive_lifetimes = args.has("naive")});
@@ -193,7 +193,7 @@ cmdTrain(const Args &args)
     cfg.mode = mode == "scnn"    ? TrainMode::SplitCnn
                : mode == "sscnn" ? TrainMode::StochasticSplit
                                  : TrainMode::Baseline;
-    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2"));
+    const auto [gh, gw] = parseGrid(args.flag("grid", "2x2")).value();
     cfg.split = {.depth = args.flagDouble("depth", 0.5),
                  .splits_h = gh,
                  .splits_w = gw,

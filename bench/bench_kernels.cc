@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Kernel performance report: measures the blocked GEMM against the
+ * naive reference, im2col convolution forward, and patch-parallel
+ * split-conv scaling, then writes machine-readable results to
+ * BENCH_kernels.json (path overridable as argv[1]).
+ *
+ * Workloads are width-reduced stand-ins for the Figure 8 layers (the
+ * real fig08 harness drives the device *simulator*; this one times
+ * the actual CPU engine). Run from a Release/-O2 build; CI uploads
+ * the JSON as an artifact.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/split_op.h"
+#include "kernels/conv2d.h"
+#include "kernels/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace scnn {
+namespace {
+
+/** Median-of-repeats wall time of fn(), in seconds. */
+template <typename Fn>
+double
+timeIt(Fn &&fn, int repeats = 5)
+{
+    fn(); // warm caches and the scratch arena
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+using GemmFn = void (*)(int64_t, int64_t, int64_t, float, const float *,
+                        const float *, float, float *);
+
+struct GemmResult
+{
+    const char *kind;
+    int64_t size;
+    double naive_gflops;
+    double blocked_gflops;
+};
+
+GemmResult
+benchGemm(const char *kind, GemmFn naive, GemmFn blocked, int64_t n)
+{
+    Rng rng(1);
+    std::vector<float> a(static_cast<size_t>(n * n));
+    std::vector<float> b(static_cast<size_t>(n * n));
+    std::vector<float> c(static_cast<size_t>(n * n));
+    for (auto &v : a)
+        v = rng.normal();
+    for (auto &v : b)
+        v = rng.normal();
+    const double flops = 2.0 * n * n * n;
+    // Repeat inside the timed region so small sizes aren't all noise.
+    const int inner = n >= 256 ? 4 : 32;
+    const double tn = timeIt([&] {
+        for (int i = 0; i < inner; ++i)
+            naive(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    });
+    const double tb = timeIt([&] {
+        for (int i = 0; i < inner; ++i)
+            blocked(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    });
+    return {kind, n, flops * inner / tn / 1e9,
+            flops * inner / tb / 1e9};
+}
+
+} // namespace
+} // namespace scnn
+
+int
+main(int argc, char **argv)
+{
+    using namespace scnn;
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_kernels.json";
+
+    // --- GEMM: naive vs blocked --------------------------------------
+    std::vector<GemmResult> gemms;
+    for (int64_t n : {64, 128, 256}) {
+        gemms.push_back(benchGemm("NN", gemmNaive, gemmBlocked, n));
+        gemms.push_back(
+            benchGemm("TN", gemmTNNaive, gemmTNBlocked, n));
+        gemms.push_back(
+            benchGemm("NT", gemmNTNaive, gemmNTBlocked, n));
+    }
+
+    // --- conv2d forward (fig08-style layer, width-reduced) -----------
+    // VGG-19 conv3 block at 1/8 width: 16x56x56 input, 3x3 kernels.
+    Rng rng(2);
+    Tensor cx(Shape{4, 16, 56, 56});
+    Tensor cw(Shape{16, 16, 3, 3});
+    cx.fillNormal(rng, 0.0f, 1.0f);
+    cw.fillNormal(rng, 0.0f, 0.1f);
+    const Window2d cwin = Window2d::square(3, 1, 1);
+    setGlobalThreads(1);
+    const double conv_ms = timeIt([&] {
+                               Tensor out = conv2dForward(
+                                   cx, cw, Tensor(), cwin);
+                           }) *
+                           1e3;
+
+    // --- patch-parallel split conv scaling ----------------------------
+    const auto scheme = splitWindowOp2d(
+        cwin, 56, 56, evenOutputSplit(cwin.outH(56), 2),
+        evenOutputSplit(cwin.outW(56), 2));
+    double split_ms[3] = {0, 0, 0};
+    const int thread_counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        setGlobalThreads(thread_counts[i]);
+        split_ms[i] = timeIt([&] {
+                          Tensor out = splitConv2dForward(
+                              cx, cw, Tensor(), cwin, scheme);
+                      }) *
+                      1e3;
+    }
+    setGlobalThreads(1);
+
+    // --- report -------------------------------------------------------
+    FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"gemm_kernel_default\": \"%s\",\n",
+                 gemmKernelName());
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"gemm\": [\n");
+    for (size_t i = 0; i < gemms.size(); ++i) {
+        const auto &g = gemms[i];
+        std::fprintf(f,
+                     "    {\"kind\": \"%s\", \"size\": %lld, "
+                     "\"naive_gflops\": %.2f, \"blocked_gflops\": "
+                     "%.2f, \"speedup\": %.2f}%s\n",
+                     g.kind, static_cast<long long>(g.size),
+                     g.naive_gflops, g.blocked_gflops,
+                     g.blocked_gflops / g.naive_gflops,
+                     i + 1 < gemms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"conv2d_forward\": {\"workload\": "
+                 "\"4x16x56x56 * 16x16x3x3 (vgg19 conv3 @ 1/8 "
+                 "width)\", \"ms\": %.3f},\n",
+                 conv_ms);
+    std::fprintf(
+        f,
+        "  \"split_conv_patch_parallel\": {\"workload\": \"same, "
+        "2x2 split\", \"ms_1t\": %.3f, \"ms_2t\": %.3f, "
+        "\"ms_4t\": %.3f, \"speedup_4t\": %.2f}\n",
+        split_ms[0], split_ms[1], split_ms[2],
+        split_ms[0] / split_ms[2]);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::printf("wrote %s\n", out_path.c_str());
+    for (const auto &g : gemms)
+        std::printf("gemm %s %lld: naive %.2f GF/s, blocked %.2f "
+                    "GF/s (%.2fx)\n",
+                    g.kind, static_cast<long long>(g.size),
+                    g.naive_gflops, g.blocked_gflops,
+                    g.blocked_gflops / g.naive_gflops);
+    std::printf("conv2d fwd: %.3f ms\n", conv_ms);
+    std::printf("split conv 2x2: 1t %.3f ms, 2t %.3f ms, 4t %.3f ms "
+                "(4t speedup %.2fx)\n",
+                split_ms[0], split_ms[1], split_ms[2],
+                split_ms[0] / split_ms[2]);
+    return 0;
+}

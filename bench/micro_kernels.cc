@@ -19,8 +19,11 @@
 namespace scnn {
 namespace {
 
+using GemmFn = void (*)(int64_t, int64_t, int64_t, float, const float *,
+                        const float *, float, float *);
+
 void
-BM_Gemm(benchmark::State &state)
+runGemmBench(benchmark::State &state, GemmFn fn)
 {
     const int64_t n = state.range(0);
     Rng rng(1);
@@ -30,12 +33,47 @@ BM_Gemm(benchmark::State &state)
     for (auto &v : b)
         v = rng.normal();
     for (auto _ : state) {
-        gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+        fn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
+
+/** Runtime-dispatched kernel (what the engine actually calls). */
+void
+BM_Gemm(benchmark::State &state)
+{
+    runGemmBench(state, gemm);
+}
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmNaive(benchmark::State &state)
+{
+    runGemmBench(state, gemmNaive);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmBlocked(benchmark::State &state)
+{
+    runGemmBench(state, gemmBlocked);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmTNBlocked(benchmark::State &state)
+{
+    runGemmBench(state, gemmTNBlocked);
+}
+BENCHMARK(BM_GemmTNBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmNTBlocked(benchmark::State &state)
+{
+    runGemmBench(state, gemmNTBlocked);
+}
+BENCHMARK(BM_GemmNTBlocked)->Arg(64)->Arg(128)->Arg(256);
 
 void
 BM_Conv2dForward(benchmark::State &state)

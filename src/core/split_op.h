@@ -9,12 +9,14 @@
 #ifndef SCNN_CORE_SPLIT_OP_H
 #define SCNN_CORE_SPLIT_OP_H
 
+#include <iterator>
 #include <vector>
 
 #include "core/split_scheme.h"
 #include "kernels/window.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -58,21 +60,40 @@ Tensor slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi,
  * @param scheme 2-D split scheme built for x's spatial extents.
  * @param op callable (const Tensor &patch, const Window2d &local)
  *        -> Tensor running the underlying operation on one patch.
+ *
+ * Patches are independent, so they fan out across the global thread
+ * pool; each patch result lands in its own pre-sized slot and the
+ * final concatenation runs on the caller, so the output is
+ * bitwise-identical for any thread count.
  */
 template <typename OpFn>
 Tensor
 runSplitOp(const Tensor &x, const Window2d &win,
            const SplitScheme2d &scheme, OpFn &&op)
 {
+    const int hp = scheme.h.parts();
+    const int wp = scheme.w.parts();
+    std::vector<Tensor> patches(static_cast<size_t>(hp) *
+                                static_cast<size_t>(wp));
+    globalPool().parallelFor(
+        static_cast<int64_t>(patches.size()),
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+                const int hi = static_cast<int>(i) / wp;
+                const int wi = static_cast<int>(i) % wp;
+                Tensor patch = slicePatch(x, scheme, hi, wi);
+                patches[static_cast<size_t>(i)] =
+                    op(patch, patchWindow(win, scheme, hi, wi));
+            }
+        });
     std::vector<Tensor> rows;
-    rows.reserve(scheme.h.parts());
-    for (int hi = 0; hi < scheme.h.parts(); ++hi) {
-        std::vector<Tensor> cols;
-        cols.reserve(scheme.w.parts());
-        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
-            Tensor patch = slicePatch(x, scheme, hi, wi);
-            cols.push_back(op(patch, patchWindow(win, scheme, hi, wi)));
-        }
+    rows.reserve(static_cast<size_t>(hp));
+    for (int hi = 0; hi < hp; ++hi) {
+        std::vector<Tensor> cols(
+            std::make_move_iterator(patches.begin() +
+                                    static_cast<size_t>(hi) * wp),
+            std::make_move_iterator(patches.begin() +
+                                    static_cast<size_t>(hi + 1) * wp));
         rows.push_back(concatDim(cols, 3));
     }
     return concatDim(rows, 2);

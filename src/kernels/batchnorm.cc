@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/rowops.h"
 #include "util/logging.h"
 
 namespace scnn {
@@ -24,9 +25,9 @@ viewOf(const Tensor &x)
 } // namespace
 
 Tensor
-batchNormForward(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-                 Tensor &running_mean, Tensor &running_var,
-                 float momentum, float eps, BatchNormCache &cache)
+batchNormForwardStats(const Tensor &x, const Tensor &gamma,
+                      const Tensor &beta, float eps,
+                      BatchNormCache &cache)
 {
     const ChannelView v = viewOf(x);
     SCNN_REQUIRE(gamma.numel() == v.c && beta.numel() == v.c,
@@ -35,29 +36,23 @@ batchNormForward(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     SCNN_REQUIRE(count > 0, "batchnorm over empty batch");
 
     cache.mean = Tensor(Shape{v.c});
+    cache.batch_var = Tensor(Shape{v.c});
     cache.inv_std = Tensor(Shape{v.c});
-    cache.x_hat = Tensor(x.shape());
-    Tensor out(x.shape());
+    cache.x_hat = Tensor::uninitialized(x.shape());
+    Tensor out = Tensor::uninitialized(x.shape());
 
     for (int64_t ic = 0; ic < v.c; ++ic) {
         double sum = 0.0, sq = 0.0;
-        for (int64_t in = 0; in < v.n; ++in) {
-            const float *src = x.data() + (in * v.c + ic) * v.spatial;
-            for (int64_t s = 0; s < v.spatial; ++s) {
-                sum += src[s];
-                sq += double(src[s]) * src[s];
-            }
-        }
+        for (int64_t in = 0; in < v.n; ++in)
+            accumulateSumSqD(x.data() + (in * v.c + ic) * v.spatial,
+                             v.spatial, sum, sq);
         const double mean = sum / count;
         const double var = sq / count - mean * mean;
         const float inv_std =
             1.0f / std::sqrt(static_cast<float>(var) + eps);
         cache.mean.at(ic) = static_cast<float>(mean);
+        cache.batch_var.at(ic) = static_cast<float>(var);
         cache.inv_std.at(ic) = inv_std;
-        running_mean.at(ic) = (1.0f - momentum) * running_mean.at(ic) +
-                              momentum * static_cast<float>(mean);
-        running_var.at(ic) = (1.0f - momentum) * running_var.at(ic) +
-                             momentum * static_cast<float>(var);
 
         const float g = gamma.at(ic);
         const float b = beta.at(ic);
@@ -75,13 +70,39 @@ batchNormForward(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     return out;
 }
 
+void
+applyBatchNormRunningUpdate(const BatchNormCache &cache, float momentum,
+                            Tensor &running_mean, Tensor &running_var)
+{
+    const int64_t c = cache.mean.numel();
+    SCNN_CHECK(running_mean.numel() == c && running_var.numel() == c,
+               "batchnorm running stat size mismatch");
+    for (int64_t ic = 0; ic < c; ++ic) {
+        running_mean.at(ic) = (1.0f - momentum) * running_mean.at(ic) +
+                              momentum * cache.mean.at(ic);
+        running_var.at(ic) = (1.0f - momentum) * running_var.at(ic) +
+                             momentum * cache.batch_var.at(ic);
+    }
+}
+
+Tensor
+batchNormForward(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 Tensor &running_mean, Tensor &running_var,
+                 float momentum, float eps, BatchNormCache &cache)
+{
+    Tensor out = batchNormForwardStats(x, gamma, beta, eps, cache);
+    applyBatchNormRunningUpdate(cache, momentum, running_mean,
+                                running_var);
+    return out;
+}
+
 Tensor
 batchNormInference(const Tensor &x, const Tensor &gamma,
                    const Tensor &beta, const Tensor &running_mean,
                    const Tensor &running_var, float eps)
 {
     const ChannelView v = viewOf(x);
-    Tensor out(x.shape());
+    Tensor out = Tensor::uninitialized(x.shape());
     for (int64_t ic = 0; ic < v.c; ++ic) {
         const float inv_std =
             1.0f / std::sqrt(running_var.at(ic) + eps);
@@ -106,19 +127,16 @@ batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
 {
     const ChannelView v = viewOf(grad_out);
     const int64_t count = v.n * v.spatial;
-    Tensor grad_x(grad_out.shape());
+    Tensor grad_x = Tensor::uninitialized(grad_out.shape());
 
     for (int64_t ic = 0; ic < v.c; ++ic) {
         // Reductions: sum(dy), sum(dy * x_hat).
         double sum_dy = 0.0, sum_dy_xhat = 0.0;
         for (int64_t in = 0; in < v.n; ++in) {
             const int64_t base = (in * v.c + ic) * v.spatial;
-            const float *dy = grad_out.data() + base;
-            const float *xh = cache.x_hat.data() + base;
-            for (int64_t s = 0; s < v.spatial; ++s) {
-                sum_dy += dy[s];
-                sum_dy_xhat += double(dy[s]) * xh[s];
-            }
+            accumulateSumDotD(grad_out.data() + base,
+                              cache.x_hat.data() + base, v.spatial,
+                              sum_dy, sum_dy_xhat);
         }
         grad_beta.at(ic) += static_cast<float>(sum_dy);
         grad_gamma.at(ic) += static_cast<float>(sum_dy_xhat);

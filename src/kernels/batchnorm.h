@@ -12,9 +12,10 @@ namespace scnn {
 /** Per-batch statistics cached by the forward pass for backward. */
 struct BatchNormCache
 {
-    Tensor mean;    ///< per-channel batch mean, [C]
-    Tensor inv_std; ///< per-channel 1/sqrt(var + eps), [C]
-    Tensor x_hat;   ///< normalized input, same shape as x
+    Tensor mean;      ///< per-channel batch mean, [C]
+    Tensor batch_var; ///< per-channel (biased) batch variance, [C]
+    Tensor inv_std;   ///< per-channel 1/sqrt(var + eps), [C]
+    Tensor x_hat;     ///< normalized input, same shape as x
 };
 
 /**
@@ -27,6 +28,27 @@ Tensor batchNormForward(const Tensor &x, const Tensor &gamma,
                         const Tensor &beta, Tensor &running_mean,
                         Tensor &running_var, float momentum, float eps,
                         BatchNormCache &cache);
+
+/**
+ * Training-mode forward WITHOUT the running-statistics update.
+ *
+ * Computes the identical output and cache as batchNormForward (batch
+ * statistics only — training mode never reads running stats). The
+ * patch-parallel executor uses this so graph nodes that share
+ * parameters can run concurrently; it then applies the deferred
+ * updates serially via applyBatchNormRunningUpdate, in the same order
+ * the serial executor would have.
+ */
+Tensor batchNormForwardStats(const Tensor &x, const Tensor &gamma,
+                             const Tensor &beta, float eps,
+                             BatchNormCache &cache);
+
+/** The running-statistics update batchNormForward performs, factored
+ * out so it can be deferred: r = (1 - momentum) * r + momentum * stat
+ * per channel, with stats taken from @p cache. */
+void applyBatchNormRunningUpdate(const BatchNormCache &cache,
+                                 float momentum, Tensor &running_mean,
+                                 Tensor &running_var);
 
 /** Inference-mode batchnorm using running statistics. */
 Tensor batchNormInference(const Tensor &x, const Tensor &gamma,

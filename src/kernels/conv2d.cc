@@ -1,11 +1,14 @@
 #include "kernels/conv2d.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "kernels/gemm.h"
 #include "kernels/im2col.h"
+#include "kernels/rowops.h"
 #include "kernels/winograd.h"
 #include "util/logging.h"
+#include "util/scratch_arena.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -36,27 +39,30 @@ conv2dForward(const Tensor &x, const Tensor &weight, const Tensor &bias,
 
     const int64_t krows = c * win.kh * win.kw;
     const int64_t ospatial = oh * ow;
-    std::vector<float> col(static_cast<size_t>(krows * ospatial));
 
-    Tensor out(Shape{n, oc, oh, ow});
+    // Every element of out is written by the gemm (beta = 0), so the
+    // allocation can skip its zero-fill. Images are independent: each
+    // chunk writes a disjoint slice of out, which keeps the result
+    // bitwise-identical for any thread count.
+    Tensor out = Tensor::uninitialized(Shape{n, oc, oh, ow});
     const bool has_bias = bias.numel() > 0;
     if (has_bias)
         SCNN_REQUIRE(bias.numel() == oc, "conv2d bias size mismatch");
 
-    for (int64_t in = 0; in < n; ++in) {
-        im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col.data());
-        // out[in] = weight(as [oc, krows]) * col
-        gemm(oc, ospatial, krows, 1.0f, weight.data(), col.data(), 0.0f,
-             out.data() + in * oc * ospatial);
-        if (has_bias) {
-            for (int64_t o = 0; o < oc; ++o) {
-                float *dst = out.data() + (in * oc + o) * ospatial;
-                const float b = bias.at(o);
-                for (int64_t s = 0; s < ospatial; ++s)
-                    dst[s] += b;
-            }
+    globalPool().parallelFor(n, [&](int64_t begin, int64_t end) {
+        auto &arena = ScratchArena::tls();
+        auto guard = arena.scope();
+        float *col = arena.alloc(krows * ospatial);
+        for (int64_t in = begin; in < end; ++in) {
+            im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col);
+            // out[in] = weight(as [oc, krows]) * col
+            gemm(oc, ospatial, krows, 1.0f, weight.data(), col, 0.0f,
+                 out.data() + in * oc * ospatial);
+            if (has_bias)
+                addRowBias(out.data() + in * oc * ospatial, oc,
+                           ospatial, bias.data());
         }
-    }
+    });
     return out;
 }
 
@@ -87,32 +93,81 @@ conv2dBackward(const Tensor &x, const Tensor &weight,
 
     const int64_t krows = c * win.kh * win.kw;
     const int64_t ospatial = oh * ow;
-    std::vector<float> col(static_cast<size_t>(krows * ospatial));
-    std::vector<float> grad_col(static_cast<size_t>(krows * ospatial));
 
-    grad_x = Tensor(x.shape());
+    grad_x = Tensor(x.shape()); // zero: col2im scatter-adds into it
     SCNN_CHECK(grad_w.shape() == weight.shape(),
                "grad_w must be pre-shaped like weight");
     const bool has_bias = grad_b.numel() > 0;
 
-    for (int64_t in = 0; in < n; ++in) {
-        const float *go = grad_out.data() + in * oc * ospatial;
-        im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col.data());
-        // grad_w (as [oc, krows]) += go * col^T
-        gemmNT(oc, krows, ospatial, 1.0f, go, col.data(), 1.0f,
-               grad_w.data());
-        // grad_col = weight^T (as [krows, oc]) * go
-        gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go, 0.0f,
-               grad_col.data());
-        col2im(grad_col.data(), c, ih, iw, win,
-               grad_x.data() + in * c * ih * iw);
-        if (has_bias) {
-            for (int64_t o = 0; o < oc; ++o) {
-                float acc = 0.0f;
-                const float *src = go + o * ospatial;
-                for (int64_t s = 0; s < ospatial; ++s)
-                    acc += src[s];
-                grad_b.at(o) += acc;
+    const int64_t wave = globalThreads();
+    if (wave <= 1) {
+        auto &arena = ScratchArena::tls();
+        auto guard = arena.scope();
+        float *col = arena.alloc(krows * ospatial);
+        float *grad_col = arena.alloc(krows * ospatial);
+        for (int64_t in = 0; in < n; ++in) {
+            const float *go = grad_out.data() + in * oc * ospatial;
+            im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col);
+            // grad_w (as [oc, krows]) += go * col^T
+            gemmNT(oc, krows, ospatial, 1.0f, go, col, 1.0f,
+                   grad_w.data());
+            // grad_col = weight^T (as [krows, oc]) * go
+            gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go, 0.0f,
+                   grad_col);
+            col2im(grad_col, c, ih, iw, win,
+                   grad_x.data() + in * c * ih * iw);
+            if (has_bias)
+                addRowSums(go, oc, ospatial, grad_b.data());
+        }
+        return;
+    }
+
+    // Parallel path: images are processed in waves of `wave`. Within
+    // a wave each image's weight/bias gradient contribution goes into
+    // a private buffer (gemmNT with beta = 0 yields exactly the dot
+    // products the serial beta = 1 call would have added), then the
+    // contributions are reduced serially in image order. Addition is
+    // commutative per rounding step, so grad_w ends bitwise-identical
+    // to the serial path. grad_x writes are disjoint per image.
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+    float *gw_acc = arena.alloc(wave * oc * krows);
+    float *gb_acc = has_bias ? arena.alloc(wave * oc) : nullptr;
+
+    for (int64_t w0 = 0; w0 < n; w0 += wave) {
+        const int64_t wn = std::min(wave, n - w0);
+        globalPool().parallelFor(wn, [&](int64_t begin, int64_t end) {
+            auto &warena = ScratchArena::tls();
+            auto wguard = warena.scope();
+            float *col = warena.alloc(krows * ospatial);
+            float *grad_col = warena.alloc(krows * ospatial);
+            for (int64_t wi = begin; wi < end; ++wi) {
+                const int64_t in = w0 + wi;
+                const float *go = grad_out.data() + in * oc * ospatial;
+                im2col(x.data() + in * c * ih * iw, c, ih, iw, win,
+                       col);
+                gemmNT(oc, krows, ospatial, 1.0f, go, col, 0.0f,
+                       gw_acc + wi * oc * krows);
+                gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go,
+                       0.0f, grad_col);
+                col2im(grad_col, c, ih, iw, win,
+                       grad_x.data() + in * c * ih * iw);
+                if (has_bias) {
+                    float *gb = gb_acc + wi * oc;
+                    std::fill(gb, gb + oc, 0.0f);
+                    addRowSums(go, oc, ospatial, gb);
+                }
+            }
+        });
+        for (int64_t wi = 0; wi < wn; ++wi) {
+            const float *gw = gw_acc + wi * oc * krows;
+            float *dst = grad_w.data();
+            for (int64_t e = 0; e < oc * krows; ++e)
+                dst[e] += gw[e];
+            if (has_bias) {
+                const float *gb = gb_acc + wi * oc;
+                for (int64_t o = 0; o < oc; ++o)
+                    grad_b.at(o) += gb[o];
             }
         }
     }

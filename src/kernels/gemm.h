@@ -1,7 +1,25 @@
 /**
  * @file
- * Minimal single-threaded GEMM used by the convolution and linear
- * kernels. Cache-friendly i-k-j loop order.
+ * GEMM kernels behind convolution and linear layers.
+ *
+ * Two implementations share one contract:
+ *
+ * - The *naive* triple-loop kernels (`gemmNaive` et al.), the seed
+ *   implementation, kept as the bit-exact reference.
+ * - The *blocked* kernels (`gemmBlocked` et al.): packed A/B panels,
+ *   MC/KC/NC cache blocking, and a register-tiled MRxNR microkernel
+ *   written with compiler vector extensions.
+ *
+ * The blocked kernels preserve the naive kernels' per-element
+ * floating-point accumulation order (beta first, then k ascending,
+ * alpha folded at the same point), so for finite inputs the two
+ * produce bitwise-identical results at the default build flags —
+ * which keeps every committed figure output byte-stable. (The one
+ * divergence: naive skips rows where alpha*A(i,p) == 0, so results
+ * can differ on inputs containing Inf/NaN or signed zeros.)
+ *
+ * `gemm`/`gemmTN`/`gemmNT` select at runtime: blocked by default,
+ * naive for tiny problems or when SCNN_GEMM=naive is set.
  */
 #ifndef SCNN_KERNELS_GEMM_H
 #define SCNN_KERNELS_GEMM_H
@@ -33,6 +51,30 @@ void gemmTN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
  */
 void gemmNT(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
             const float *b, float beta, float *c);
+
+/** @name Reference (seed) implementations — always available. */
+///@{
+void gemmNaive(int64_t m, int64_t n, int64_t k, float alpha,
+               const float *a, const float *b, float beta, float *c);
+void gemmTNNaive(int64_t m, int64_t n, int64_t k, float alpha,
+                 const float *a, const float *b, float beta, float *c);
+void gemmNTNaive(int64_t m, int64_t n, int64_t k, float alpha,
+                 const float *a, const float *b, float beta, float *c);
+///@}
+
+/** @name Cache-blocked implementations — callable directly (bench). */
+///@{
+void gemmBlocked(int64_t m, int64_t n, int64_t k, float alpha,
+                 const float *a, const float *b, float beta, float *c);
+void gemmTNBlocked(int64_t m, int64_t n, int64_t k, float alpha,
+                   const float *a, const float *b, float beta, float *c);
+void gemmNTBlocked(int64_t m, int64_t n, int64_t k, float alpha,
+                   const float *a, const float *b, float beta, float *c);
+///@}
+
+/** "blocked" or "naive": what the dispatchers currently select for
+ * large problems (the SCNN_GEMM environment override). */
+const char *gemmKernelName();
 
 } // namespace scnn
 

@@ -1,6 +1,7 @@
 #include "kernels/linear.h"
 
 #include "kernels/gemm.h"
+#include "kernels/rowops.h"
 #include "util/logging.h"
 
 namespace scnn {
@@ -18,13 +19,12 @@ linearForward(const Tensor &x, const Tensor &weight, const Tensor &bias)
                  "linear feature mismatch: weight expects "
                      << weight.shape().dim(1) << ", input has " << f);
 
-    Tensor out(Shape{n, o});
+    // Fully written by the gemm (beta = 0); skip the zero-fill.
+    Tensor out = Tensor::uninitialized(Shape{n, o});
     gemmNT(n, o, f, 1.0f, x.data(), weight.data(), 0.0f, out.data());
     if (bias.numel() > 0) {
         SCNN_REQUIRE(bias.numel() == o, "linear bias size mismatch");
-        for (int64_t in = 0; in < n; ++in)
-            for (int64_t io = 0; io < o; ++io)
-                out.at(in * o + io) += bias.at(io);
+        addColBias(out.data(), n, o, bias.data());
     }
     return out;
 }
@@ -40,21 +40,15 @@ linearBackward(const Tensor &x, const Tensor &weight,
     SCNN_CHECK(grad_out.shape() == Shape({n, o}),
                "linear grad_out shape mismatch");
 
-    grad_x = Tensor(Shape{n, f});
+    grad_x = Tensor::uninitialized(Shape{n, f});
     // grad_x = grad_out [N,O] * weight [O,F]
     gemm(n, f, o, 1.0f, grad_out.data(), weight.data(), 0.0f,
          grad_x.data());
     // grad_w += grad_out^T [O,N] * x [N,F]
     gemmTN(o, f, n, 1.0f, grad_out.data(), x.data(), 1.0f,
            grad_w.data());
-    if (grad_b.numel() > 0) {
-        for (int64_t io = 0; io < o; ++io) {
-            float acc = 0.0f;
-            for (int64_t in = 0; in < n; ++in)
-                acc += grad_out.at(in * o + io);
-            grad_b.at(io) += acc;
-        }
-    }
+    if (grad_b.numel() > 0)
+        addColSums(grad_out.data(), n, o, grad_b.data());
 }
 
 } // namespace scnn

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -19,42 +20,50 @@ maxPool2dForward(const Tensor &x, const Window2d &win,
     const int64_t ow = win.outW(iw);
     SCNN_REQUIRE(oh > 0 && ow > 0, "empty pool output");
 
-    Tensor out(Shape{n, c, oh, ow});
-    argmax.assign(static_cast<size_t>(n * c * oh * ow), -1);
+    // Every output element and argmax slot is written below, and
+    // images write disjoint ranges, so the batch loop parallelizes
+    // without changing a single bit.
+    Tensor out = Tensor::uninitialized(Shape{n, c, oh, ow});
+    argmax.resize(static_cast<size_t>(n * c * oh * ow));
 
-    int64_t oi = 0;
-    for (int64_t in = 0; in < n; ++in) {
-        for (int64_t ic = 0; ic < c; ++ic) {
-            const float *chan = x.data() + (in * c + ic) * ih * iw;
-            const int64_t chan_base = (in * c + ic) * ih * iw;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-                    float best = -std::numeric_limits<float>::infinity();
-                    int64_t best_idx = -1;
-                    for (int64_t ky = 0; ky < win.kh; ++ky) {
-                        const int64_t iy = oy * win.sh - win.ph_b + ky;
-                        if (iy < 0 || iy >= ih)
-                            continue;
-                        for (int64_t kx = 0; kx < win.kw; ++kx) {
-                            const int64_t ix =
-                                ox * win.sw - win.pw_b + kx;
-                            if (ix < 0 || ix >= iw)
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        for (int64_t in = nb; in < ne; ++in) {
+            int64_t oi = in * c * oh * ow;
+            for (int64_t ic = 0; ic < c; ++ic) {
+                const float *chan = x.data() + (in * c + ic) * ih * iw;
+                const int64_t chan_base = (in * c + ic) * ih * iw;
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                        float best =
+                            -std::numeric_limits<float>::infinity();
+                        int64_t best_idx = -1;
+                        for (int64_t ky = 0; ky < win.kh; ++ky) {
+                            const int64_t iy =
+                                oy * win.sh - win.ph_b + ky;
+                            if (iy < 0 || iy >= ih)
                                 continue;
-                            const float v = chan[iy * iw + ix];
-                            if (v > best) {
-                                best = v;
-                                best_idx = chan_base + iy * iw + ix;
+                            for (int64_t kx = 0; kx < win.kw; ++kx) {
+                                const int64_t ix =
+                                    ox * win.sw - win.pw_b + kx;
+                                if (ix < 0 || ix >= iw)
+                                    continue;
+                                const float v = chan[iy * iw + ix];
+                                if (v > best) {
+                                    best = v;
+                                    best_idx =
+                                        chan_base + iy * iw + ix;
+                                }
                             }
                         }
+                        // All-padding windows output 0 (and get no
+                        // gradient), matching zero-pad semantics.
+                        out.at(oi) = (best_idx < 0) ? 0.0f : best;
+                        argmax[static_cast<size_t>(oi)] = best_idx;
                     }
-                    // All-padding windows output 0 (and get no
-                    // gradient), matching zero-pad semantics.
-                    out.at(oi) = (best_idx < 0) ? 0.0f : best;
-                    argmax[static_cast<size_t>(oi)] = best_idx;
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -62,14 +71,22 @@ Tensor
 maxPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
                   const std::vector<int64_t> &argmax)
 {
-    Tensor grad_x(x_shape);
+    const int64_t n = x_shape.dim(0);
+    Tensor grad_x(x_shape); // zero: scatter-add target
     SCNN_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.numel(),
                "argmax size mismatch");
-    for (int64_t i = 0; i < grad_out.numel(); ++i) {
-        const int64_t idx = argmax[static_cast<size_t>(i)];
-        if (idx >= 0)
-            grad_x.at(idx) += grad_out.at(i);
-    }
+    SCNN_CHECK(n > 0 && grad_out.numel() % n == 0,
+               "grad_out batch mismatch");
+    // argmax entries point inside their own image's slice of x, so
+    // per-image scatter ranges are disjoint.
+    const int64_t per_image = grad_out.numel() / n;
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        for (int64_t i = nb * per_image; i < ne * per_image; ++i) {
+            const int64_t idx = argmax[static_cast<size_t>(i)];
+            if (idx >= 0)
+                grad_x.at(idx) += grad_out.at(i);
+        }
+    });
     return grad_x;
 }
 
@@ -86,30 +103,33 @@ avgPool2dForward(const Tensor &x, const Window2d &win)
     SCNN_REQUIRE(oh > 0 && ow > 0, "empty pool output");
     const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
 
-    Tensor out(Shape{n, c, oh, ow});
-    int64_t oi = 0;
-    for (int64_t in = 0; in < n; ++in) {
-        for (int64_t ic = 0; ic < c; ++ic) {
-            const float *chan = x.data() + (in * c + ic) * ih * iw;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-                    float acc = 0.0f;
-                    for (int64_t ky = 0; ky < win.kh; ++ky) {
-                        const int64_t iy = oy * win.sh - win.ph_b + ky;
-                        if (iy < 0 || iy >= ih)
-                            continue;
-                        for (int64_t kx = 0; kx < win.kw; ++kx) {
-                            const int64_t ix =
-                                ox * win.sw - win.pw_b + kx;
-                            if (ix >= 0 && ix < iw)
-                                acc += chan[iy * iw + ix];
+    Tensor out = Tensor::uninitialized(Shape{n, c, oh, ow});
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        for (int64_t in = nb; in < ne; ++in) {
+            int64_t oi = in * c * oh * ow;
+            for (int64_t ic = 0; ic < c; ++ic) {
+                const float *chan = x.data() + (in * c + ic) * ih * iw;
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                        float acc = 0.0f;
+                        for (int64_t ky = 0; ky < win.kh; ++ky) {
+                            const int64_t iy =
+                                oy * win.sh - win.ph_b + ky;
+                            if (iy < 0 || iy >= ih)
+                                continue;
+                            for (int64_t kx = 0; kx < win.kw; ++kx) {
+                                const int64_t ix =
+                                    ox * win.sw - win.pw_b + kx;
+                                if (ix >= 0 && ix < iw)
+                                    acc += chan[iy * iw + ix];
+                            }
                         }
+                        out.at(oi) = acc * inv_area;
                     }
-                    out.at(oi) = acc * inv_area;
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -125,29 +145,32 @@ avgPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
     const int64_t ow = win.outW(iw);
     const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
 
-    Tensor grad_x(x_shape);
-    int64_t oi = 0;
-    for (int64_t in = 0; in < n; ++in) {
-        for (int64_t ic = 0; ic < c; ++ic) {
-            float *chan = grad_x.data() + (in * c + ic) * ih * iw;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-                    const float g = grad_out.at(oi) * inv_area;
-                    for (int64_t ky = 0; ky < win.kh; ++ky) {
-                        const int64_t iy = oy * win.sh - win.ph_b + ky;
-                        if (iy < 0 || iy >= ih)
-                            continue;
-                        for (int64_t kx = 0; kx < win.kw; ++kx) {
-                            const int64_t ix =
-                                ox * win.sw - win.pw_b + kx;
-                            if (ix >= 0 && ix < iw)
-                                chan[iy * iw + ix] += g;
+    Tensor grad_x(x_shape); // zero: windows may not cover everything
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        for (int64_t in = nb; in < ne; ++in) {
+            int64_t oi = in * c * oh * ow;
+            for (int64_t ic = 0; ic < c; ++ic) {
+                float *chan = grad_x.data() + (in * c + ic) * ih * iw;
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+                        const float g = grad_out.at(oi) * inv_area;
+                        for (int64_t ky = 0; ky < win.kh; ++ky) {
+                            const int64_t iy =
+                                oy * win.sh - win.ph_b + ky;
+                            if (iy < 0 || iy >= ih)
+                                continue;
+                            for (int64_t kx = 0; kx < win.kw; ++kx) {
+                                const int64_t ix =
+                                    ox * win.sw - win.pw_b + kx;
+                                if (ix >= 0 && ix < iw)
+                                    chan[iy * iw + ix] += g;
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     return grad_x;
 }
 
@@ -157,14 +180,16 @@ globalAvgPoolForward(const Tensor &x)
     const int64_t n = x.shape().dim(0);
     const int64_t c = x.shape().dim(1);
     const int64_t spatial = x.shape().dim(2) * x.shape().dim(3);
-    Tensor out(Shape{n, c, 1, 1});
-    for (int64_t i = 0; i < n * c; ++i) {
-        float acc = 0.0f;
-        const float *src = x.data() + i * spatial;
-        for (int64_t s = 0; s < spatial; ++s)
-            acc += src[s];
-        out.at(i) = acc / static_cast<float>(spatial);
-    }
+    Tensor out = Tensor::uninitialized(Shape{n, c, 1, 1});
+    globalPool().parallelFor(n * c, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            float acc = 0.0f;
+            const float *src = x.data() + i * spatial;
+            for (int64_t s = 0; s < spatial; ++s)
+                acc += src[s];
+            out.at(i) = acc / static_cast<float>(spatial);
+        }
+    });
     return out;
 }
 
@@ -174,13 +199,16 @@ globalAvgPoolBackward(const Shape &x_shape, const Tensor &grad_out)
     const int64_t n = x_shape.dim(0);
     const int64_t c = x_shape.dim(1);
     const int64_t spatial = x_shape.dim(2) * x_shape.dim(3);
-    Tensor grad_x(x_shape);
-    for (int64_t i = 0; i < n * c; ++i) {
-        const float g = grad_out.at(i) / static_cast<float>(spatial);
-        float *dst = grad_x.data() + i * spatial;
-        for (int64_t s = 0; s < spatial; ++s)
-            dst[s] = g;
-    }
+    Tensor grad_x = Tensor::uninitialized(x_shape);
+    globalPool().parallelFor(n * c, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            const float g =
+                grad_out.at(i) / static_cast<float>(spatial);
+            float *dst = grad_x.data() + i * spatial;
+            for (int64_t s = 0; s < spatial; ++s)
+                dst[s] = g;
+        }
+    });
     return grad_x;
 }
 

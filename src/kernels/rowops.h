@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared bias-add and reduction loops used by the conv2d, linear and
+ * batchnorm kernels.
+ *
+ * These were originally private loops inside each kernel; they are
+ * hoisted here so every layer applies biases and reduces gradients
+ * with the same code. Each helper preserves the original kernels'
+ * per-element accumulation order exactly (float chains stay float,
+ * double chains stay double), so factoring them out changes no bits.
+ */
+#ifndef SCNN_KERNELS_ROWOPS_H
+#define SCNN_KERNELS_ROWOPS_H
+
+#include <cstdint>
+
+namespace scnn {
+
+/** dst[r][j] += bias[r]: one scalar per row (conv2d channel bias
+ * over a [OC, OH*OW] image). */
+inline void
+addRowBias(float *dst, int64_t rows, int64_t cols, const float *bias)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = dst + r * cols;
+        const float b = bias[r];
+        for (int64_t j = 0; j < cols; ++j)
+            row[j] += b;
+    }
+}
+
+/** dst[r][j] += bias[j]: one scalar per column (linear bias over a
+ * [N, O] activation). */
+inline void
+addColBias(float *dst, int64_t rows, int64_t cols, const float *bias)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = dst + r * cols;
+        for (int64_t j = 0; j < cols; ++j)
+            row[j] += bias[j];
+    }
+}
+
+/** out[r] += sum_j src[r][j], each row reduced through a float
+ * accumulator (conv2d grad_b per image). */
+inline void
+addRowSums(const float *src, int64_t rows, int64_t cols, float *out)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = src + r * cols;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < cols; ++j)
+            acc += row[j];
+        out[r] += acc;
+    }
+}
+
+/** out[j] += sum_r src[r][j], each column reduced through a float
+ * accumulator (linear grad_b). */
+inline void
+addColSums(const float *src, int64_t rows, int64_t cols, float *out)
+{
+    for (int64_t j = 0; j < cols; ++j) {
+        float acc = 0.0f;
+        for (int64_t r = 0; r < rows; ++r)
+            acc += src[r * cols + j];
+        out[j] += acc;
+    }
+}
+
+/** sum += Σ src[s]; sq += Σ double(src[s]) * src[s] (batchnorm
+ * moment accumulation, double precision). */
+inline void
+accumulateSumSqD(const float *src, int64_t n, double &sum, double &sq)
+{
+    for (int64_t s = 0; s < n; ++s) {
+        sum += src[s];
+        sq += double(src[s]) * src[s];
+    }
+}
+
+/** sum_a += Σ a[s]; dot += Σ double(a[s]) * b[s] (batchnorm backward
+ * reductions over dy and dy * x_hat). */
+inline void
+accumulateSumDotD(const float *a, const float *b, int64_t n,
+                  double &sum_a, double &dot)
+{
+    for (int64_t s = 0; s < n; ++s) {
+        sum_a += a[s];
+        dot += double(a[s]) * b[s];
+    }
+}
+
+} // namespace scnn
+
+#endif // SCNN_KERNELS_ROWOPS_H

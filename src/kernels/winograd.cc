@@ -1,8 +1,8 @@
 #include "kernels/winograd.h"
 
-#include <vector>
-
 #include "util/logging.h"
+#include "util/scratch_arena.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -103,77 +103,86 @@ conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
     const int64_t ow = win.outW(iw);
     SCNN_REQUIRE(oh > 0 && ow > 0, "empty output");
 
-    // Transform all filters once: U[oc][c] is a 4x4 tile.
-    std::vector<float> u(static_cast<size_t>(oc * c) * 16);
+    // Transform all filters once: U[oc][c] is a 4x4 tile. The U
+    // buffer lives in the caller's arena and is shared read-only by
+    // every worker.
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+    float *u = arena.alloc(oc * c * 16);
     for (int64_t o = 0; o < oc; ++o)
         for (int64_t ic = 0; ic < c; ++ic) {
             float tile[4][4];
             transformWeight(weight.data() + (o * c + ic) * 9, tile);
-            float *dst = u.data() + (o * c + ic) * 16;
+            float *dst = u + (o * c + ic) * 16;
             for (int r = 0; r < 4; ++r)
                 for (int col = 0; col < 4; ++col)
                     dst[r * 4 + col] = tile[r][col];
         }
 
-    Tensor out(Shape{n, oc, oh, ow});
+    // The 2x2 output tiles cover every output element, so the
+    // allocation skips its zero-fill; images are independent.
+    Tensor out = Tensor::uninitialized(Shape{n, oc, oh, ow});
     const bool has_bias = bias.numel() > 0;
     const int64_t tiles_y = (oh + 1) / 2;
     const int64_t tiles_x = (ow + 1) / 2;
 
-    std::vector<float> v(static_cast<size_t>(c) * 16);
-    for (int64_t in = 0; in < n; ++in) {
-        for (int64_t ty = 0; ty < tiles_y; ++ty) {
-            for (int64_t tx = 0; tx < tiles_x; ++tx) {
-                // Gather the 4x4 input tile (with padding) per chan.
-                const int64_t y0 = 2 * ty - win.ph_b;
-                const int64_t x0 = 2 * tx - win.pw_b;
-                for (int64_t ic = 0; ic < c; ++ic) {
-                    float d[4][4];
-                    const float *chan =
-                        x.data() + (in * c + ic) * ih * iw;
-                    for (int r = 0; r < 4; ++r)
-                        for (int col = 0; col < 4; ++col) {
-                            const int64_t yy = y0 + r;
-                            const int64_t xx = x0 + col;
-                            d[r][col] = (yy < 0 || yy >= ih ||
-                                         xx < 0 || xx >= iw)
-                                            ? 0.0f
-                                            : chan[yy * iw + xx];
-                        }
-                    float tile[4][4];
-                    transformInput(d, tile);
-                    float *dst = v.data() + ic * 16;
-                    for (int r = 0; r < 4; ++r)
-                        for (int col = 0; col < 4; ++col)
-                            dst[r * 4 + col] = tile[r][col];
-                }
-                // Elementwise multiply-accumulate over channels,
-                // then inverse-transform per output channel.
-                for (int64_t o = 0; o < oc; ++o) {
-                    float m[4][4] = {};
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        auto &warena = ScratchArena::tls();
+        auto wguard = warena.scope();
+        float *v = warena.alloc(c * 16);
+        for (int64_t in = nb; in < ne; ++in) {
+            for (int64_t ty = 0; ty < tiles_y; ++ty) {
+                for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                    // Gather the 4x4 input tile (with padding) per
+                    // chan.
+                    const int64_t y0 = 2 * ty - win.ph_b;
+                    const int64_t x0 = 2 * tx - win.pw_b;
                     for (int64_t ic = 0; ic < c; ++ic) {
-                        const float *uf =
-                            u.data() + (o * c + ic) * 16;
-                        const float *vf = v.data() + ic * 16;
-                        for (int e = 0; e < 16; ++e)
-                            m[e / 4][e % 4] += uf[e] * vf[e];
+                        float d[4][4];
+                        const float *chan =
+                            x.data() + (in * c + ic) * ih * iw;
+                        for (int r = 0; r < 4; ++r)
+                            for (int col = 0; col < 4; ++col) {
+                                const int64_t yy = y0 + r;
+                                const int64_t xx = x0 + col;
+                                d[r][col] = (yy < 0 || yy >= ih ||
+                                             xx < 0 || xx >= iw)
+                                                ? 0.0f
+                                                : chan[yy * iw + xx];
+                            }
+                        float tile[4][4];
+                        transformInput(d, tile);
+                        float *dst = v + ic * 16;
+                        for (int r = 0; r < 4; ++r)
+                            for (int col = 0; col < 4; ++col)
+                                dst[r * 4 + col] = tile[r][col];
                     }
-                    float y[2][2];
-                    transformOutput(m, y);
-                    const float b =
-                        has_bias ? bias.at(o) : 0.0f;
-                    for (int r = 0; r < 2; ++r)
-                        for (int col = 0; col < 2; ++col) {
-                            const int64_t oy = 2 * ty + r;
-                            const int64_t ox = 2 * tx + col;
-                            if (oy < oh && ox < ow)
-                                out.at4(in, o, oy, ox) =
-                                    y[r][col] + b;
+                    // Elementwise multiply-accumulate over channels,
+                    // then inverse-transform per output channel.
+                    for (int64_t o = 0; o < oc; ++o) {
+                        float m[4][4] = {};
+                        for (int64_t ic = 0; ic < c; ++ic) {
+                            const float *uf = u + (o * c + ic) * 16;
+                            const float *vf = v + ic * 16;
+                            for (int e = 0; e < 16; ++e)
+                                m[e / 4][e % 4] += uf[e] * vf[e];
                         }
+                        float y[2][2];
+                        transformOutput(m, y);
+                        const float b = has_bias ? bias.at(o) : 0.0f;
+                        for (int r = 0; r < 2; ++r)
+                            for (int col = 0; col < 2; ++col) {
+                                const int64_t oy = 2 * ty + r;
+                                const int64_t ox = 2 * tx + col;
+                                if (oy < oh && ox < ow)
+                                    out.at4(in, o, oy, ox) =
+                                        y[r][col] + b;
+                            }
+                    }
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -16,6 +16,15 @@ Tensor::Tensor(Shape shape, float value)
 {
 }
 
+Tensor
+Tensor::uninitialized(Shape shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_.resize(static_cast<size_t>(t.shape_.numel()));
+    return t;
+}
+
 float &
 Tensor::at(int64_t i)
 {
@@ -70,13 +79,26 @@ Tensor::fillUniform(Rng &rng, float lo, float hi)
 }
 
 Tensor
-Tensor::reshape(Shape new_shape) const
+Tensor::reshape(Shape new_shape) const &
 {
     SCNN_CHECK(new_shape.numel() == numel(),
                "reshape " << shape_.toString() << " -> "
                           << new_shape.toString());
-    Tensor out(std::move(new_shape));
+    Tensor out;
+    out.shape_ = std::move(new_shape);
     out.data_ = data_;
+    return out;
+}
+
+Tensor
+Tensor::reshape(Shape new_shape) &&
+{
+    SCNN_CHECK(new_shape.numel() == numel(),
+               "reshape " << shape_.toString() << " -> "
+                          << new_shape.toString());
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = std::move(data_);
     return out;
 }
 

@@ -6,12 +6,56 @@
 #define SCNN_TENSOR_TENSOR_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/shape.h"
 #include "util/rng.h"
 
 namespace scnn {
+
+/**
+ * Allocator adaptor that default-initializes (i.e. leaves floats
+ * uninitialized) on resize instead of zero-filling. Explicit
+ * value-constructions like vector(n, 0.0f) still zero-fill, so
+ * Tensor's zero-init constructors keep their semantics while
+ * Tensor::uninitialized() skips the fill for outputs that are
+ * fully overwritten.
+ */
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A
+{
+    using Traits = std::allocator_traits<A>;
+
+  public:
+    template <typename U>
+    struct rebind
+    {
+        using other = DefaultInitAllocator<
+            U, typename Traits::template rebind_alloc<U>>;
+    };
+
+    using A::A;
+
+    template <typename U>
+    void
+    construct(U *ptr) noexcept(
+        std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void *>(ptr)) U;
+    }
+
+    template <typename U, typename... Args>
+    void
+    construct(U *ptr, Args &&...args)
+    {
+        Traits::construct(static_cast<A &>(*this), ptr,
+                          std::forward<Args>(args)...);
+    }
+};
+
+/** Tensor storage: zero-fills only when asked to. */
+using TensorBuffer = std::vector<float, DefaultInitAllocator<float>>;
 
 /**
  * A dense, contiguous, row-major float32 tensor.
@@ -31,6 +75,12 @@ class Tensor
 
     /** Tensor of the given shape filled with @p value. */
     Tensor(Shape shape, float value);
+
+    /**
+     * Tensor whose storage is left uninitialized. Only for outputs
+     * that every kernel path fully overwrites before reading.
+     */
+    static Tensor uninitialized(Shape shape);
 
     /** Shape accessor. */
     const Shape &shape() const { return shape_; }
@@ -60,14 +110,17 @@ class Tensor
     void fillUniform(Rng &rng, float lo, float hi);
 
     /** Reinterpret as a different shape with the same numel. */
-    Tensor reshape(Shape new_shape) const;
+    Tensor reshape(Shape new_shape) const &;
+
+    /** Move-based reshape: steals this tensor's storage (no copy). */
+    Tensor reshape(Shape new_shape) &&;
 
     /** Size of the underlying storage in bytes. */
     int64_t bytes() const { return numel() * int64_t(sizeof(float)); }
 
   private:
     Shape shape_;
-    std::vector<float> data_;
+    TensorBuffer data_;
 };
 
 } // namespace scnn

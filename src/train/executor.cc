@@ -1,5 +1,6 @@
 #include "train/executor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "kernels/activations.h"
@@ -8,6 +9,7 @@
 #include "kernels/pool2d.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -90,6 +92,126 @@ Executor::Executor(const Graph &graph, ParamStore &params)
 {
     SCNN_REQUIRE(params_.compatibleWith(graph_),
                  "parameter store incompatible with graph");
+
+    // Group the topological order into dependency waves: a node's
+    // wave is 1 + the deepest wave among its input producers. The
+    // partition is a function of the graph alone.
+    std::vector<int64_t> tensor_level(graph_.tensors().size(), 0);
+    std::vector<std::vector<NodeId>> waves;
+    for (NodeId id : topo_) {
+        const Node &n = graph_.node(id);
+        int64_t level = 0;
+        for (TensorId t : n.inputs)
+            level = std::max(level,
+                             tensor_level[static_cast<size_t>(t)] + 1);
+        tensor_level[static_cast<size_t>(n.output)] = level;
+        if (static_cast<size_t>(level) >= waves.size())
+            waves.resize(static_cast<size_t>(level) + 1);
+        waves[static_cast<size_t>(level)].push_back(id);
+    }
+    waves_ = std::move(waves);
+}
+
+Tensor
+Executor::computeNode(const Node &n, const Tensor &input, bool training,
+                      bool defer_bn_updates, ForwardCache &c)
+{
+    auto val = [&](TensorId t) -> const Tensor & {
+        SCNN_CHECK(c.values[static_cast<size_t>(t)].has_value(),
+                   "tensor t" << t << " not yet computed");
+        return *c.values[static_cast<size_t>(t)];
+    };
+
+    Tensor out;
+    switch (n.kind) {
+      case OpKind::Input:
+        SCNN_REQUIRE(input.shape() == graph_.tensor(n.output).shape,
+                     "input shape "
+                         << input.shape().toString()
+                         << " != graph input "
+                         << graph_.tensor(n.output).shape.toString());
+        out = input;
+        break;
+      case OpKind::Conv2d:
+        out = conv2dForwardAuto(
+            val(n.inputs[0]), params_.value(n.params[0]),
+            n.has_bias ? params_.value(n.params[1]) : Tensor(),
+            n.win);
+        break;
+      case OpKind::MaxPool2d:
+        out = maxPool2dForward(val(n.inputs[0]), n.win,
+                               c.argmax[static_cast<size_t>(n.id)]);
+        break;
+      case OpKind::AvgPool2d:
+        out = avgPool2dForward(val(n.inputs[0]), n.win);
+        break;
+      case OpKind::GlobalAvgPool:
+        out = globalAvgPoolForward(val(n.inputs[0]));
+        break;
+      case OpKind::BatchNorm:
+        if (training && defer_bn_updates) {
+            // Batch stats only; the caller applies the running-stat
+            // updates serially afterwards. Required when nodes
+            // sharing running stats (split-graph patch clones) run
+            // concurrently.
+            out = batchNormForwardStats(
+                val(n.inputs[0]), params_.value(n.params[0]),
+                params_.value(n.params[1]), 1e-5f,
+                c.bn[static_cast<size_t>(n.id)]);
+        } else if (training) {
+            out = batchNormForward(
+                val(n.inputs[0]), params_.value(n.params[0]),
+                params_.value(n.params[1]),
+                params_.value(n.params[2]),
+                params_.value(n.params[3]), 0.1f, 1e-5f,
+                c.bn[static_cast<size_t>(n.id)]);
+        } else {
+            out = batchNormInference(val(n.inputs[0]),
+                                     params_.value(n.params[0]),
+                                     params_.value(n.params[1]),
+                                     params_.value(n.params[2]),
+                                     params_.value(n.params[3]),
+                                     1e-5f);
+        }
+        break;
+      case OpKind::ReLU:
+        out = reluForward(val(n.inputs[0]));
+        break;
+      case OpKind::Linear:
+        out = linearForward(val(n.inputs[0]),
+                            params_.value(n.params[0]),
+                            n.has_bias ? params_.value(n.params[1])
+                                       : Tensor());
+        break;
+      case OpKind::Flatten:
+        out = val(n.inputs[0]).reshape(graph_.tensor(n.output).shape);
+        break;
+      case OpKind::Add: {
+        out = val(n.inputs[0]);
+        for (size_t i = 1; i < n.inputs.size(); ++i)
+            axpy(1.0f, val(n.inputs[i]), out);
+        break;
+      }
+      case OpKind::Slice: {
+        const Tensor &x = val(n.inputs[0]);
+        out = pad2d(x, -n.h_start, n.h_end - x.shape().dim(2),
+                    -n.w_start, n.w_end - x.shape().dim(3));
+        break;
+      }
+      case OpKind::Concat: {
+        std::vector<Tensor> parts;
+        parts.reserve(n.inputs.size());
+        for (TensorId t : n.inputs)
+            parts.push_back(val(t));
+        out = concatDim(parts, n.concat_dim);
+        break;
+      }
+    }
+    SCNN_CHECK(out.shape() == graph_.tensor(n.output).shape,
+               "node " << n.name << " produced "
+                       << out.shape().toString() << ", expected "
+                       << graph_.tensor(n.output).shape.toString());
+    return out;
 }
 
 Tensor
@@ -101,99 +223,53 @@ Executor::forward(const Tensor &input, bool training, ForwardCache *cache)
     c.argmax.assign(graph_.nodes().size(), {});
     c.bn.assign(graph_.nodes().size(), {});
 
-    auto val = [&](TensorId t) -> const Tensor & {
-        SCNN_CHECK(c.values[static_cast<size_t>(t)].has_value(),
-                   "tensor t" << t << " not yet computed");
-        return *c.values[static_cast<size_t>(t)];
-    };
-
-    for (NodeId id : topo_) {
-        const Node &n = graph_.node(id);
-        Tensor out;
-        switch (n.kind) {
-          case OpKind::Input:
-            SCNN_REQUIRE(input.shape() ==
-                             graph_.tensor(n.output).shape,
-                         "input shape "
-                             << input.shape().toString()
-                             << " != graph input "
-                             << graph_.tensor(n.output).shape.toString());
-            out = input;
-            break;
-          case OpKind::Conv2d:
-            out = conv2dForwardAuto(
-                val(n.inputs[0]), params_.value(n.params[0]),
-                n.has_bias ? params_.value(n.params[1]) : Tensor(),
-                n.win);
-            break;
-          case OpKind::MaxPool2d:
-            out = maxPool2dForward(val(n.inputs[0]), n.win,
-                                   c.argmax[static_cast<size_t>(id)]);
-            break;
-          case OpKind::AvgPool2d:
-            out = avgPool2dForward(val(n.inputs[0]), n.win);
-            break;
-          case OpKind::GlobalAvgPool:
-            out = globalAvgPoolForward(val(n.inputs[0]));
-            break;
-          case OpKind::BatchNorm:
-            if (training) {
-                out = batchNormForward(
-                    val(n.inputs[0]), params_.value(n.params[0]),
-                    params_.value(n.params[1]),
-                    params_.value(n.params[2]),
-                    params_.value(n.params[3]), 0.1f, 1e-5f,
-                    c.bn[static_cast<size_t>(id)]);
-            } else {
-                out = batchNormInference(val(n.inputs[0]),
-                                         params_.value(n.params[0]),
-                                         params_.value(n.params[1]),
-                                         params_.value(n.params[2]),
-                                         params_.value(n.params[3]),
-                                         1e-5f);
-            }
-            break;
-          case OpKind::ReLU:
-            out = reluForward(val(n.inputs[0]));
-            break;
-          case OpKind::Linear:
-            out = linearForward(val(n.inputs[0]),
-                                params_.value(n.params[0]),
-                                n.has_bias ? params_.value(n.params[1])
-                                           : Tensor());
-            break;
-          case OpKind::Flatten:
-            out = val(n.inputs[0])
-                      .reshape(graph_.tensor(n.output).shape);
-            break;
-          case OpKind::Add: {
-            out = val(n.inputs[0]);
-            for (size_t i = 1; i < n.inputs.size(); ++i)
-                axpy(1.0f, val(n.inputs[i]), out);
-            break;
-          }
-          case OpKind::Slice: {
-            const Tensor &x = val(n.inputs[0]);
-            out = pad2d(x, -n.h_start, n.h_end - x.shape().dim(2),
-                        -n.w_start, n.w_end - x.shape().dim(3));
-            break;
-          }
-          case OpKind::Concat: {
-            std::vector<Tensor> parts;
-            parts.reserve(n.inputs.size());
-            for (TensorId t : n.inputs)
-                parts.push_back(val(t));
-            out = concatDim(parts, n.concat_dim);
-            break;
-          }
+    if (globalThreads() <= 1) {
+        // Serial path: identical to the seed executor.
+        for (NodeId id : topo_) {
+            const Node &n = graph_.node(id);
+            Tensor out = computeNode(n, input, training,
+                                     /*defer_bn_updates=*/false, c);
+            c.values[static_cast<size_t>(n.output)] = std::move(out);
         }
-        SCNN_CHECK(out.shape() == graph_.tensor(n.output).shape,
-                   "node " << n.name << " produced "
-                           << out.shape().toString() << ", expected "
-                           << graph_.tensor(n.output).shape.toString());
-        c.values[static_cast<size_t>(n.output)] = std::move(out);
+    } else {
+        // Wave-parallel path: nodes within a wave are independent and
+        // write disjoint cache slots, so each wave fans out across
+        // the pool. Batchnorm running-stat updates are deferred and
+        // applied serially below in topological order — training-mode
+        // BN never reads running stats, so outputs are unchanged and
+        // the updates compound exactly as the serial path's.
+        auto &pool = globalPool();
+        for (const auto &wave : waves_) {
+            pool.parallelFor(
+                static_cast<int64_t>(wave.size()),
+                [&](int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                        const Node &n = graph_.node(
+                            wave[static_cast<size_t>(i)]);
+                        Tensor out =
+                            computeNode(n, input, training,
+                                        /*defer_bn_updates=*/true, c);
+                        c.values[static_cast<size_t>(n.output)] =
+                            std::move(out);
+                    }
+                });
+        }
+        if (training) {
+            for (NodeId id : topo_) {
+                const Node &n = graph_.node(id);
+                if (n.kind == OpKind::BatchNorm)
+                    applyBatchNormRunningUpdate(
+                        c.bn[static_cast<size_t>(id)], 0.1f,
+                        params_.value(n.params[2]),
+                        params_.value(n.params[3]));
+            }
+        }
     }
-    return val(graph_.outputTensor());
+
+    const TensorId out_id = graph_.outputTensor();
+    SCNN_CHECK(c.values[static_cast<size_t>(out_id)].has_value(),
+               "graph output not computed");
+    return *c.values[static_cast<size_t>(out_id)];
 }
 
 void

@@ -89,9 +89,26 @@ class Executor
     void backward(const ForwardCache &cache, const Tensor &grad_output);
 
   private:
+    /**
+     * Evaluate one node from cached input values. With
+     * @p defer_bn_updates, training-mode batchnorm computes batch
+     * statistics but leaves the running stats untouched (the caller
+     * applies them later, serially, in topological order).
+     */
+    Tensor computeNode(const Node &n, const Tensor &input, bool training,
+                       bool defer_bn_updates, ForwardCache &c);
+
     const Graph &graph_;
     ParamStore &params_;
     std::vector<NodeId> topo_;
+    /**
+     * topo_ grouped into dependency levels ("waves"): every node in a
+     * wave depends only on earlier waves, so nodes within one wave —
+     * e.g. the per-patch clones a Split-CNN transform creates — can
+     * run concurrently. Wave membership and in-wave order follow the
+     * topological order, independent of thread count.
+     */
+    std::vector<std::vector<NodeId>> waves_;
 };
 
 } // namespace scnn

@@ -1,0 +1,70 @@
+#include "util/scratch_arena.h"
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+/** Floats per 64-byte cache line; allocations are rounded to this. */
+constexpr int64_t kAlignFloats = 16;
+/** First block holds 64 KiB of floats; blocks double thereafter. */
+constexpr int64_t kMinBlockFloats = int64_t(1) << 14;
+
+} // namespace
+
+float *
+ScratchArena::alloc(int64_t n)
+{
+    SCNN_REQUIRE(n >= 0, "arena alloc of negative size " << n);
+    const int64_t need =
+        ((n < 1 ? 1 : n) + kAlignFloats - 1) & ~(kAlignFloats - 1);
+
+    while (current_block_ < blocks_.size()) {
+        Block &b = blocks_[current_block_];
+        if (b.capacity - current_used_ >= need) {
+            float *p = b.base + current_used_;
+            current_used_ += need;
+            return p;
+        }
+        ++current_block_;
+        current_used_ = 0;
+    }
+
+    int64_t cap = blocks_.empty() ? kMinBlockFloats
+                                  : blocks_.back().capacity * 2;
+    if (cap < need)
+        cap = need;
+    Block b;
+    // Over-allocate one line and keep a manually aligned base so
+    // every span is 64-byte aligned regardless of operator new[].
+    b.data = std::make_unique<float[]>(
+        static_cast<size_t>(cap + kAlignFloats));
+    const auto addr = reinterpret_cast<uintptr_t>(b.data.get());
+    b.base = b.data.get() +
+             (((64 - (addr & 63)) & 63) / sizeof(float));
+    b.capacity = cap;
+    blocks_.push_back(std::move(b));
+    current_block_ = blocks_.size() - 1;
+    current_used_ = need;
+    return blocks_.back().base;
+}
+
+int64_t
+ScratchArena::capacityBytes() const
+{
+    int64_t total = 0;
+    for (const auto &b : blocks_)
+        total += (b.capacity + kAlignFloats) *
+                 static_cast<int64_t>(sizeof(float));
+    return total;
+}
+
+ScratchArena &
+ScratchArena::tls()
+{
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace scnn

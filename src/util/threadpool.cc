@@ -1,0 +1,158 @@
+#include "util/threadpool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace scnn {
+
+namespace {
+
+/** Set while a pool worker runs a chunk; nested calls go inline. */
+thread_local bool tls_in_worker = false;
+
+int
+envThreads()
+{
+    const char *env = std::getenv("SCNN_THREADS");
+    if (!env || !*env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    if (v < 1)
+        return 1;
+    return static_cast<int>(v > 256 ? 256 : v);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : num_threads_(threads < 1 ? 1 : threads)
+{
+    if (num_threads_ <= 1)
+        return;
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (int i = 0; i < num_threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_in_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [&] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (num_threads_ <= 1 || n == 1 || tls_in_worker) {
+        fn(0, n);
+        return;
+    }
+
+    struct Batch
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        int64_t remaining = 0;
+        std::exception_ptr error;
+    };
+    auto batch = std::make_shared<Batch>();
+
+    const int64_t chunks =
+        n < static_cast<int64_t>(num_threads_)
+            ? n
+            : static_cast<int64_t>(num_threads_);
+    batch->remaining = chunks;
+    const int64_t base = n / chunks;
+    const int64_t rem = n % chunks;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        int64_t begin = 0;
+        for (int64_t i = 0; i < chunks; ++i) {
+            const int64_t end = begin + base + (i < rem ? 1 : 0);
+            queue_.push([batch, &fn, begin, end] {
+                try {
+                    fn(begin, end);
+                } catch (...) {
+                    std::lock_guard<std::mutex> l(batch->mu);
+                    if (!batch->error)
+                        batch->error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> l(batch->mu);
+                if (--batch->remaining == 0)
+                    batch->cv.notify_all();
+            });
+            begin = end;
+        }
+    }
+    work_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(envThreads());
+    return *g_pool;
+}
+
+void
+setGlobalThreads(int threads)
+{
+    SCNN_REQUIRE(threads >= 1, "thread count must be >= 1, got "
+                                   << threads);
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (g_pool && g_pool->threads() == threads)
+        return;
+    g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+int
+globalThreads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    return g_pool ? g_pool->threads() : envThreads();
+}
+
+} // namespace scnn

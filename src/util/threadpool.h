@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size thread pool for the CPU execution engine.
+ *
+ * The pool's only primitive is a blocking parallelFor over a static
+ * partition of [0, n): every chunk is a deterministic function of
+ * (n, thread count), so any code whose chunks write disjoint memory
+ * produces bitwise-identical results regardless of how many workers
+ * execute them. Nested parallelFor calls (e.g. a batch-parallel conv
+ * inside a patch-parallel executor) run inline on the calling worker,
+ * which makes nesting deadlock-free.
+ *
+ * The global pool defaults to 1 thread — every chunk then runs inline
+ * on the caller and the engine behaves exactly like the serial seed.
+ * Override with the SCNN_THREADS environment variable or
+ * setGlobalThreads() (the CLI's --threads flag).
+ */
+#ifndef SCNN_UTIL_THREADPOOL_H
+#define SCNN_UTIL_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scnn {
+
+class ThreadPool
+{
+  public:
+    /** Pool with @p threads workers; 1 means "run everything inline". */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return num_threads_; }
+
+    /**
+     * Run @p fn(begin, end) over a static partition of [0, n) and
+     * block until every chunk finished. Chunk boundaries depend only
+     * on (n, threads()). The first raised exception is rethrown on
+     * the calling thread after all chunks complete.
+     *
+     * Reentrant calls (from inside a chunk) run fn(0, n) inline.
+     */
+    void parallelFor(int64_t n,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::queue<std::function<void()>> queue_;
+    int64_t pending_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Process-wide pool used by kernels and the executor. Sized from
+ * SCNN_THREADS on first use (default 1).
+ */
+ThreadPool &globalPool();
+
+/** Resize the global pool (e.g. from a --threads flag). */
+void setGlobalThreads(int threads);
+
+/** Current global pool size without forcing worker creation. */
+int globalThreads();
+
+} // namespace scnn
+
+#endif // SCNN_UTIL_THREADPOOL_H

@@ -17,6 +17,10 @@
  *       Small CPU training run on the synthetic dataset.
  *
  * Models: alexnet, vgg19, resnet18, resnet50.
+ *
+ * Global flags (any command): --threads N sizes the execution
+ * engine's thread pool (default 1, or the SCNN_THREADS environment
+ * variable). Results are bitwise-identical for any thread count.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +43,7 @@
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 namespace {
@@ -237,6 +242,9 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     const Args args(argc - 2, argv + 2);
     try {
+        // --threads overrides SCNN_THREADS; default is the env value.
+        setGlobalThreads(static_cast<int>(
+            args.flagInt("threads", globalThreads())));
         if (cmd == "profile")
             return cmdProfile(args);
         if (cmd == "plan")

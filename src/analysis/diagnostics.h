@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Diagnostics engine for the static plan/graph verifier (`scnn lint`)
+ * and the runtime residency checker: severity levels, stable `SAxxx`
+ * codes, op/tensor/TSO/step source locations, and text + JSON
+ * renderers, so static and runtime findings share one report format.
+ *
+ * Codes are *stable*: once published they keep their meaning, tests
+ * assert on them, and CI artifacts reference them. The full table
+ * lives in diagnosticCodes() and is printed by `scnn lint --codes`.
+ */
+#ifndef SCNN_ANALYSIS_DIAGNOSTICS_H
+#define SCNN_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/** How bad a finding is. Only Error fails `scnn lint`. */
+enum class DiagSeverity
+{
+    Note,    ///< informational context
+    Warning, ///< suspicious but not provably wrong
+    Error    ///< the plan/graph is provably ill-formed
+};
+
+/** Human-readable severity name ("error", ...). */
+const char *diagSeverityName(DiagSeverity severity);
+
+/**
+ * Where a finding points. Every field is optional (-1 = absent);
+ * renderers print whichever fields are set.
+ */
+struct DiagLocation
+{
+    int32_t node = -1;   ///< NodeId in the analyzed graph
+    int32_t tensor = -1; ///< TensorId in the analyzed graph
+    int32_t tso = -1;    ///< TsoId in the storage assignment
+    int step = -1;       ///< plan step index
+
+    std::string toString() const;
+};
+
+/** One finding: a stable code, severity, location, and message. */
+struct Diagnostic
+{
+    std::string code; ///< stable "SAxxx" identifier
+    DiagSeverity severity = DiagSeverity::Error;
+    DiagLocation loc;
+    std::string message;
+
+    /** "error[SA402] step 12 tso 5: ..." */
+    std::string toString() const;
+};
+
+/** One row of the stable code registry. */
+struct DiagCodeInfo
+{
+    const char *code;
+    DiagSeverity default_severity;
+    const char *summary;
+};
+
+/** The full registry of stable diagnostic codes. */
+const std::vector<DiagCodeInfo> &diagnosticCodes();
+
+/** Registry row for @p code, or nullptr for unknown codes. */
+const DiagCodeInfo *findDiagnosticCode(const std::string &code);
+
+/**
+ * Collects diagnostics during an analysis pass. Emission goes through
+ * the code registry, so an unregistered code is a library bug
+ * (SCNN_PANIC), not a silently-invented identifier.
+ */
+class DiagnosticSink
+{
+  public:
+    /** Emit with the code's default severity. */
+    void add(const std::string &code, DiagLocation loc,
+             std::string message);
+
+    /** Emit with an explicit severity override. */
+    void add(const std::string &code, DiagSeverity severity,
+             DiagLocation loc, std::string message);
+
+    const std::vector<Diagnostic> &items() const { return items_; }
+    std::vector<Diagnostic> take() { return std::move(items_); }
+
+    bool hasErrors() const;
+
+  private:
+    std::vector<Diagnostic> items_;
+};
+
+/** Number of findings at @p severity. */
+int countBySeverity(const std::vector<Diagnostic> &diags,
+                    DiagSeverity severity);
+
+/** True if any finding is an Error. */
+bool hasErrors(const std::vector<Diagnostic> &diags);
+
+/**
+ * Plain-text report: one line per finding plus a summary tail line
+ * ("3 errors, 1 warning" or "no findings").
+ */
+std::string renderDiagnosticsText(const std::vector<Diagnostic> &diags);
+
+/**
+ * Machine-readable report: a JSON object with a "findings" array
+ * (code/severity/message + the location fields that are set) and
+ * per-severity counts. @p context lands verbatim in a "context"
+ * string field (model name, planner, ... — empty omits it).
+ */
+std::string renderDiagnosticsJson(const std::vector<Diagnostic> &diags,
+                                  const std::string &context = "");
+
+} // namespace scnn
+
+#endif // SCNN_ANALYSIS_DIAGNOSTICS_H

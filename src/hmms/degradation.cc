@@ -6,7 +6,9 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "sim/profile.h"
+#include "util/logging.h"
 
 namespace scnn {
 
@@ -32,13 +34,17 @@ DegradationReport::toString() const
                           a.split_options.splits_w);
             what += geom;
         }
+        const char *verdict =
+            !a.fits ? "does not fit"
+                    : (a.lint_errors > 0 ? "rejected by lint"
+                                         : "fits");
         std::snprintf(line, sizeof(line),
                       "  [%d] %-32s %-10s cap %3.0f%%  peak %6.2f GB"
                       "  %s\n",
                       static_cast<int>(i + 1), what.c_str(),
                       plannerKindName(a.kind), 100.0 * a.offload_cap,
                       static_cast<double>(a.device_bytes) / 1e9,
-                      a.fits ? "fits" : "does not fit");
+                      verdict);
         out += line;
     }
     return out;
@@ -79,9 +85,24 @@ planWithDegradation(const Graph &base, const DeviceSpec &spec,
         attempt.split_options = sopt;
         attempt.device_bytes = mem.totalDeviceBytes();
         attempt.fits = mem.fits(spec.memory_capacity);
+        if (attempt.fits && !found) {
+            // Never accept a fallback plan the static analyzer
+            // rejects — a fitting-but-ill-formed plan is worse than
+            // walking one more rung.
+            AnalyzerOptions lint_options;
+            lint_options.backward = options.backward;
+            const auto diags =
+                analyzePlan(g, assignment, plan, mem, lint_options);
+            attempt.lint_errors =
+                countBySeverity(diags, DiagSeverity::Error);
+            if (attempt.lint_errors > 0)
+                SCNN_LOG_WARN << "degradation rung '" << action
+                              << "' rejected by lint:\n"
+                              << renderDiagnosticsText(diags);
+        }
         rep.attempts.push_back(attempt);
 
-        if (attempt.fits && !found) {
+        if (attempt.fits && attempt.lint_errors == 0 && !found) {
             DegradedPlan result;
             result.graph = std::move(g);
             result.assignment = std::move(assignment);

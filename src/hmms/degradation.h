@@ -66,6 +66,13 @@ struct DegradationAttempt
     SplitOptions split_options;
     int64_t device_bytes = 0; ///< static-plan peak of this rung
     bool fits = false;
+    /**
+     * Error findings from the static analyzer (analysis/analyzer.h)
+     * over this rung's plan. A fitting rung with lint errors is
+     * rejected: degradation never hands back a plan `scnn lint`
+     * would fail.
+     */
+    int lint_errors = 0;
 };
 
 /** Everything the chain tried, in order, and how it ended. */

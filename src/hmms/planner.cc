@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "analysis/analyzer.h"
 #include "sim/cost_model.h"
 #include "util/logging.h"
 
@@ -437,6 +438,16 @@ planMemory(const Graph &graph, const DeviceSpec &spec,
     }
 
     plan.validate();
+    if (lintPlansEnabled()) {
+        AnalyzerOptions lint_options;
+        lint_options.backward = config.backward;
+        const auto diags =
+            analyzeSchedule(graph, assignment, plan, lint_options);
+        if (hasErrors(diags))
+            return internalError("planMemory emitted a plan the "
+                                 "static analyzer rejects:\n" +
+                                 renderDiagnosticsText(diags));
+    }
     return plan;
 }
 

@@ -1,9 +1,8 @@
 #include "hmms/residency_checker.h"
 
-#include <map>
 #include <sstream>
 
-#include "util/logging.h"
+#include "analysis/analyzer.h"
 
 namespace scnn {
 
@@ -12,9 +11,9 @@ ResidencyReport::toString() const
 {
     std::ostringstream os;
     os << checked_accesses << " accesses checked, "
-       << violations.size() << " violations";
-    for (const auto &v : violations)
-        os << "\n  step " << v.step << ": " << v.what;
+       << diagnostics.size() << " violations";
+    for (const auto &d : diagnostics)
+        os << "\n  " << d.toString();
     return os.str();
 }
 
@@ -36,94 +35,11 @@ checkResidency(const Graph &graph, const StorageAssignment &assignment,
             "assignment");
 
     ResidencyReport report;
-    const int total = static_cast<int>(plan.steps.size());
-
-    // Index intervals by TSO for O(1) residency queries.
-    std::map<TsoId, std::vector<const TsoInterval *>> value_intervals;
-    std::map<TsoId, std::vector<const TsoInterval *>> grad_intervals;
-    for (const auto &iv : static_plan.intervals)
-        (iv.is_gradient ? grad_intervals
-                        : value_intervals)[iv.tso]
-            .push_back(&iv);
-
-    auto resident = [&](const std::map<TsoId,
-                                       std::vector<const TsoInterval *>>
-                            &table,
-                        TsoId tso, int step) {
-        auto it = table.find(tso);
-        if (it == table.end())
-            return false;
-        for (const TsoInterval *iv : it->second)
-            if (iv->alloc_step <= step && step <= iv->free_step)
-                return true;
-        return false;
-    };
-
-    auto check_value = [&](TensorId t, int step, const char *why) {
-        ++report.checked_accesses;
-        const TsoId tso = assignment.valueTso(t);
-        if (tso == kInvalidTso) {
-            report.violations.push_back(
-                {step, std::string("tensor without TSO used for ") +
-                           why});
-            return;
-        }
-        if (!resident(value_intervals, tso, step))
-            report.violations.push_back(
-                {step, "value of " + graph.tensor(t).name + " (" +
-                           why + ") not device-resident"});
-    };
-    auto check_grad = [&](TensorId t, int step, const char *why) {
-        const TsoId tso = assignment.gradTso(t);
-        if (tso == kInvalidTso)
-            return; // no gradient flows here (network input)
-        ++report.checked_accesses;
-        if (!resident(grad_intervals, tso, step))
-            report.violations.push_back(
-                {step, "gradient of " + graph.tensor(t).name + " (" +
-                           why + ") not device-resident"});
-    };
-
-    for (int step = 0; step < total; ++step) {
-        const ExecStep &s = plan.steps[static_cast<size_t>(step)];
-        const Node &n = graph.node(s.node);
-        if (!s.backward) {
-            // Forward: reads inputs, writes output.
-            for (TensorId t : n.inputs)
-                check_value(t, step, "fwd input");
-            if (n.output != kInvalidTensor)
-                check_value(n.output, step, "fwd output");
-        } else {
-            // Backward: reads grad of output, the needed forward
-            // tensors, and writes grads of inputs.
-            check_grad(n.output, step, "bwd upstream");
-            for (TensorId t :
-                 neededForwardTensors(graph, n, backward))
-                check_value(t, step, "bwd reuse");
-            for (TensorId t : n.inputs)
-                check_grad(t, step, "bwd downstream");
-        }
-    }
-
-    // Address-space soundness: overlapping lifetimes must have
-    // disjoint address ranges.
-    for (size_t a = 0; a < static_plan.intervals.size(); ++a) {
-        for (size_t b = a + 1; b < static_plan.intervals.size(); ++b) {
-            const auto &x = static_plan.intervals[a];
-            const auto &y = static_plan.intervals[b];
-            if (x.alloc_step > y.free_step ||
-                y.alloc_step > x.free_step)
-                continue;
-            ++report.checked_accesses;
-            if (!(x.addr + x.bytes <= y.addr ||
-                  y.addr + y.bytes <= x.addr))
-                report.violations.push_back(
-                    {x.alloc_step,
-                     "address overlap between TSO " +
-                         std::to_string(x.tso) + " and TSO " +
-                         std::to_string(y.tso)});
-        }
-    }
+    AnalyzerOptions options;
+    options.backward = backward;
+    report.diagnostics =
+        analyzeLayout(graph, assignment, plan, static_plan, options,
+                      &report.checked_accesses);
     return report;
 }
 

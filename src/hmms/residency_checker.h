@@ -9,7 +9,10 @@
  *
  * This is the strongest end-to-end safety check of the planning
  * stack: storage assignment x offload plan x static lifetimes all
- * have to agree for it to pass.
+ * have to agree for it to pass. The actual checks live in the static
+ * analyzer (analysis/analyzer.h, suite 4); this wrapper adds the
+ * FailedPrecondition guards and the access-coverage metric, and
+ * reports findings as `Diagnostic`s with stable SA4xx codes.
  */
 #ifndef SCNN_HMMS_RESIDENCY_CHECKER_H
 #define SCNN_HMMS_RESIDENCY_CHECKER_H
@@ -17,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "graph/backward.h"
 #include "graph/graph.h"
 #include "hmms/plan.h"
@@ -26,20 +30,15 @@
 
 namespace scnn {
 
-/** One residency violation found by the checker. */
-struct ResidencyViolation
-{
-    int step = -1;
-    std::string what;
-};
-
 /** Checker output. */
 struct ResidencyReport
 {
-    std::vector<ResidencyViolation> violations;
+    /** Findings with stable codes (SA401..SA405, SA307). */
+    std::vector<Diagnostic> diagnostics;
     int checked_accesses = 0;
 
-    bool ok() const { return violations.empty(); }
+    /** True when no finding is an Error. */
+    bool ok() const { return !hasErrors(diagnostics); }
 
     std::string toString() const;
 };

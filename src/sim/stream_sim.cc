@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "sim/cost_model.h"
 #include "util/logging.h"
 
@@ -24,6 +25,16 @@ simulatePlan(const Graph &graph, const DeviceSpec &spec,
     SCNN_RETURN_IF_ERROR(validateDeviceSpec(spec));
     if (faults != nullptr)
         SCNN_RETURN_IF_ERROR(faults->validate());
+    if (lintPlansEnabled()) {
+        AnalyzerOptions lint_options;
+        lint_options.backward = backward;
+        const auto diags =
+            analyzeSchedule(graph, assignment, plan, lint_options);
+        if (hasErrors(diags))
+            return invalidArgument(
+                "plan rejected by the static analyzer:\n" +
+                renderDiagnosticsText(diags));
+    }
     // An absent or empty plan must leave the timeline bit-identical
     // to the fault-free simulator, so every fault code path below is
     // guarded by this flag.

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Static analyzer tests: every planner x model x split x recompute
+ * combination yields a plan `scnn lint` accepts with zero errors, the
+ * split-scheme linter accepts every scheme the splitter builds, the
+ * diagnostics engine renders stable codes in both formats, and the
+ * SCNN_LINT_PLANS hooks in planMemory/simulatePlan fire.
+ */
+#include "analysis/analyzer.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/splitter.h"
+#include "hmms/planner.h"
+#include "models/models.h"
+#include "sim/device.h"
+#include "sim/profile.h"
+#include "sim/stream_sim.h"
+
+namespace scnn {
+namespace {
+
+struct PlannedModel
+{
+    Graph graph;
+    StorageAssignment assignment;
+    MemoryPlan plan;
+    StaticMemoryPlan memory;
+    BackwardOptions backward;
+};
+
+PlannedModel
+planModel(const char *model, PlannerKind kind, bool split,
+          bool recompute)
+{
+    DeviceSpec spec;
+    ModelConfig cfg{.batch = 4,
+                    .image = 64,
+                    .classes = 10,
+                    .width = 0.25};
+    Graph g = buildModel(model, cfg);
+    if (split)
+        g = splitCnnTransform(
+            g, {.depth = 0.6, .splits_h = 2, .splits_w = 2});
+    BackwardOptions bo{.recompute_bn = recompute};
+    auto assignment = assignStorage(g, g.topoOrder());
+    const double cap =
+        kind == PlannerKind::None
+            ? 0.0
+            : profileForwardPass(g, spec, bo).offloadable_fraction;
+    auto plan =
+        planMemory(g, spec, {kind, cap, bo}, assignment).value();
+    auto mem = planStaticMemory(g, assignment, plan, bo);
+    return {std::move(g), std::move(assignment), std::move(plan),
+            std::move(mem), bo};
+}
+
+class AnalyzerSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, PlannerKind, bool, bool>>
+{
+};
+
+TEST_P(AnalyzerSweep, PlannerOutputLintsClean)
+{
+    const auto [model, kind, split, recompute] = GetParam();
+    PlannedModel pm = planModel(model, kind, split, recompute);
+    AnalyzerOptions options;
+    options.backward = pm.backward;
+    const auto diags = analyzePlan(pm.graph, pm.assignment, pm.plan,
+                                   pm.memory, options);
+    EXPECT_FALSE(hasErrors(diags)) << renderDiagnosticsText(diags);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, AnalyzerSweep,
+    ::testing::Combine(::testing::Values("vgg19", "resnet18",
+                                         "resnet50", "alexnet"),
+                       ::testing::Values(PlannerKind::None,
+                                         PlannerKind::LayerWise,
+                                         PlannerKind::Hmms),
+                       ::testing::Bool(),   // split
+                       ::testing::Bool())); // recompute BN
+
+TEST(Analyzer, SplitSchemesFromSplitterLintClean)
+{
+    for (const int64_t k : {1, 2, 3, 5, 7}) {
+        for (const int64_t s : {1, 2}) {
+            if (k < s)
+                continue;
+            for (const int64_t p : {int64_t{0}, k / 2}) {
+                const WindowParams1d op{k, s, p, p};
+                for (const int64_t w : {14, 17, 32, 56}) {
+                    if (op.outExtent(w) < 4)
+                        continue;
+                    for (const int parts : {2, 3, 4}) {
+                        const SplitScheme1d scheme = splitWindowOp(
+                            op, w,
+                            evenOutputSplit(op.outExtent(w), parts));
+                        const auto diags =
+                            lintSplitScheme(op, w, scheme);
+                        EXPECT_FALSE(hasErrors(diags))
+                            << "k=" << k << " s=" << s << " p=" << p
+                            << " w=" << w << " parts=" << parts
+                            << '\n'
+                            << renderDiagnosticsText(diags);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Diagnostics, RegistryIsStableAndComplete)
+{
+    // Every published family is present; codes never disappear.
+    for (const char *code :
+         {"SA101", "SA102", "SA103", "SA104", "SA105", "SA201",
+          "SA202", "SA203", "SA204", "SA205", "SA206", "SA301",
+          "SA302", "SA303", "SA304", "SA305", "SA306", "SA307",
+          "SA308", "SA401", "SA402", "SA403", "SA404", "SA405",
+          "SA501", "SA502", "SA503", "SA504"}) {
+        const DiagCodeInfo *info = findDiagnosticCode(code);
+        ASSERT_NE(info, nullptr) << code;
+        EXPECT_EQ(info->default_severity, DiagSeverity::Error);
+        EXPECT_GT(std::string(info->summary).size(), 10u) << code;
+    }
+    EXPECT_EQ(findDiagnosticCode("SA999"), nullptr);
+    EXPECT_EQ(diagnosticCodes().size(), 28u);
+}
+
+TEST(Diagnostics, TextRendering)
+{
+    DiagnosticSink sink;
+    DiagLocation loc;
+    loc.step = 12;
+    loc.tso = 5;
+    sink.add("SA402", loc, "intervals collide");
+    sink.add("SA201", DiagSeverity::Warning, {}, "unused TSO");
+    const auto diags = sink.take();
+
+    EXPECT_EQ(diags[0].toString(),
+              "error[SA402] step 12 tso 5: intervals collide");
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_EQ(countBySeverity(diags, DiagSeverity::Warning), 1);
+
+    const std::string text = renderDiagnosticsText(diags);
+    EXPECT_NE(text.find("1 error, 1 warning"), std::string::npos);
+    EXPECT_NE(renderDiagnosticsText({}).find("no findings"),
+              std::string::npos);
+}
+
+TEST(Diagnostics, JsonRendering)
+{
+    DiagnosticSink sink;
+    DiagLocation loc;
+    loc.node = 3;
+    sink.add("SA102", loc, "shape \"mismatch\"\n");
+    const std::string json =
+        renderDiagnosticsJson(sink.take(), "vgg19 planner=hmms");
+
+    EXPECT_NE(json.find("\"context\": \"vgg19 planner=hmms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"code\": \"SA102\""), std::string::npos);
+    EXPECT_NE(json.find("\"node\": 3"), std::string::npos);
+    // Escaping: embedded quote and newline survive as JSON escapes.
+    EXPECT_NE(json.find("\\\"mismatch\\\"\\n"), std::string::npos);
+}
+
+TEST(LintHooks, SimulatePlanRejectsCorruptPlanWhenEnabled)
+{
+    PlannedModel pm =
+        planModel("vgg19", PlannerKind::Hmms, false, false);
+    DeviceSpec spec;
+
+    setenv("SCNN_LINT_PLANS", "1", 1);
+    ASSERT_TRUE(lintPlansEnabled());
+    // Clean plan still simulates.
+    EXPECT_TRUE(simulatePlan(pm.graph, spec, pm.plan, pm.assignment,
+                             pm.backward)
+                    .ok());
+
+    // Drop one prefetch action: SA301 -> InvalidArgument.
+    MemoryPlan corrupt = pm.plan;
+    bool dropped = false;
+    for (auto &actions : corrupt.actions)
+        if (!dropped && !actions.start_prefetch.empty()) {
+            actions.start_prefetch.clear();
+            dropped = true;
+        }
+    ASSERT_TRUE(dropped) << "plan offloaded nothing to corrupt";
+    auto result = simulatePlan(pm.graph, spec, corrupt,
+                               pm.assignment, pm.backward);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(result.status().message().find("SA301"),
+              std::string::npos);
+
+    // The same corrupt plan passes once the hook is switched off.
+    setenv("SCNN_LINT_PLANS", "0", 1);
+    EXPECT_FALSE(lintPlansEnabled());
+    EXPECT_TRUE(simulatePlan(pm.graph, spec, corrupt, pm.assignment,
+                             pm.backward)
+                    .ok());
+    unsetenv("SCNN_LINT_PLANS");
+}
+
+TEST(LintHooks, PlanMemoryLintsItsOwnOutputWhenEnabled)
+{
+    DeviceSpec spec;
+    Graph g = buildVgg19({.batch = 2, .image = 32, .width = 0.25});
+    auto assignment = assignStorage(g, g.topoOrder());
+    setenv("SCNN_LINT_PLANS", "1", 1);
+    EXPECT_TRUE(
+        planMemory(g, spec, {PlannerKind::Hmms, 1.0, {}}, assignment)
+            .ok());
+    unsetenv("SCNN_LINT_PLANS");
+}
+
+} // namespace
+} // namespace scnn

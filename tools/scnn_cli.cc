@@ -10,6 +10,12 @@
  *   scnn maxbatch <model> [--split D] [--grid HxW] [--naive]
  *                 [--recompute-bn]
  *       Binary-search the largest trainable batch on the device.
+ *   scnn lint     <model> [--batch N] [--planner hmms|layerwise|none]
+ *                 [--cap F] [--split D] [--grid HxW] [--recompute-bn]
+ *                 [--json]
+ *       Run the static plan/graph verifier over the planned model
+ *       and print diagnostics (exit 1 on any error finding).
+ *       `scnn lint --codes` prints the stable SAxxx code registry.
  *   scnn dot      <model> [--split D] [--grid HxW] [--batch N]
  *       Emit the (optionally split) computation graph as Graphviz.
  *   scnn train    [--epochs N] [--samples N] [--mode base|scnn|sscnn]
@@ -29,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/splitter.h"
 #include "data/synthetic.h"
 #include "graph/dot.h"
@@ -128,6 +135,52 @@ cmdPlan(const Args &args)
 }
 
 int
+cmdLint(const Args &args)
+{
+    if (args.has("codes")) {
+        for (const auto &info : diagnosticCodes())
+            std::printf("%s  %-7s  %s\n", info.code,
+                        diagSeverityName(info.default_severity),
+                        info.summary);
+        return 0;
+    }
+
+    DeviceSpec spec;
+    BackwardOptions bo{.recompute_bn = args.has("recompute-bn")};
+    Graph g = buildFromArgs(args);
+    const std::string planner = args.flag("planner", "hmms");
+    PlannerKind kind = PlannerKind::Hmms;
+    if (planner == "layerwise")
+        kind = PlannerKind::LayerWise;
+    else if (planner == "none")
+        kind = PlannerKind::None;
+    else
+        SCNN_REQUIRE(planner == "hmms",
+                     "unknown planner '" << planner << "'");
+
+    auto assignment = assignStorage(g, g.topoOrder());
+    const double cap = args.flagDouble(
+        "cap", profileForwardPass(g, spec, bo).offloadable_fraction);
+    auto plan =
+        planMemory(g, spec, {kind, cap, bo}, assignment).value();
+    auto mem = planStaticMemory(g, assignment, plan, bo);
+
+    AnalyzerOptions options;
+    options.backward = bo;
+    const auto diags = analyzePlan(g, assignment, plan, mem, options);
+
+    const std::string context =
+        args.positional(0, "vgg19") + " planner=" + planner +
+        " batch=" + std::to_string(args.flagInt("batch", 64));
+    if (args.has("json"))
+        std::cout << renderDiagnosticsJson(diags, context);
+    else
+        std::cout << context << '\n'
+                  << renderDiagnosticsText(diags);
+    return hasErrors(diags) ? 1 : 0;
+}
+
+int
 cmdMaxBatch(const Args &args)
 {
     DeviceSpec spec;
@@ -224,7 +277,7 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: scnn <profile|plan|maxbatch|dot|train> "
+                 "usage: scnn <profile|plan|lint|maxbatch|dot|train> "
                  "<model> [flags]\nsee the header of "
                  "tools/scnn_cli.cc for the full flag list\n");
     return 2;
@@ -249,6 +302,8 @@ main(int argc, char **argv)
             return cmdProfile(args);
         if (cmd == "plan")
             return cmdPlan(args);
+        if (cmd == "lint")
+            return cmdLint(args);
         if (cmd == "maxbatch")
             return cmdMaxBatch(args);
         if (cmd == "dot")

@@ -1,8 +1,18 @@
 #include "core/split_op.h"
 
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
 #include "kernels/conv2d.h"
+#include "kernels/gemm.h"
+#include "kernels/im2col.h"
+#include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
+#include "kernels/rowops.h"
+#include "kernels/winograd.h"
 #include "util/logging.h"
+#include "util/scratch_arena.h"
 
 namespace scnn {
 
@@ -50,16 +60,219 @@ slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi, int wi)
                  pw.in_end - iw);
 }
 
+// ---------------------------------------------------------------------------
+// Fused zero-copy split convolution.
+//
+// The materializing path pays, per patch: a pad2d input copy, a
+// fresh output tensor, and two concat passes — pure memory traffic
+// that made a 2x2 split ~2.8x slower than the unsplit conv. The
+// fused path eliminates all of it: halo-aware im2col (or the
+// Winograd tile loop) reads the parent tensor through PatchView
+// strided offsets, the GEMM consumes weight panels packed once per
+// call, and results land directly in the parent output. Work is a
+// flat list of (image, patch, output-row tile) items, so a 2x2
+// split exposes n * 4 * ceil(oh_p / kRowTile) units of parallelism
+// instead of 4.
+//
+// Determinism: the work list is a function of shapes alone (the row
+// tile is a fixed constant), every item writes a disjoint output
+// region, and each item's arithmetic is scheduling-independent — so
+// outputs are bitwise identical for any thread count. Under the
+// scalar microkernel the fused im2col+GEMM path also reproduces the
+// materializing im2col path's bytes exactly, and the fused Winograd
+// path reproduces the materializing Winograd path's bytes exactly
+// (same per-element operation sequences).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Output rows per work item. Fixed (never derived from the thread
+ * count) so the tile decomposition — and with it every byte of the
+ * result — is identical at any pool size. Even, so Winograd 2-row
+ * tiles never straddle items. */
+constexpr int64_t kRowTile = 16;
+
+/** One unit of fused work: a row tile of patch (hi, wi). */
+struct TileItem
+{
+    int hi;
+    int wi;
+    int64_t oy0;
+    int64_t oy1;
+};
+
+bool
+envMaterialize()
+{
+    static const bool materialize = [] {
+        const char *env = std::getenv("SCNN_SPLIT_EXEC");
+        return env != nullptr &&
+               std::string_view(env) == "materialize";
+    }();
+    return materialize;
+}
+
+bool
+envSplitWinograd()
+{
+    static const bool wino = [] {
+        const char *env = std::getenv("SCNN_SPLIT_WINOGRAD");
+        return env != nullptr && std::string_view(env) == "1";
+    }();
+    return wino;
+}
+
+} // namespace
+
 Tensor
-splitConv2dForward(const Tensor &x, const Tensor &weight,
-                   const Tensor &bias, const Window2d &win,
-                   const SplitScheme2d &scheme)
+splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
+                        const Tensor &bias, const Window2d &win,
+                        const SplitScheme2d &scheme, bool use_winograd)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "split conv input must be NCHW");
+    SCNN_REQUIRE(weight.shape().rank() == 4,
+                 "split conv weight must be [OC, C, kh, kw]");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oc = weight.shape().dim(0);
+    SCNN_REQUIRE(weight.shape().dim(1) == c,
+                 "split conv channel mismatch");
+    SCNN_REQUIRE(weight.shape().dim(2) == win.kh &&
+                     weight.shape().dim(3) == win.kw,
+                 "split conv kernel extent mismatch");
+    SCNN_REQUIRE(!use_winograd || winogradApplicable(win),
+                 "winograd split path needs a 3x3 stride-1 window");
+    SCNN_CHECK(scheme.h.parts() > 0 && scheme.w.parts() > 0,
+               "empty split scheme");
+
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    const int64_t krows = c * win.kh * win.kw;
+    const bool has_bias = bias.numel() > 0;
+    if (has_bias)
+        SCNN_REQUIRE(bias.numel() == oc,
+                     "split conv bias size mismatch");
+
+    // Flat work list shared by every image; also the per-item
+    // scratch high-water mark.
+    std::vector<TileItem> items;
+    int64_t max_tile_spatial = 0;
+    for (int hi = 0; hi < scheme.h.parts(); ++hi) {
+        const SplitPiece1d &ph = scheme.h.pieces[hi];
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            const Window2d local = patchWindow(win, scheme, hi, wi);
+            const int64_t oh_p = local.outH(ph.inLen());
+            const int64_t ow_p = local.outW(pw.inLen());
+            SCNN_CHECK(oh_p == ph.outLen() && ow_p == pw.outLen(),
+                       "split scheme geometry mismatch for patch ("
+                           << hi << ", " << wi << ")");
+            for (int64_t oy0 = 0; oy0 < oh_p; oy0 += kRowTile) {
+                const int64_t oy1 = std::min(oh_p, oy0 + kRowTile);
+                items.push_back({hi, wi, oy0, oy1});
+                max_tile_spatial = std::max(max_tile_spatial,
+                                            (oy1 - oy0) * ow_p);
+            }
+        }
+    }
+
+    // Per-layer shared state, packed once in the caller's arena and
+    // read concurrently by every worker: the GEMM weight panels (or
+    // the Winograd U tiles).
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+    float *packed_w = nullptr;
+    float *u = nullptr;
+    if (use_winograd) {
+        u = arena.alloc(oc * c * 16);
+        winogradTransformWeights(weight.data(), oc, c, u);
+    } else {
+        packed_w = arena.alloc(gemmPackedASize(oc, krows));
+        gemmPackA(oc, krows, 1.0f, weight.data(), packed_w);
+    }
+
+    Tensor out = Tensor::uninitialized(Shape{n, oc, out_h, out_w});
+    const float *bias_ptr = has_bias ? bias.data() : nullptr;
+    const Microkernel &uk = activeMicrokernel();
+    const int64_t n_items = static_cast<int64_t>(items.size());
+
+    globalPool().parallelFor(n * n_items, [&](int64_t begin,
+                                              int64_t end) {
+        auto &warena = ScratchArena::tls();
+        auto wguard = warena.scope();
+        float *col = nullptr;
+        float *cbuf = nullptr;
+        if (!use_winograd) {
+            col = warena.alloc(krows * max_tile_spatial);
+            cbuf = warena.alloc(oc * max_tile_spatial);
+        }
+        for (int64_t i = begin; i < end; ++i) {
+            const int64_t in = i / n_items;
+            const TileItem &it =
+                items[static_cast<size_t>(i % n_items)];
+            const SplitPiece1d &ph = scheme.h.pieces[it.hi];
+            const SplitPiece1d &pw = scheme.w.pieces[it.wi];
+            const PatchView view{ph.in_start, pw.in_start, ph.inLen(),
+                                 pw.inLen()};
+            const Window2d local =
+                patchWindow(win, scheme, it.hi, it.wi);
+            const float *img = x.data() + in * c * ih * iw;
+            float *out_img = out.data() + in * oc * out_h * out_w;
+            if (use_winograd) {
+                conv2dWinogradPatch(img, c, ih, iw, view, local, u,
+                                    oc, bias_ptr, it.oy0 / 2,
+                                    (it.oy1 + 1) / 2, out_img, out_h,
+                                    out_w, ph.out_start,
+                                    pw.out_start);
+                continue;
+            }
+            const int64_t ow_p = pw.outLen();
+            const int64_t rows = it.oy1 - it.oy0;
+            const int64_t tile_spatial = rows * ow_p;
+            im2colView(img, c, ih, iw, view, local, it.oy0, it.oy1,
+                       col);
+            gemmPackedA(oc, tile_spatial, krows, packed_w, col, 0.0f,
+                        cbuf);
+            if (has_bias)
+                addRowBias(cbuf, oc, tile_spatial, bias.data());
+            for (int64_t o = 0; o < oc; ++o) {
+                const float *src = cbuf + o * tile_spatial;
+                float *dst = out_img + o * out_h * out_w +
+                             (ph.out_start + it.oy0) * out_w +
+                             pw.out_start;
+                for (int64_t r = 0; r < rows; ++r)
+                    uk.copyRow(dst + r * out_w, src + r * ow_p,
+                               ow_p);
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+splitConv2dForwardMaterialized(const Tensor &x, const Tensor &weight,
+                               const Tensor &bias, const Window2d &win,
+                               const SplitScheme2d &scheme)
 {
     return runSplitOp(x, win, scheme,
                       [&](const Tensor &patch, const Window2d &local) {
                           return conv2dForwardAuto(patch, weight, bias,
                                                    local);
                       });
+}
+
+Tensor
+splitConv2dForward(const Tensor &x, const Tensor &weight,
+                   const Tensor &bias, const Window2d &win,
+                   const SplitScheme2d &scheme)
+{
+    if (envMaterialize())
+        return splitConv2dForwardMaterialized(x, weight, bias, win,
+                                              scheme);
+    const bool wino = envSplitWinograd() && winogradApplicable(win);
+    return splitConv2dForwardFused(x, weight, bias, win, scheme, wino);
 }
 
 Tensor

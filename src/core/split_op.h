@@ -99,10 +99,44 @@ runSplitOp(const Tensor &x, const Window2d &win,
     return concatDim(rows, 2);
 }
 
-/** Split convolution forward (Eqs. 4-7 applied to conv2d). */
+/**
+ * Split convolution forward (Eqs. 4-7 applied to conv2d).
+ *
+ * Default execution is the *fused zero-copy* path: patches are
+ * views into the parent tensor (no pad2d copy, no per-patch output
+ * tensors, no concat) driven by halo-aware im2col over a weight
+ * matrix packed once per call, parallelized over
+ * image x patch x output-row tiles so even a 2x2 split scales past
+ * 4 threads. Set SCNN_SPLIT_EXEC=materialize to fall back to the
+ * materializing reference path.
+ */
 Tensor splitConv2dForward(const Tensor &x, const Tensor &weight,
                           const Tensor &bias, const Window2d &win,
                           const SplitScheme2d &scheme);
+
+/**
+ * The materializing reference path (slicePatch + per-patch
+ * conv2dForwardAuto + concat) — the seed implementation, kept for
+ * equivalence tests and as the SCNN_SPLIT_EXEC=materialize fallback.
+ */
+Tensor splitConv2dForwardMaterialized(const Tensor &x,
+                                      const Tensor &weight,
+                                      const Tensor &bias,
+                                      const Window2d &win,
+                                      const SplitScheme2d &scheme);
+
+/**
+ * The fused zero-copy path, with the kernel choice explicit:
+ * @p use_winograd selects the halo-aware Winograd tile loop
+ * (requires winogradApplicable(win)); otherwise halo-aware im2col
+ * feeds packed-panel GEMM tiles. Exposed for tests and benches; the
+ * splitConv2dForward dispatcher picks im2col+GEMM by default
+ * (SCNN_SPLIT_WINOGRAD=1 opts into the Winograd tile loop).
+ */
+Tensor splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
+                               const Tensor &bias, const Window2d &win,
+                               const SplitScheme2d &scheme,
+                               bool use_winograd);
 
 /** Split max-pool forward. */
 Tensor splitMaxPool2dForward(const Tensor &x, const Window2d &win,

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "kernels/microkernel.h"
 #include "util/scratch_arena.h"
 
 namespace scnn {
@@ -84,28 +85,26 @@ gemmNTNaive(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
 //
 // BLIS-style structure: jc/pc/ic loops carve C into NC-wide column
 // blocks, K into KC-deep slabs, and A into MC-tall row blocks. A is
-// packed into MR-row panels (alpha folded in, matching the naive
-// kernels' pre-rounded `av = alpha * a`), B into NR-column panels.
-// The microkernel keeps an MR x NR tile of C in registers and walks
-// one KC slab in ascending p. Because the tile is stored back to C
-// between slabs (float store/reload is exact) the per-element
-// operation sequence is identical to the naive kernels', so results
-// match bit-for-bit on finite data.
+// packed into mr-row panels (alpha folded in, matching the naive
+// kernels' pre-rounded `av = alpha * a`), B into nr-column panels.
+// The microkernel — selected at startup from kernels/microkernel.h —
+// keeps an mr x nr tile of C in registers and walks one KC slab in
+// ascending p. With the scalar microkernel the per-element operation
+// sequence is identical to the naive kernels', so results match
+// bit-for-bit on finite data; the AVX2/FMA microkernel is the
+// documented carve-out (deterministic, epsilon-close to scalar).
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr int64_t MR = 4;   ///< microkernel rows
-constexpr int64_t NR = 8;   ///< microkernel cols (two 4-float vectors)
 constexpr int64_t MC = 128; ///< A block rows (MC*KC floats ~ L2)
 constexpr int64_t KC = 256; ///< K slab depth (panels fit L1)
 constexpr int64_t NC = 1024; ///< B block cols
 
-#if defined(__GNUC__) || defined(__clang__)
-#define SCNN_GEMM_SIMD 1
-typedef float v4f __attribute__((vector_size(16), may_alias));
-typedef float v4fu __attribute__((vector_size(16), aligned(4), may_alias));
-#endif
+/** Upper bounds over every registered microkernel's tile shape, for
+ * the stack-allocated edge-tile buffer. */
+constexpr int64_t kMaxMR = 8;
+constexpr int64_t kMaxNR = 16;
 
 int64_t
 roundUp(int64_t v, int64_t to)
@@ -130,19 +129,19 @@ applyBeta(int64_t m, int64_t n, float beta, float *c)
 
 /**
  * Pack an mc x kc block of A (element (i,p) at a[i*rs + p*cs]) into
- * MR-row panels: pa[(ir/MR)*kc*MR + p*MR + r], scaled by @p scale
- * and zero-padded to a full MR rows.
+ * mr-row panels: pa[(ir/mr)*kc*mr + p*mr + r], scaled by @p scale
+ * and zero-padded to a full mr rows.
  */
 void
 packA(int64_t mc, int64_t kc, const float *a, int64_t rs, int64_t cs,
-      float scale, float *__restrict pa)
+      float scale, int64_t mr, float *__restrict pa)
 {
-    for (int64_t ir = 0; ir < mc; ir += MR) {
-        const int64_t mr = std::min(MR, mc - ir);
+    for (int64_t ir = 0; ir < mc; ir += mr) {
+        const int64_t rows = std::min(mr, mc - ir);
         for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t r = 0; r < mr; ++r)
+            for (int64_t r = 0; r < rows; ++r)
                 *pa++ = scale * a[(ir + r) * rs + p * cs];
-            for (int64_t r = mr; r < MR; ++r)
+            for (int64_t r = rows; r < mr; ++r)
                 *pa++ = 0.0f;
         }
     }
@@ -150,149 +149,100 @@ packA(int64_t mc, int64_t kc, const float *a, int64_t rs, int64_t cs,
 
 /**
  * Pack a kc x nc block of B (element (p,j) at b[p*rs + j*cs]) into
- * NR-column panels: pb[(jr/NR)*kc*NR + p*NR + j], zero-padded.
+ * nr-column panels: pb[(jr/nr)*kc*nr + p*nr + j], zero-padded.
  */
 void
 packB(int64_t kc, int64_t nc, const float *b, int64_t rs, int64_t cs,
-      float *__restrict pb)
+      int64_t nr, float *__restrict pb)
 {
-    for (int64_t jr = 0; jr < nc; jr += NR) {
-        const int64_t nr = std::min(NR, nc - jr);
+    for (int64_t jr = 0; jr < nc; jr += nr) {
+        const int64_t cols = std::min(nr, nc - jr);
         for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t j = 0; j < nr; ++j)
+            for (int64_t j = 0; j < cols; ++j)
                 *pb++ = b[p * rs + (jr + j) * cs];
-            for (int64_t j = nr; j < NR; ++j)
+            for (int64_t j = cols; j < nr; ++j)
                 *pb++ = 0.0f;
         }
     }
 }
 
-/**
- * C[0:MR, 0:NR] += pa * pb over kc steps, C row stride ldc. The tile
- * lives in registers; each step does mul-then-add per element in
- * ascending p, exactly the naive inner loop.
- */
-#ifdef SCNN_GEMM_SIMD
-inline void
-microKernel(int64_t kc, const float *__restrict pa,
-            const float *__restrict pb, float *__restrict c, int64_t ldc)
-{
-    v4f c00 = *reinterpret_cast<const v4fu *>(c + 0 * ldc);
-    v4f c01 = *reinterpret_cast<const v4fu *>(c + 0 * ldc + 4);
-    v4f c10 = *reinterpret_cast<const v4fu *>(c + 1 * ldc);
-    v4f c11 = *reinterpret_cast<const v4fu *>(c + 1 * ldc + 4);
-    v4f c20 = *reinterpret_cast<const v4fu *>(c + 2 * ldc);
-    v4f c21 = *reinterpret_cast<const v4fu *>(c + 2 * ldc + 4);
-    v4f c30 = *reinterpret_cast<const v4fu *>(c + 3 * ldc);
-    v4f c31 = *reinterpret_cast<const v4fu *>(c + 3 * ldc + 4);
-    for (int64_t p = 0; p < kc; ++p) {
-        const v4f b0 = *reinterpret_cast<const v4f *>(pb);
-        const v4f b1 = *reinterpret_cast<const v4f *>(pb + 4);
-        const float a0 = pa[0];
-        const float a1 = pa[1];
-        const float a2 = pa[2];
-        const float a3 = pa[3];
-        const v4f va0 = {a0, a0, a0, a0};
-        const v4f va1 = {a1, a1, a1, a1};
-        const v4f va2 = {a2, a2, a2, a2};
-        const v4f va3 = {a3, a3, a3, a3};
-        c00 += va0 * b0;
-        c01 += va0 * b1;
-        c10 += va1 * b0;
-        c11 += va1 * b1;
-        c20 += va2 * b0;
-        c21 += va2 * b1;
-        c30 += va3 * b0;
-        c31 += va3 * b1;
-        pa += MR;
-        pb += NR;
-    }
-    *reinterpret_cast<v4fu *>(c + 0 * ldc) = c00;
-    *reinterpret_cast<v4fu *>(c + 0 * ldc + 4) = c01;
-    *reinterpret_cast<v4fu *>(c + 1 * ldc) = c10;
-    *reinterpret_cast<v4fu *>(c + 1 * ldc + 4) = c11;
-    *reinterpret_cast<v4fu *>(c + 2 * ldc) = c20;
-    *reinterpret_cast<v4fu *>(c + 2 * ldc + 4) = c21;
-    *reinterpret_cast<v4fu *>(c + 3 * ldc) = c30;
-    *reinterpret_cast<v4fu *>(c + 3 * ldc + 4) = c31;
-}
-#else
-inline void
-microKernel(int64_t kc, const float *__restrict pa,
-            const float *__restrict pb, float *__restrict c, int64_t ldc)
-{
-    float acc[MR][NR];
-    for (int64_t r = 0; r < MR; ++r)
-        for (int64_t j = 0; j < NR; ++j)
-            acc[r][j] = c[r * ldc + j];
-    for (int64_t p = 0; p < kc; ++p) {
-        for (int64_t r = 0; r < MR; ++r) {
-            const float av = pa[p * MR + r];
-            for (int64_t j = 0; j < NR; ++j)
-                acc[r][j] += av * pb[p * NR + j];
-        }
-    }
-    for (int64_t r = 0; r < MR; ++r)
-        for (int64_t j = 0; j < NR; ++j)
-            c[r * ldc + j] = acc[r][j];
-}
-#endif
-
 /** Partial tile: run the full microkernel on a zero-padded copy so
  * the valid elements see the exact same operation sequence. */
 void
-microKernelEdge(int64_t kc, int64_t mr, int64_t nr, const float *pa,
-                const float *pb, float *c, int64_t ldc)
+microTileEdge(const Microkernel &uk, int64_t kc, int64_t rows,
+              int64_t cols, const float *pa, const float *pb, float *c,
+              int64_t ldc)
 {
-    alignas(16) float tile[MR * NR] = {};
-    for (int64_t r = 0; r < mr; ++r)
-        for (int64_t j = 0; j < nr; ++j)
-            tile[r * NR + j] = c[r * ldc + j];
-    microKernel(kc, pa, pb, tile, NR);
-    for (int64_t r = 0; r < mr; ++r)
-        for (int64_t j = 0; j < nr; ++j)
-            c[r * ldc + j] = tile[r * NR + j];
+    alignas(64) float tile[kMaxMR * kMaxNR];
+    std::memset(tile, 0,
+                static_cast<size_t>(uk.mr * uk.nr) * sizeof(float));
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < cols; ++j)
+            tile[r * uk.nr + j] = c[r * ldc + j];
+    uk.tile(kc, pa, pb, tile, uk.nr);
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < cols; ++j)
+            c[r * ldc + j] = tile[r * uk.nr + j];
 }
 
 /**
  * C += scale(A) * B with generic element strides: A(i,p) at
  * a[i*a_rs + p*a_cs] (scaled by a_scale during packing), B(p,j) at
  * b[p*b_rs + j*b_cs]. C is m x n row-major and is accumulated into.
+ *
+ * When @p packed_a is non-null it holds A pre-packed by gemmPackA
+ * under the same active microkernel (blocks ordered pc-then-ic, each
+ * roundUp(mc, mr) * kc floats) and the a/a_rs/a_cs/a_scale arguments
+ * are ignored.
  */
 void
 blockedCore(int64_t m, int64_t n, int64_t k, const float *a, int64_t a_rs,
             int64_t a_cs, float a_scale, const float *b, int64_t b_rs,
-            int64_t b_cs, float *c)
+            int64_t b_cs, float *c, const float *packed_a = nullptr)
 {
+    const Microkernel &uk = activeMicrokernel();
+    const int64_t mr = uk.mr;
+    const int64_t nr = uk.nr;
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();
-    const int64_t nc_cap = std::min(NC, roundUp(n, NR));
-    const int64_t mc_cap = std::min(MC, roundUp(m, MR));
+    const int64_t nc_cap = std::min(NC, roundUp(n, nr));
+    const int64_t mc_cap = std::min(MC, roundUp(m, mr));
     const int64_t kc_cap = std::min(KC, k);
     float *pb = arena.alloc(kc_cap * nc_cap);
-    float *pa = arena.alloc(mc_cap * kc_cap);
+    float *pa =
+        packed_a ? nullptr : arena.alloc(roundUp(mc_cap, mr) * kc_cap);
 
     for (int64_t jc = 0; jc < n; jc += NC) {
         const int64_t nc = std::min(NC, n - jc);
+        const float *pa_cursor = packed_a;
         for (int64_t pc = 0; pc < k; pc += KC) {
             const int64_t kc = std::min(KC, k - pc);
-            packB(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, pb);
+            packB(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, nr,
+                  pb);
             for (int64_t ic = 0; ic < m; ic += MC) {
                 const int64_t mc = std::min(MC, m - ic);
-                packA(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs,
-                      a_scale, pa);
-                for (int64_t jr = 0; jr < nc; jr += NR) {
-                    const int64_t nr = std::min(NR, nc - jr);
-                    const float *pbp = pb + (jr / NR) * kc * NR;
-                    for (int64_t ir = 0; ir < mc; ir += MR) {
-                        const int64_t mr = std::min(MR, mc - ir);
-                        const float *pap = pa + (ir / MR) * kc * MR;
+                const float *pablock;
+                if (packed_a) {
+                    pablock = pa_cursor;
+                    pa_cursor += roundUp(mc, mr) * kc;
+                } else {
+                    packA(mc, kc, a + ic * a_rs + pc * a_cs, a_rs,
+                          a_cs, a_scale, mr, pa);
+                    pablock = pa;
+                }
+                for (int64_t jr = 0; jr < nc; jr += nr) {
+                    const int64_t cols = std::min(nr, nc - jr);
+                    const float *pbp = pb + (jr / nr) * kc * nr;
+                    for (int64_t ir = 0; ir < mc; ir += mr) {
+                        const int64_t rows = std::min(mr, mc - ir);
+                        const float *pap =
+                            pablock + (ir / mr) * kc * mr;
                         float *ct = c + (ic + ir) * n + jc + jr;
-                        if (mr == MR && nr == NR)
-                            microKernel(kc, pap, pbp, ct, n);
+                        if (rows == mr && cols == nr)
+                            uk.tile(kc, pap, pbp, ct, n);
                         else
-                            microKernelEdge(kc, mr, nr, pap, pbp, ct,
-                                            n);
+                            microTileEdge(uk, kc, rows, cols, pap,
+                                          pbp, ct, n);
                     }
                 }
             }
@@ -310,8 +260,9 @@ envNaive()
     return naive;
 }
 
-/** Packing overhead swamps the win below a few K flops. Both paths
- * are bit-identical, so the cutover is a pure perf choice. */
+/** Packing overhead swamps the win below a few K flops. At default
+ * (scalar) dispatch both paths are bit-identical, so the cutover is
+ * a pure perf choice. */
 bool
 useNaive(int64_t m, int64_t n, int64_t k)
 {
@@ -358,6 +309,49 @@ gemmNTBlocked(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
             crow[j] = alpha * arow[j] +
                       (beta == 0.0f ? 0.0f : beta * crow[j]);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed A panels: pack a row-major A once per layer and reuse it
+// across every patch/image GEMM of that layer (split conv packs the
+// weight matrix exactly once instead of once per patch-tile).
+// ---------------------------------------------------------------------------
+
+int64_t
+gemmPackedASize(int64_t m, int64_t k)
+{
+    const int64_t mr = activeMicrokernel().mr;
+    int64_t total = 0;
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        for (int64_t ic = 0; ic < m; ic += MC)
+            total += roundUp(std::min(MC, m - ic), mr) * kc;
+    }
+    return total;
+}
+
+void
+gemmPackA(int64_t m, int64_t k, float alpha, const float *a, float *pa)
+{
+    const int64_t mr = activeMicrokernel().mr;
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        for (int64_t ic = 0; ic < m; ic += MC) {
+            const int64_t mc = std::min(MC, m - ic);
+            packA(mc, kc, a + ic * k + pc, /*rs=*/k, /*cs=*/1, alpha,
+                  mr, pa);
+            pa += roundUp(mc, mr) * kc;
+        }
+    }
+}
+
+void
+gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
+            const float *b, float beta, float *c)
+{
+    applyBeta(m, n, beta, c);
+    blockedCore(m, n, k, nullptr, 0, 0, 0.0f, b, /*b_rs=*/n,
+                /*b_cs=*/1, c, pa);
 }
 
 const char *

@@ -10,13 +10,18 @@
  *   MC/KC/NC cache blocking, and a register-tiled MRxNR microkernel
  *   written with compiler vector extensions.
  *
- * The blocked kernels preserve the naive kernels' per-element
- * floating-point accumulation order (beta first, then k ascending,
- * alpha folded at the same point), so for finite inputs the two
- * produce bitwise-identical results at the default build flags —
- * which keeps every committed figure output byte-stable. (The one
- * divergence: naive skips rows where alpha*A(i,p) == 0, so results
- * can differ on inputs containing Inf/NaN or signed zeros.)
+ * With the *scalar* microkernel (kernels/microkernel.h) the blocked
+ * kernels preserve the naive kernels' per-element floating-point
+ * accumulation order (beta first, then k ascending, alpha folded at
+ * the same point), so for finite inputs the two produce
+ * bitwise-identical results at the default build flags — which keeps
+ * every committed figure output byte-stable. (The one divergence:
+ * naive skips rows where alpha*A(i,p) == 0, so results can differ on
+ * inputs containing Inf/NaN or signed zeros.) With the *avx2*
+ * microkernel selected, FMA contraction makes blocked results
+ * epsilon-close rather than bit-identical to naive — the documented
+ * determinism carve-out; they remain deterministic for a given
+ * problem at any thread count.
  *
  * `gemm`/`gemmTN`/`gemmNT` select at runtime: blocked by default,
  * naive for tiny problems or when SCNN_GEMM=naive is set.
@@ -70,6 +75,31 @@ void gemmTNBlocked(int64_t m, int64_t n, int64_t k, float alpha,
                    const float *a, const float *b, float beta, float *c);
 void gemmNTBlocked(int64_t m, int64_t n, int64_t k, float alpha,
                    const float *a, const float *b, float beta, float *c);
+///@}
+
+/**
+ * @name Pre-packed A panels
+ *
+ * Pack a row-major MxK matrix A once (alpha folded in) and reuse the
+ * panels across many gemmPackedA calls with different B operands —
+ * split convolution packs its weight matrix once per layer instead
+ * of once per patch-tile. The packed layout depends on the active
+ * microkernel, so pack and consume under the same SIMD selection.
+ */
+///@{
+/** Floats required for the packed representation of an MxK A. */
+int64_t gemmPackedASize(int64_t m, int64_t k);
+
+/** Pack row-major A (MxK) scaled by alpha into @p pa
+ * (gemmPackedASize(m, k) floats, 64-byte aligned for SIMD loads). */
+void gemmPackA(int64_t m, int64_t k, float alpha, const float *a,
+               float *pa);
+
+/** C = packedA * B + beta * C; B is KxN row-major, C MxN row-major.
+ * Bit-identical to gemmBlocked(m, n, k, alpha, a, b, beta, c) for
+ * the alpha folded at pack time. */
+void gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
+                 const float *b, float beta, float *c);
 ///@}
 
 /** "blocked" or "naive": what the dispatchers currently select for

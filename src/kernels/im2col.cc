@@ -1,37 +1,71 @@
 #include "kernels/im2col.h"
 
+#include <algorithm>
+
+#include "kernels/microkernel.h"
+
 namespace scnn {
 
 void
-im2col(const float *img, int64_t c, int64_t ih, int64_t iw,
-       const Window2d &win, float *col)
+im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
+           const PatchView &view, const Window2d &win, int64_t oy0,
+           int64_t oy1, float *col)
 {
-    const int64_t oh = win.outH(ih);
-    const int64_t ow = win.outW(iw);
-    const int64_t ospatial = oh * ow;
+    const int64_t ow = win.outW(view.iw);
+    const int64_t rows_out = oy1 - oy0;
+    const int64_t ospatial = rows_out * ow;
+    const Microkernel &uk = activeMicrokernel();
     int64_t row = 0;
     for (int64_t ic = 0; ic < c; ++ic) {
         const float *chan = img + ic * ih * iw;
         for (int64_t ky = 0; ky < win.kh; ++ky) {
             for (int64_t kx = 0; kx < win.kw; ++kx, ++row) {
                 float *dst = col + row * ospatial;
-                for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t oy = oy0; oy < oy1; ++oy) {
+                    float *drow = dst + (oy - oy0) * ow;
                     const int64_t iy = oy * win.sh - win.ph_b + ky;
-                    if (iy < 0 || iy >= ih) {
-                        for (int64_t ox = 0; ox < ow; ++ox)
-                            dst[oy * ow + ox] = 0.0f;
+                    if (iy < 0 || iy >= view.ih) {
+                        uk.zeroRow(drow, ow);
                         continue;
                     }
-                    const float *src_row = chan + iy * iw;
-                    for (int64_t ox = 0; ox < ow; ++ox) {
-                        const int64_t ix = ox * win.sw - win.pw_b + kx;
-                        dst[oy * ow + ox] =
-                            (ix < 0 || ix >= iw) ? 0.0f : src_row[ix];
+                    const float *src_row =
+                        chan + (view.r0 + iy) * iw + view.c0;
+                    if (win.sw == 1) {
+                        // Contiguous inner loop: the valid ox range
+                        // is [pw_b - kx, view.iw + pw_b - kx); zero
+                        // the out-of-patch flanks and bulk-copy the
+                        // middle (exact, so bit-identical to the
+                        // element loop below).
+                        const int64_t lo = std::clamp<int64_t>(
+                            win.pw_b - kx, 0, ow);
+                        const int64_t hi = std::clamp<int64_t>(
+                            view.iw + win.pw_b - kx, lo, ow);
+                        uk.zeroRow(drow, lo);
+                        uk.copyRow(drow + lo,
+                                   src_row + lo - win.pw_b + kx,
+                                   hi - lo);
+                        uk.zeroRow(drow + hi, ow - hi);
+                    } else {
+                        for (int64_t ox = 0; ox < ow; ++ox) {
+                            const int64_t ix =
+                                ox * win.sw - win.pw_b + kx;
+                            drow[ox] = (ix < 0 || ix >= view.iw)
+                                           ? 0.0f
+                                           : src_row[ix];
+                        }
                     }
                 }
             }
         }
     }
+}
+
+void
+im2col(const float *img, int64_t c, int64_t ih, int64_t iw,
+       const Window2d &win, float *col)
+{
+    im2colView(img, c, ih, iw, PatchView::full(ih, iw), win, 0,
+               win.outH(ih), col);
 }
 
 void

@@ -3,6 +3,15 @@
  * im2col / col2im lowering for convolution. Handles asymmetric and
  * negative padding: out-of-bounds window elements read as zero
  * (im2col) and are dropped (col2im).
+ *
+ * The view variants lower a rectangular patch of a parent image
+ * without materializing it: window elements are read from parent
+ * memory through strided offsets, and only the requested output-row
+ * range is produced — the halo rows a split patch shares with its
+ * neighbours are re-read from the parent, never copied into a
+ * padded per-patch tensor. All variants produce exactly the bytes
+ * the materializing path would (copies and zero-fills are exact), so
+ * they carry no determinism carve-out.
  */
 #ifndef SCNN_KERNELS_IM2COL_H
 #define SCNN_KERNELS_IM2COL_H
@@ -22,6 +31,19 @@ namespace scnn {
  */
 void im2col(const float *img, int64_t c, int64_t ih, int64_t iw,
             const Window2d &win, float *col);
+
+/**
+ * Lower output rows [oy0, oy1) of a patch view of one parent image
+ * to a column buffer of shape [C*kh*kw, (oy1-oy0)*outW(view.iw)].
+ *
+ * @param img the *parent* image, C x ih x iw, contiguous.
+ * @param view the patch rectangle inside the parent.
+ * @param win patch-local window geometry (the split scheme's
+ *        per-patch paddings); output extents derive from view.ih/iw.
+ */
+void im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
+                const PatchView &view, const Window2d &win,
+                int64_t oy0, int64_t oy1, float *col);
 
 /**
  * Scatter-add a column buffer back into an image (CHW); the adjoint of

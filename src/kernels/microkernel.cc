@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microkernel runtime dispatch: pick the best kernel the CPU
+ * supports once at startup, honoring the SCNN_SIMD environment
+ * override and the setSimdEnabled() test hook.
+ */
+#include "kernels/microkernel.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace scnn {
+
+namespace {
+
+/** SCNN_SIMD=off|0|scalar forces the scalar path; default is on. */
+bool
+envSimdEnabled()
+{
+    const char *env = std::getenv("SCNN_SIMD");
+    if (env == nullptr)
+        return true;
+    const std::string_view v(env);
+    return !(v == "off" || v == "0" || v == "scalar");
+}
+
+/** -1: follow the environment; 0/1: setSimdEnabled() override. */
+int g_simd_override = -1;
+
+} // namespace
+
+bool
+simdAvailable()
+{
+    return microkernelAvx2() != nullptr;
+}
+
+bool
+simdEnabled()
+{
+    if (!simdAvailable())
+        return false;
+    if (g_simd_override >= 0)
+        return g_simd_override != 0;
+    static const bool env_enabled = envSimdEnabled();
+    return env_enabled;
+}
+
+void
+setSimdEnabled(bool enabled)
+{
+    g_simd_override = enabled ? 1 : 0;
+}
+
+const Microkernel &
+activeMicrokernel()
+{
+    if (simdEnabled())
+        return *microkernelAvx2();
+    return microkernelScalar();
+}
+
+const char *
+simdKernelName()
+{
+    return activeMicrokernel().name;
+}
+
+} // namespace scnn

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * AVX2/FMA microkernel: a 6x16 register tile (12 accumulator ymm
+ * registers, two B vectors, one broadcast) plus vectorized row
+ * helpers. This translation unit is the only one compiled with
+ * -mavx2 -mfma (see src/CMakeLists.txt); everything else stays at
+ * the portable baseline so the binary still runs on pre-AVX2 CPUs —
+ * microkernelAvx2() returns nullptr unless the running CPU reports
+ * both features.
+ *
+ * Determinism carve-out: vfmadd keeps the infinitely-precise product
+ * before the add, so this kernel's results differ from the scalar
+ * reference in the last ulps. They are still a pure function of the
+ * problem (no thread-count or scheduling dependence): each C element
+ * is accumulated by exactly one tile invocation per KC slab in
+ * ascending p, and slab boundaries depend only on (m, n, k).
+ */
+#include "kernels/microkernel.h"
+
+#if defined(SCNN_BUILD_AVX2)
+
+#include <cstring>
+#include <immintrin.h>
+
+namespace scnn {
+
+namespace {
+
+constexpr int64_t MR = 6;  ///< tile rows
+constexpr int64_t NR = 16; ///< tile cols (two 8-float ymm vectors)
+
+void
+tileAvx2(int64_t kc, const float *__restrict pa,
+         const float *__restrict pb, float *__restrict c, int64_t ldc)
+{
+    __m256 acc[MR][2];
+    for (int64_t r = 0; r < MR; ++r) {
+        acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+        acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+        const __m256 b0 = _mm256_load_ps(pb);
+        const __m256 b1 = _mm256_load_ps(pb + 8);
+        for (int64_t r = 0; r < MR; ++r) {
+            const __m256 a = _mm256_broadcast_ss(pa + r);
+            acc[r][0] = _mm256_fmadd_ps(a, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(a, b1, acc[r][1]);
+        }
+        pa += MR;
+        pb += NR;
+    }
+    for (int64_t r = 0; r < MR; ++r) {
+        _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+        _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+    }
+}
+
+void
+copyRowAvx2(float *dst, const float *src, int64_t n)
+{
+    // memcpy already vectorizes well and is exact; keep it.
+    std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+void
+zeroRowAvx2(float *dst, int64_t n)
+{
+    std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
+}
+
+void
+addBiasRowAvx2(float *dst, int64_t n, float b)
+{
+    const __m256 vb = _mm256_set1_ps(b);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(dst + j,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + j), vb));
+    for (; j < n; ++j)
+        dst[j] += b;
+}
+
+} // namespace
+
+const Microkernel *
+microkernelAvx2()
+{
+    static const bool supported = [] {
+#if defined(__GNUC__) || defined(__clang__)
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
+#endif
+    }();
+    if (!supported)
+        return nullptr;
+    static const Microkernel kernel = {
+        "avx2",   MR,          NR,
+        tileAvx2, copyRowAvx2, zeroRowAvx2, addBiasRowAvx2,
+    };
+    return &kernel;
+}
+
+} // namespace scnn
+
+#else // !SCNN_BUILD_AVX2: non-x86 target or flag-less build.
+
+namespace scnn {
+
+const Microkernel *
+microkernelAvx2()
+{
+    return nullptr;
+}
+
+} // namespace scnn
+
+#endif

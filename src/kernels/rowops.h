@@ -14,19 +14,20 @@
 
 #include <cstdint>
 
+#include "kernels/microkernel.h"
+
 namespace scnn {
 
 /** dst[r][j] += bias[r]: one scalar per row (conv2d channel bias
- * over a [OC, OH*OW] image). */
+ * over a [OC, OH*OW] image). Dispatches to the active microkernel's
+ * row helper; a single add per element rounds identically in scalar
+ * and SIMD form, so this stays exact under either kernel. */
 inline void
 addRowBias(float *dst, int64_t rows, int64_t cols, const float *bias)
 {
-    for (int64_t r = 0; r < rows; ++r) {
-        float *row = dst + r * cols;
-        const float b = bias[r];
-        for (int64_t j = 0; j < cols; ++j)
-            row[j] += b;
-    }
+    const Microkernel &uk = activeMicrokernel();
+    for (int64_t r = 0; r < rows; ++r)
+        uk.addBiasRow(dst + r * cols, cols, bias[r]);
 }
 
 /** dst[r][j] += bias[j]: one scalar per column (linear bias over a

@@ -54,6 +54,28 @@ struct Window2d
     std::string toString() const;
 };
 
+/**
+ * A rectangular patch of a parent image, addressed zero-copy: the
+ * patch is parent[r0 : r0+ih, c0 : c0+iw]. The halo-aware split
+ * kernels (im2colView, conv2dWinogradPatch) read parent memory
+ * through this view via strided offsets instead of materializing a
+ * padded per-patch tensor.
+ */
+struct PatchView
+{
+    int64_t r0 = 0; ///< patch origin row in the parent
+    int64_t c0 = 0; ///< patch origin column in the parent
+    int64_t ih = 0; ///< patch height
+    int64_t iw = 0; ///< patch width
+
+    /** The whole parent image as a trivial view. */
+    static PatchView
+    full(int64_t ih, int64_t iw)
+    {
+        return PatchView{0, 0, ih, iw};
+    }
+};
+
 } // namespace scnn
 
 #endif // SCNN_KERNELS_WINDOW_H

@@ -84,6 +84,93 @@ winogradApplicable(const Window2d &win)
     return win.kh == 3 && win.kw == 3 && win.sh == 1 && win.sw == 1;
 }
 
+void
+winogradTransformWeights(const float *weight, int64_t oc, int64_t c,
+                         float *u)
+{
+    for (int64_t o = 0; o < oc; ++o)
+        for (int64_t ic = 0; ic < c; ++ic) {
+            float tile[4][4];
+            transformWeight(weight + (o * c + ic) * 9, tile);
+            float *dst = u + (o * c + ic) * 16;
+            for (int r = 0; r < 4; ++r)
+                for (int col = 0; col < 4; ++col)
+                    dst[r * 4 + col] = tile[r][col];
+        }
+}
+
+void
+conv2dWinogradPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
+                    const PatchView &view, const Window2d &win,
+                    const float *u, int64_t oc, const float *bias,
+                    int64_t ty0, int64_t ty1, float *out,
+                    int64_t out_oh, int64_t out_ow, int64_t oy0,
+                    int64_t ox0)
+{
+    SCNN_CHECK(winogradApplicable(win), "not a winograd geometry");
+    const int64_t oh_p = win.outH(view.ih);
+    const int64_t ow_p = win.outW(view.iw);
+    const int64_t tiles_x = (ow_p + 1) / 2;
+
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+    float *v = arena.alloc(c * 16);
+
+    for (int64_t ty = ty0; ty < ty1; ++ty) {
+        for (int64_t tx = 0; tx < tiles_x; ++tx) {
+            // Gather the 4x4 input tile (with padding) per channel,
+            // bounds-checked against the *patch* extents but read
+            // straight from parent memory.
+            const int64_t y0 = 2 * ty - win.ph_b;
+            const int64_t x0 = 2 * tx - win.pw_b;
+            for (int64_t ic = 0; ic < c; ++ic) {
+                float d[4][4];
+                const float *chan = img + ic * ih * iw;
+                for (int r = 0; r < 4; ++r)
+                    for (int col = 0; col < 4; ++col) {
+                        const int64_t yy = y0 + r;
+                        const int64_t xx = x0 + col;
+                        d[r][col] =
+                            (yy < 0 || yy >= view.ih || xx < 0 ||
+                             xx >= view.iw)
+                                ? 0.0f
+                                : chan[(view.r0 + yy) * iw +
+                                       view.c0 + xx];
+                    }
+                float tile[4][4];
+                transformInput(d, tile);
+                float *dst = v + ic * 16;
+                for (int r = 0; r < 4; ++r)
+                    for (int col = 0; col < 4; ++col)
+                        dst[r * 4 + col] = tile[r][col];
+            }
+            // Elementwise multiply-accumulate over channels, then
+            // inverse-transform per output channel.
+            for (int64_t o = 0; o < oc; ++o) {
+                float m[4][4] = {};
+                for (int64_t ic = 0; ic < c; ++ic) {
+                    const float *uf = u + (o * c + ic) * 16;
+                    const float *vf = v + ic * 16;
+                    for (int e = 0; e < 16; ++e)
+                        m[e / 4][e % 4] += uf[e] * vf[e];
+                }
+                float y[2][2];
+                transformOutput(m, y);
+                const float b = bias != nullptr ? bias[o] : 0.0f;
+                for (int r = 0; r < 2; ++r)
+                    for (int col = 0; col < 2; ++col) {
+                        const int64_t py = 2 * ty + r;
+                        const int64_t px = 2 * tx + col;
+                        if (py < oh_p && px < ow_p)
+                            out[o * out_oh * out_ow +
+                                (oy0 + py) * out_ow + ox0 + px] =
+                                y[r][col] + b;
+                    }
+            }
+        }
+    }
+}
+
 Tensor
 conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
                       const Tensor &bias, const Window2d &win)
@@ -109,79 +196,22 @@ conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();
     float *u = arena.alloc(oc * c * 16);
-    for (int64_t o = 0; o < oc; ++o)
-        for (int64_t ic = 0; ic < c; ++ic) {
-            float tile[4][4];
-            transformWeight(weight.data() + (o * c + ic) * 9, tile);
-            float *dst = u + (o * c + ic) * 16;
-            for (int r = 0; r < 4; ++r)
-                for (int col = 0; col < 4; ++col)
-                    dst[r * 4 + col] = tile[r][col];
-        }
+    winogradTransformWeights(weight.data(), oc, c, u);
 
     // The 2x2 output tiles cover every output element, so the
-    // allocation skips its zero-fill; images are independent.
+    // allocation skips its zero-fill; images are independent. The
+    // whole image is one trivial patch view.
     Tensor out = Tensor::uninitialized(Shape{n, oc, oh, ow});
-    const bool has_bias = bias.numel() > 0;
+    const float *bias_ptr = bias.numel() > 0 ? bias.data() : nullptr;
     const int64_t tiles_y = (oh + 1) / 2;
-    const int64_t tiles_x = (ow + 1) / 2;
 
     globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
-        auto &warena = ScratchArena::tls();
-        auto wguard = warena.scope();
-        float *v = warena.alloc(c * 16);
-        for (int64_t in = nb; in < ne; ++in) {
-            for (int64_t ty = 0; ty < tiles_y; ++ty) {
-                for (int64_t tx = 0; tx < tiles_x; ++tx) {
-                    // Gather the 4x4 input tile (with padding) per
-                    // chan.
-                    const int64_t y0 = 2 * ty - win.ph_b;
-                    const int64_t x0 = 2 * tx - win.pw_b;
-                    for (int64_t ic = 0; ic < c; ++ic) {
-                        float d[4][4];
-                        const float *chan =
-                            x.data() + (in * c + ic) * ih * iw;
-                        for (int r = 0; r < 4; ++r)
-                            for (int col = 0; col < 4; ++col) {
-                                const int64_t yy = y0 + r;
-                                const int64_t xx = x0 + col;
-                                d[r][col] = (yy < 0 || yy >= ih ||
-                                             xx < 0 || xx >= iw)
-                                                ? 0.0f
-                                                : chan[yy * iw + xx];
-                            }
-                        float tile[4][4];
-                        transformInput(d, tile);
-                        float *dst = v + ic * 16;
-                        for (int r = 0; r < 4; ++r)
-                            for (int col = 0; col < 4; ++col)
-                                dst[r * 4 + col] = tile[r][col];
-                    }
-                    // Elementwise multiply-accumulate over channels,
-                    // then inverse-transform per output channel.
-                    for (int64_t o = 0; o < oc; ++o) {
-                        float m[4][4] = {};
-                        for (int64_t ic = 0; ic < c; ++ic) {
-                            const float *uf = u + (o * c + ic) * 16;
-                            const float *vf = v + ic * 16;
-                            for (int e = 0; e < 16; ++e)
-                                m[e / 4][e % 4] += uf[e] * vf[e];
-                        }
-                        float y[2][2];
-                        transformOutput(m, y);
-                        const float b = has_bias ? bias.at(o) : 0.0f;
-                        for (int r = 0; r < 2; ++r)
-                            for (int col = 0; col < 2; ++col) {
-                                const int64_t oy = 2 * ty + r;
-                                const int64_t ox = 2 * tx + col;
-                                if (oy < oh && ox < ow)
-                                    out.at4(in, o, oy, ox) =
-                                        y[r][col] + b;
-                            }
-                    }
-                }
-            }
-        }
+        for (int64_t in = nb; in < ne; ++in)
+            conv2dWinogradPatch(x.data() + in * c * ih * iw, c, ih,
+                                iw, PatchView::full(ih, iw), win, u,
+                                oc, bias_ptr, 0, tiles_y,
+                                out.data() + in * oc * oh * ow, oh,
+                                ow, 0, 0);
     });
     return out;
 }

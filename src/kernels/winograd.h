@@ -38,6 +38,43 @@ Tensor conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
 int64_t winogradWorkspaceBytes(const Tensor &x, const Tensor &weight,
                                const Window2d &win);
 
+/**
+ * @name Halo-aware patch-view winograd
+ *
+ * Zero-copy split execution: transform the filters once per layer,
+ * then run the tile loop directly over a patch view of the parent
+ * input, writing into a strided region of the parent output. The
+ * per-tile arithmetic is identical to conv2dForwardWinograd run on a
+ * materialized patch tensor, so both paths produce the same bytes.
+ */
+///@{
+/** U = G g G^T for all filters; @p u holds oc*c*16 floats. */
+void winogradTransformWeights(const float *weight, int64_t oc,
+                              int64_t c, float *u);
+
+/**
+ * Run winograd tile rows [ty0, ty1) of one image's patch.
+ *
+ * @param img parent image, C x ih x iw, contiguous.
+ * @param view patch rectangle inside the parent.
+ * @param win patch-local 3x3/1 window (split-scheme paddings).
+ * @param u transformed weights from winogradTransformWeights.
+ * @param bias per-channel bias or nullptr.
+ * @param out parent output image base, [oc, out_oh, out_ow].
+ * @param oy0,ox0 where the patch's output block starts in @p out.
+ *
+ * Tile row ty produces patch-output rows [2ty, 2ty+2) clipped to the
+ * patch output height, so callers can tile a patch across workers
+ * with any even row granularity.
+ */
+void conv2dWinogradPatch(const float *img, int64_t c, int64_t ih,
+                         int64_t iw, const PatchView &view,
+                         const Window2d &win, const float *u,
+                         int64_t oc, const float *bias, int64_t ty0,
+                         int64_t ty1, float *out, int64_t out_oh,
+                         int64_t out_ow, int64_t oy0, int64_t ox0);
+///@}
+
 } // namespace scnn
 
 #endif // SCNN_KERNELS_WINOGRAD_H

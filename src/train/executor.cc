@@ -240,6 +240,26 @@ Executor::forward(const Tensor &input, bool training, ForwardCache *cache)
         // the updates compound exactly as the serial path's.
         auto &pool = globalPool();
         for (const auto &wave : waves_) {
+            if (static_cast<int>(wave.size()) < pool.threads()) {
+                // Narrow wave: fewer nodes than workers. Nested
+                // parallelFor calls run inline on their worker, so
+                // fanning such a wave across the pool would strand
+                // each node's internal kernel parallelism (GEMM
+                // column tiles, split patch x row-tile items) on a
+                // single thread. Run the nodes serially on the
+                // caller instead so every kernel sees the full pool.
+                // Outputs are unchanged either way: kernels are
+                // bitwise-deterministic for any thread count.
+                for (NodeId id : wave) {
+                    const Node &n = graph_.node(id);
+                    Tensor out =
+                        computeNode(n, input, training,
+                                    /*defer_bn_updates=*/true, c);
+                    c.values[static_cast<size_t>(n.output)] =
+                        std::move(out);
+                }
+                continue;
+            }
             pool.parallelFor(
                 static_cast<int64_t>(wave.size()),
                 [&](int64_t begin, int64_t end) {

@@ -16,7 +16,13 @@
  *
  * Allocations are valid until their enclosing scope is destroyed;
  * scopes nest. The arena is not thread-safe by design — tls() gives
- * every thread (pool workers included) its own instance.
+ * every thread (pool workers included) its own instance. A span
+ * allocated before a parallelFor may be *read* concurrently by every
+ * worker while the owning scope is alive (the split executor shares
+ * packed GEMM weight panels and Winograd U tiles this way); only
+ * allocation and writes are single-thread. The 64-byte alignment
+ * makes every span safe for aligned SIMD loads (the AVX2 microkernel
+ * reads packed panels with _mm256_load_ps).
  */
 #ifndef SCNN_UTIL_SCRATCH_ARENA_H
 #define SCNN_UTIL_SCRATCH_ARENA_H

@@ -3,11 +3,13 @@
  * Determinism and correctness of the parallel execution engine: the
  * thread pool primitive itself, the scratch arena, and — the property
  * everything else rests on — bitwise-identical kernel, split-op and
- * executor results at 1, 2 and 4 threads.
+ * executor results at 1, 2, 4 and 8 threads, plus the documented
+ * SIMD-vs-scalar tolerance carve-out.
  */
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -16,6 +18,7 @@
 #include "core/split_op.h"
 #include "core/splitter.h"
 #include "kernels/conv2d.h"
+#include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
 #include "kernels/winograd.h"
 #include "tensor/tensor_ops.h"
@@ -243,6 +246,110 @@ TEST(ParallelDeterminism, PoolAndWinogradBitwiseAcrossThreads)
         EXPECT_EQ(am, am1);
         EXPECT_TRUE(bitwiseEqual(wino, wino1));
     }
+}
+
+/** Pin the microkernel selection for a test body (see
+ * gemm_blocked_test.cc). */
+class ScopedSimd
+{
+  public:
+    explicit ScopedSimd(bool enabled) : prev_(simdEnabled())
+    {
+        setSimdEnabled(enabled);
+    }
+    ~ScopedSimd() { setSimdEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** The fused zero-copy split conv must produce the same bytes at any
+ * pool size — its image x patch x row-tile work list is a function of
+ * shapes alone, and every item writes a disjoint output region. Both
+ * kernel variants (im2col+GEMM and Winograd) and both microkernels
+ * are swept across 1/2/4/8 threads. */
+TEST(ParallelDeterminism, FusedSplitConvBitwiseAcrossThreads)
+{
+    Rng rng(17);
+    Tensor x(Shape{2, 3, 34, 30});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{8, 3, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.4f);
+    Tensor b(Shape{8});
+    b.fillNormal(rng, 0.0f, 0.4f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = splitWindowOp2d(
+        win, 34, 30, evenOutputSplit(win.outH(34), 2),
+        evenOutputSplit(win.outW(30), 2));
+
+    for (const bool simd : {false, true}) {
+        if (simd && !simdAvailable())
+            continue;
+        ScopedSimd pin(simd);
+        for (const bool wino : {false, true}) {
+            Tensor ref;
+            {
+                ThreadGuard g(1);
+                ref = splitConv2dForwardFused(x, w, b, win, scheme,
+                                              wino);
+            }
+            for (int threads : {2, 4, 8}) {
+                ThreadGuard g(threads);
+                Tensor got = splitConv2dForwardFused(x, w, b, win,
+                                                     scheme, wino);
+                EXPECT_TRUE(bitwiseEqual(got, ref))
+                    << threads << " threads, simd=" << simd
+                    << ", winograd=" << wino;
+            }
+        }
+    }
+}
+
+/** The determinism carve-out on a real workload (vgg19 conv3-class
+ * shape): the SIMD split conv need not match scalar bitwise but must
+ * stay within 1e-5 relative tolerance. */
+TEST(ParallelDeterminism, FusedSplitConvSimdMatchesScalarClosely)
+{
+    if (!simdAvailable())
+        GTEST_SKIP() << "no SIMD kernel on this build/CPU";
+    Rng rng(19);
+    // vgg19 conv3_1 geometry at a reduced batch: 256 channels in,
+    // 256 out, 56x56 spatial, 3x3/1 windows, 2x2 split.
+    Tensor x(Shape{1, 256, 56, 56});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{256, 256, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.05f);
+    Tensor b(Shape{256});
+    b.fillNormal(rng, 0.0f, 0.05f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = splitWindowOp2d(
+        win, 56, 56, evenOutputSplit(win.outH(56), 2),
+        evenOutputSplit(win.outW(56), 2));
+
+    Tensor scalar_out, simd_out;
+    {
+        ScopedSimd pin(false);
+        scalar_out = splitConv2dForwardFused(x, w, b, win, scheme,
+                                             /*use_winograd=*/false);
+    }
+    {
+        ScopedSimd pin(true);
+        simd_out = splitConv2dForwardFused(x, w, b, win, scheme,
+                                           /*use_winograd=*/false);
+    }
+    ASSERT_EQ(scalar_out.shape(), simd_out.shape());
+    // Relative to the accumulation magnitude: k = 256*9 products of
+    // ~N(0,1)*N(0,0.05) terms, so |out| is O(2); 1e-5 relative is a
+    // tight bound for a reordered float sum of that length.
+    double max_rel = 0.0;
+    for (int64_t i = 0; i < scalar_out.numel(); ++i) {
+        const double ref = scalar_out.at(i);
+        const double got = simd_out.at(i);
+        const double rel = std::fabs(got - ref) /
+                           std::max(1.0, std::fabs(ref));
+        max_rel = std::max(max_rel, rel);
+    }
+    EXPECT_LT(max_rel, 1e-5);
 }
 
 /** One training forward/backward on a split graph; returns logits and

@@ -12,7 +12,9 @@
 #include <tuple>
 
 #include "kernels/conv2d.h"
+#include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
+#include "kernels/winograd.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -27,6 +29,21 @@ makeScheme(const Window2d &win, int64_t ih, int64_t iw, int nh, int nw,
                            evenOutputSplit(win.outH(ih), nh),
                            evenOutputSplit(win.outW(iw), nw), policy);
 }
+
+/** Pin the microkernel selection for a test body (see
+ * gemm_blocked_test.cc). */
+class ScopedSimd
+{
+  public:
+    explicit ScopedSimd(bool enabled) : prev_(simdEnabled())
+    {
+        setSimdEnabled(enabled);
+    }
+    ~ScopedSimd() { setSimdEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
 
 TEST(SplitOp, OutputShapeMatchesUnsplit)
 {
@@ -203,6 +220,131 @@ TEST(SplitOp, SlicePatchMatchesManualCrop)
     Tensor patch = slicePatch(x, scheme, 1, 0);
     EXPECT_EQ(patch.shape(), Shape({1, 1, 4, 4}));
     EXPECT_EQ(patch.at4(0, 0, 0, 0), x.at4(0, 0, 4, 0));
+}
+
+/**
+ * Halo-geometry sweep for the fused zero-copy path: every case pits
+ * the view-based execution against references on the same scheme.
+ *
+ * - under the scalar microkernel, fused im2col+GEMM is
+ *   bitwise-identical to materializing each patch and running the
+ *   im2col conv2dForward on it (same per-element accumulation order;
+ *   the view reads the exact bytes the pad2d copy would have staged,
+ *   and scheme paddings zero-fill the same positions); under SIMD the
+ *   gemm() size heuristic may route the two sides to different
+ *   kernels, so equality is only epsilon-close — the documented
+ *   carve-out;
+ * - fused Winograd is bitwise-identical to the materializing path
+ *   (conv2dForwardAuto routes 3x3/s1 patches to Winograd, and the
+ *   fused tile loop replays its arithmetic on parent memory);
+ * - fused-vs-materialized always agrees within float tolerance even
+ *   when the two sides round differently.
+ */
+struct HaloCase
+{
+    const char *name;
+    int64_t ih, iw; ///< input extents
+    int64_t k, s, p; ///< square kernel/stride/pad
+    int nh, nw;      ///< split parts per axis
+};
+
+const HaloCase kHaloCases[] = {
+    {"borders_1px", 9, 9, 3, 1, 1, 3, 3},   // 1px output borders
+    {"uneven", 17, 19, 3, 1, 1, 3, 4},      // uneven patch extents
+    {"stride2", 18, 22, 3, 2, 1, 2, 3},     // strided windows
+    {"big_halo", 16, 16, 5, 1, 2, 2, 2},    // 2-row halos
+    {"no_pad", 14, 12, 3, 1, 0, 2, 2},      // halo only, no zeros
+    {"tiny_patches", 7, 7, 3, 1, 1, 3, 3},  // patches of 2-3 rows
+};
+
+TEST(SplitOp, FusedIm2colMatchesMaterializedIm2col)
+{
+    uint32_t seed = 40;
+    for (const auto &hc : kHaloCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        Tensor w(Shape{4, 3, hc.k, hc.k});
+        w.fillNormal(rng, 0.0f, 0.4f);
+        Tensor b(Shape{4});
+        b.fillNormal(rng, 0.0f, 0.4f);
+        const Window2d win =
+            Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        // Old materializing path, pinned to the im2col kernel so the
+        // comparison is like-for-like (Auto would pick Winograd for
+        // 3x3/s1 and round differently).
+        auto materialized = [&] {
+            return runSplitOp(
+                x, win, scheme,
+                [&](const Tensor &patch, const Window2d &local) {
+                    return conv2dForward(patch, w, b, local);
+                });
+        };
+        {
+            // Bitwise under the scalar reference kernel.
+            ScopedSimd pin(false);
+            Tensor fused = splitConv2dForwardFused(
+                x, w, b, win, scheme, /*use_winograd=*/false);
+            Tensor sref = materialized();
+            ASSERT_EQ(fused.shape(), sref.shape()) << hc.name;
+            EXPECT_TRUE(allClose(fused, sref, 0.0f)) << hc.name;
+        }
+        // Epsilon-close whichever kernel the environment picked.
+        Tensor fused = splitConv2dForwardFused(
+            x, w, b, win, scheme, /*use_winograd=*/false);
+        EXPECT_TRUE(allClose(fused, materialized(), 1e-4f))
+            << hc.name;
+    }
+}
+
+TEST(SplitOp, FusedWinogradBitwiseMatchesMaterialized)
+{
+    uint32_t seed = 60;
+    for (const auto &hc : kHaloCases) {
+        const Window2d win =
+            Window2d::square(hc.k, hc.s, hc.p);
+        if (!winogradApplicable(win))
+            continue;
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        Tensor w(Shape{4, 3, 3, 3});
+        w.fillNormal(rng, 0.0f, 0.4f);
+        Tensor b(Shape{4});
+        b.fillNormal(rng, 0.0f, 0.4f);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor fused = splitConv2dForwardFused(
+            x, w, b, win, scheme, /*use_winograd=*/true);
+        Tensor ref =
+            splitConv2dForwardMaterialized(x, w, b, win, scheme);
+        ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
+        EXPECT_TRUE(allClose(fused, ref, 0.0f)) << hc.name;
+    }
+}
+
+TEST(SplitOp, FusedMatchesMaterializedWithinTolerance)
+{
+    uint32_t seed = 80;
+    for (const auto &hc : kHaloCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        Tensor w(Shape{4, 3, hc.k, hc.k});
+        w.fillNormal(rng, 0.0f, 0.4f);
+        const Window2d win =
+            Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor fused = splitConv2dForwardFused(
+            x, w, Tensor(), win, scheme, /*use_winograd=*/false);
+        Tensor ref = splitConv2dForwardMaterialized(x, w, Tensor(),
+                                                    win, scheme);
+        ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
+        EXPECT_TRUE(allClose(fused, ref, 1e-4f)) << hc.name;
+    }
 }
 
 TEST(SplitOp, StochasticSchemeStillTilesOutput)

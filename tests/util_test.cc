@@ -5,10 +5,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "kernels/window.h"
 #include "util/logging.h"
+#include "util/scratch_arena.h"
 #include "util/table.h"
 
 namespace scnn {
@@ -100,6 +102,33 @@ TEST(Window2d, ToStringAndOutExtent)
     EXPECT_EQ(sq.kh, 2);
     EXPECT_EQ(sq.sw, 2);
     EXPECT_EQ(sq.ph_b, 0);
+}
+
+/** Every arena span must be 64-byte aligned — the AVX2 microkernel
+ * reads packed GEMM panels with aligned loads, so a misaligned span
+ * is a crash, not a slowdown. Sweep awkward sizes and scope rewinds
+ * so bump-pointer arithmetic can't drift off alignment. */
+TEST(ScratchArena, SpansStay64ByteAlignedAcrossSizesAndScopes)
+{
+    auto &arena = ScratchArena::tls();
+    auto outer = arena.scope();
+    const int64_t sizes[] = {1, 3, 7, 15, 16, 17, 63, 64,
+                             65, 1000, 4096, 100000};
+    for (int64_t n : sizes) {
+        float *p = arena.alloc(n);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u)
+            << "span of " << n << " floats";
+        p[0] = 1.0f;
+        p[n - 1] = 1.0f; // span is fully writable
+    }
+    {
+        auto inner = arena.scope();
+        float *q = arena.alloc(5);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 64, 0u);
+    }
+    // After a rewind the next span must still be aligned.
+    float *r = arena.alloc(9);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r) % 64, 0u);
 }
 
 } // namespace

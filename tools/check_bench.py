@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_kernels output.
+
+Reads a freshly generated BENCH_kernels.json and fails (exit 1) when
+the fused split-conv numbers regress past the thresholds below. Also
+prints a side-by-side diff against the committed baseline JSON so a
+regression is diagnosable from the CI log alone.
+
+Usage:
+    check_bench.py <fresh.json> [<baseline.json>]
+
+Thread-scaling checks are skipped when the reporting machine has
+fewer than 4 hardware threads (the speedup is then physically
+unmeasurable); the overhead-ratio checks always run.
+"""
+import json
+import sys
+
+# ---------------------------------------------------------------------------
+# Thresholds — the single place to tune the gate.
+#
+# split_overhead_ratio = fused split ms / unsplit ms at 1 thread.
+# The canonical 2x2 split must stay near-free; deeper splits pay more
+# fixed per-patch cost (smaller GEMM tiles, more halo edges), so 4x4
+# gets a looser bound.
+SPLIT_OVERHEAD_MAX = {
+    "2x2": 1.3,
+    "4x4": 1.6,
+}
+# Patch-parallel scaling: 4 threads over a 2x2 split must reach at
+# least this speedup over 1 thread (checked only when the machine has
+# >= 4 hardware threads).
+SPEEDUP_4T_MIN = {
+    "2x2": 2.5,
+    "4x4": 2.5,
+}
+# ---------------------------------------------------------------------------
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    fresh = json.load(open(sys.argv[1]))
+    baseline = None
+    if len(sys.argv) > 2:
+        try:
+            baseline = json.load(open(sys.argv[2]))
+        except OSError:
+            print(f"note: no baseline at {sys.argv[2]}")
+
+    hw = int(fresh.get("hardware_threads", 0))
+    print(f"machine: {hw} hardware threads, "
+          f"simd kernel {fresh.get('simd_kernel', '?')}")
+
+    if baseline is not None:
+        print("\nsummary (fresh vs committed baseline):")
+        base = baseline.get("split_conv_summary", {})
+        for depth, s in fresh.get("split_conv_summary", {}).items():
+            b = base.get(depth, {})
+            print(f"  {depth}: overhead_1t "
+                  f"{s['split_overhead_ratio_1t']:.3f} "
+                  f"(baseline {b.get('split_overhead_ratio_1t', '?')}), "
+                  f"speedup_4t {s['speedup_4t']:.2f} "
+                  f"(baseline {b.get('speedup_4t', '?')})")
+
+    rc = 0
+    summary = fresh.get("split_conv_summary")
+    if not summary:
+        return fail("no split_conv_summary in report")
+    for depth, max_ratio in SPLIT_OVERHEAD_MAX.items():
+        if depth not in summary:
+            rc |= fail(f"no {depth} split measurement in report")
+            continue
+        ratio = summary[depth]["split_overhead_ratio_1t"]
+        if ratio > max_ratio:
+            rc |= fail(f"{depth} split_overhead_ratio_1t {ratio:.3f} "
+                       f"> {max_ratio}")
+        else:
+            print(f"ok: {depth} split_overhead_ratio_1t "
+                  f"{ratio:.3f} <= {max_ratio}")
+
+    if hw >= 4:
+        for depth, min_speedup in SPEEDUP_4T_MIN.items():
+            if depth not in summary:
+                continue
+            speedup = summary[depth]["speedup_4t"]
+            if speedup < min_speedup:
+                rc |= fail(f"{depth} speedup_4t {speedup:.2f} "
+                           f"< {min_speedup}")
+            else:
+                print(f"ok: {depth} speedup_4t {speedup:.2f} "
+                      f">= {min_speedup}")
+    else:
+        print(f"skip: thread-scaling checks need >= 4 hardware "
+              f"threads, machine has {hw}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

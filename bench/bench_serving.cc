@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Serving-engine load benchmark (robustness study, not a paper
+ * figure): drives the overload-hardened multi-tenant engine with
+ * deterministic open-loop (Poisson + bursty), closed-loop, and
+ * chaos-mode load, and writes BENCH_serving.json (path overridable
+ * as argv[1]) for the tools/check_bench.py gate.
+ *
+ * Reported per scenario: request accounting (the conservation
+ * identity submitted == completed + shed + deadline_exceeded +
+ * failed must hold exactly), p50/p99/p999 completion latency,
+ * goodput (completed per virtual second), and the robustness
+ * counters (retries, degraded batches, breaker trips, watchdog
+ * kills).
+ *
+ * The final section is the degradation ablation from the Split-CNN
+ * angle: with device capacity squeezed below two unsplit plans, the
+ * engine must serve strictly more concurrent tenant reservations
+ * with the split-degradation ladder enabled than with it disabled.
+ *
+ * Everything is deterministic: arrivals and faults derive from
+ * stateless seeded hashes, and service times come from the stream
+ * simulator, so the accounting (though not wall-clock latencies) is
+ * reproducible across machines.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/loadgen.h"
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+namespace {
+
+struct ScenarioResult
+{
+    StatsSnapshot snap;
+    double p50 = 0.0, p99 = 0.0, p999 = 0.0;
+    double goodput = 0.0; ///< completed per virtual second
+    int64_t peak_concurrent = 0;
+    std::vector<int> final_rungs;
+};
+
+std::vector<TenantProfile>
+makeTenants(int n, double deadline)
+{
+    std::vector<TenantProfile> tenants;
+    for (int i = 0; i < n; ++i) {
+        TenantProfile t;
+        t.name = "tenant" + std::to_string(i);
+        t.model = "vgg19";
+        t.config = {.batch = 1, .image = 32, .width = 0.125};
+        t.max_batch = 8;
+        t.weight = 1;
+        t.deadline = deadline;
+        tenants.push_back(t);
+    }
+    return tenants;
+}
+
+ScenarioResult
+runScenario(const std::vector<TenantProfile> &tenants,
+            EngineOptions eopt, const LoadGenOptions &lopt)
+{
+    ServingEngine engine(tenants, std::move(eopt));
+    LoadGenerator gen(engine, lopt);
+    engine.setOnComplete(
+        [&gen](const Request &r, Outcome o, double latency) {
+            gen.onComplete(r, o, latency);
+        });
+    const Status started = engine.start();
+    SCNN_CHECK(started.ok(), started.toString());
+    gen.run();
+    engine.drain();
+
+    ScenarioResult result;
+    result.snap = engine.snapshot();
+    std::vector<double> lat = engine.stats().latencies();
+    std::sort(lat.begin(), lat.end());
+    result.p50 = percentile(lat, 0.50);
+    result.p99 = percentile(lat, 0.99);
+    result.p999 = percentile(lat, 0.999);
+    result.goodput =
+        static_cast<double>(result.snap.completed) / lopt.duration;
+    result.peak_concurrent = engine.governor().peakConcurrent();
+    for (size_t t = 0; t < tenants.size(); ++t)
+        result.final_rungs.push_back(
+            engine.tenantRung(static_cast<int>(t)));
+    return result;
+}
+
+void
+emitScenario(std::FILE *f, const char *name,
+             const ScenarioResult &r, bool last)
+{
+    const StatsSnapshot &s = r.snap;
+    std::fprintf(
+        f,
+        "    \"%s\": {\n"
+        "      \"submitted\": %llu, \"completed\": %llu, "
+        "\"shed\": %llu,\n"
+        "      \"deadline_exceeded\": %llu, \"failed\": %llu, "
+        "\"accounting_leak\": %lld,\n"
+        "      \"p50\": %.6f, \"p99\": %.6f, \"p999\": %.6f, "
+        "\"goodput\": %.2f,\n"
+        "      \"batches\": %llu, \"retries\": %llu, "
+        "\"degraded_plans\": %llu,\n"
+        "      \"breaker_trips\": %llu, \"watchdog_kills\": %llu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu\n"
+        "    }%s\n",
+        name, static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.deadline_exceeded),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<long long>(s.accountingLeak()), r.p50, r.p99,
+        r.p999, r.goodput,
+        static_cast<unsigned long long>(s.batches),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.degraded_plans),
+        static_cast<unsigned long long>(s.breaker_trips),
+        static_cast<unsigned long long>(s.watchdog_kills),
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.cache_misses),
+        last ? "" : ",");
+    std::printf("%-12s %s  p50/p99/p999 %.3f/%.3f/%.3f  goodput "
+                "%.1f/vs  degraded %llu  retries %llu\n",
+                name, s.toString().c_str(), r.p50, r.p99, r.p999,
+                r.goodput,
+                static_cast<unsigned long long>(s.degraded_plans),
+                static_cast<unsigned long long>(s.retries));
+}
+
+} // namespace
+} // namespace serve
+} // namespace scnn
+
+int
+main(int argc, char **argv)
+{
+    using namespace scnn;
+    using namespace scnn::serve;
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_serving.json";
+
+    // --- calibration probe -------------------------------------------
+    // Everything scales off the simulated batch time of the widest
+    // bucket: offered load targets a fraction of worker capacity and
+    // deadlines a multiple of the service time, so the benchmark
+    // stays meaningful if the cost model changes.
+    EngineOptions base;
+    base.workers = 3;
+    const int kTenants = 3;
+    std::vector<TenantProfile> probe_tenants = makeTenants(1, 1.0);
+    auto probe0 = buildServingPlan(probe_tenants[0], 8, base.device,
+                                   /*rung=*/0);
+    SCNN_CHECK(probe0.ok(), probe0.status().toString());
+    const double batch_time = probe0.value()->batch_time;
+    const int64_t unsplit_bytes = probe0.value()->device_bytes;
+    // Deepest FEASIBLE rung: fine grids can exceed the join extent
+    // of a small model, so walk up from the bottom of the ladder.
+    int64_t split_bytes = unsplit_bytes;
+    for (int rung = servingMaxRungs() - 1; rung >= 1; --rung) {
+        auto probe_deep =
+            buildServingPlan(probe_tenants[0], 8, base.device, rung);
+        if (probe_deep.ok()) {
+            split_bytes = probe_deep.value()->device_bytes;
+            break;
+        }
+    }
+    SCNN_CHECK(split_bytes < unsplit_bytes,
+               "no split rung shrinks the plan footprint");
+
+    // Wall-time normalization: one batch costs ~2.5 wall ms
+    // whatever the cost model says, so OS scheduling granularity
+    // (~1 ms) stays small against every deadline in the run, and
+    // every knob below is expressed in batch-time units.
+    base.time_scale = 2.5e-3 / batch_time;
+    base.batcher.max_linger = 3.0 * batch_time;
+    base.memory_reserve_timeout = 10.0 * batch_time;
+    base.retry_backoff = batch_time;
+    base.watchdog_interval = 5.0 * batch_time;
+
+    const double deadline = 50.0 * batch_time;
+    // Per-tenant rate for ~50% utilization of the worker pool.
+    const double steady_rate = 0.5 * base.workers * 8.0 /
+                               (batch_time * kTenants);
+    const double duration = 600.0 * batch_time;
+    std::vector<TenantProfile> tenants =
+        makeTenants(kTenants, deadline);
+    std::printf("calibration: batch_time %.4f vs, unsplit peak "
+                "%.2f MB, deepest-split peak %.2f MB, steady rate "
+                "%.0f req/vs/tenant, time scale %.2f\n",
+                batch_time, unsplit_bytes / 1e6, split_bytes / 1e6,
+                steady_rate, base.time_scale);
+
+    LoadGenOptions steady;
+    steady.duration = duration;
+    steady.rate = steady_rate;
+    steady.seed = 99;
+
+    LoadGenOptions burst = steady;
+    burst.bursty = true;
+    burst.burst_factor = 4.0;
+    burst.burst_period = duration / 8.0;
+
+    LoadGenOptions closed;
+    closed.duration = duration;
+    closed.closed_loop = true;
+    closed.concurrency = 6;
+    closed.refill_interval = batch_time;
+    closed.seed = 99;
+
+    EngineOptions chaos_opts = base;
+    chaos_opts.faults.transfer_failure_rate = 0.10;
+    chaos_opts.faults.serve_hang_rate = 0.02;
+    chaos_opts.faults.kernel_jitter = 0.20;
+    chaos_opts.seed = 1234;
+
+    const ScenarioResult steady_r =
+        runScenario(tenants, base, steady);
+    const ScenarioResult burst_r = runScenario(tenants, base, burst);
+    const ScenarioResult closed_r =
+        runScenario(tenants, base, closed);
+    const ScenarioResult chaos_r =
+        runScenario(tenants, chaos_opts, burst);
+
+    // --- degradation ablation ----------------------------------------
+    // Squeeze capacity so two unsplit plans can never coexist, but
+    // an unsplit plan plus several split plans can: with the ladder
+    // enabled the engine serves more concurrent tenant reservations
+    // than with it disabled (the Split-CNN serving-capacity lever).
+    EngineOptions tight = base;
+    tight.device.memory_capacity =
+        std::max(static_cast<int64_t>(1.05 * unsplit_bytes),
+                 std::min(static_cast<int64_t>(1.9 * unsplit_bytes),
+                          unsplit_bytes + 3 * split_bytes));
+    EngineOptions tight_off = tight;
+    tight_off.enable_degradation = false;
+
+    const ScenarioResult abl_on =
+        runScenario(tenants, tight, closed);
+    const ScenarioResult abl_off =
+        runScenario(tenants, tight_off, closed);
+
+    // --- report -------------------------------------------------------
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    SCNN_REQUIRE(f != nullptr, "cannot write " << out_path);
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"hardware_threads\": %u,\n"
+        "  \"time_scale\": %.4f,\n"
+        "  \"workers\": %d,\n"
+        "  \"tenants\": %d,\n"
+        "  \"batch_time_vs\": %.6f,\n"
+        "  \"scenarios\": {\n",
+        std::thread::hardware_concurrency(), base.time_scale,
+        base.workers, kTenants, batch_time);
+    emitScenario(f, "steady_open", steady_r, false);
+    emitScenario(f, "burst_open", burst_r, false);
+    emitScenario(f, "closed_loop", closed_r, false);
+    emitScenario(f, "chaos_burst", chaos_r, true);
+    std::fprintf(
+        f,
+        "  },\n"
+        "  \"degradation_ablation\": {\n"
+        "    \"capacity_bytes\": %lld,\n"
+        "    \"unsplit_plan_bytes\": %lld,\n"
+        "    \"split_plan_bytes\": %lld,\n"
+        "    \"enabled\": {\"peak_concurrent\": %lld, "
+        "\"completed\": %llu, \"shed\": %llu, "
+        "\"degraded_plans\": %llu, \"accounting_leak\": %lld},\n"
+        "    \"disabled\": {\"peak_concurrent\": %lld, "
+        "\"completed\": %llu, \"shed\": %llu, "
+        "\"degraded_plans\": %llu, \"accounting_leak\": %lld}\n"
+        "  }\n"
+        "}\n",
+        static_cast<long long>(tight.device.memory_capacity),
+        static_cast<long long>(unsplit_bytes),
+        static_cast<long long>(split_bytes),
+        static_cast<long long>(abl_on.peak_concurrent),
+        static_cast<unsigned long long>(abl_on.snap.completed),
+        static_cast<unsigned long long>(abl_on.snap.shed),
+        static_cast<unsigned long long>(abl_on.snap.degraded_plans),
+        static_cast<long long>(abl_on.snap.accountingLeak()),
+        static_cast<long long>(abl_off.peak_concurrent),
+        static_cast<unsigned long long>(abl_off.snap.completed),
+        static_cast<unsigned long long>(abl_off.snap.shed),
+        static_cast<unsigned long long>(
+            abl_off.snap.degraded_plans),
+        static_cast<long long>(abl_off.snap.accountingLeak()));
+    std::fclose(f);
+
+    std::printf("\nablation (capacity %.2f MB): degradation "
+                "enabled peak_concurrent %lld completed %llu | "
+                "disabled peak_concurrent %lld completed %llu\n",
+                tight.device.memory_capacity / 1e6,
+                static_cast<long long>(abl_on.peak_concurrent),
+                static_cast<unsigned long long>(
+                    abl_on.snap.completed),
+                static_cast<long long>(abl_off.peak_concurrent),
+                static_cast<unsigned long long>(
+                    abl_off.snap.completed));
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

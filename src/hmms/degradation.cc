@@ -70,10 +70,12 @@ planWithDegradation(const Graph &base, const DeviceSpec &spec,
         cap = std::clamp(cap, 0.0, 1.0);
         StorageAssignment assignment =
             assignStorage(g, g.topoOrder());
-        SCNN_ASSIGN_OR_RETURN(
-            MemoryPlan plan,
-            planMemory(g, spec, {kind, cap, options.backward},
-                       assignment));
+        auto plan_or = planMemory(
+            g, spec, {kind, cap, options.backward}, assignment);
+        if (!plan_or.ok())
+            return plan_or.status().withContext(
+                std::string("degradation rung '") + action + "'");
+        MemoryPlan plan = std::move(plan_or).value();
         StaticMemoryPlan mem =
             planStaticMemory(g, assignment, plan, options.backward);
 

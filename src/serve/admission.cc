@@ -1,0 +1,176 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+
+AdmissionQueue::AdmissionQueue(const VirtualClock &clock,
+                               const AdmissionOptions &options,
+                               const std::vector<int> &weights)
+    : clock_(clock), options_(options),
+      queues_(std::max<size_t>(weights.size(), 1))
+{
+    SCNN_REQUIRE(options.capacity > 0,
+                 "admission capacity must be positive");
+    const int64_t total_weight = std::max<int64_t>(
+        std::accumulate(weights.begin(), weights.end(), int64_t{0}),
+        1);
+    share_.resize(queues_.size(), 1);
+    for (size_t t = 0; t < weights.size(); ++t) {
+        SCNN_REQUIRE(weights[t] >= 1,
+                     "tenant weight must be >= 1, got " << weights[t]);
+        share_[t] = std::max<int64_t>(
+            1, options.capacity * weights[t] / total_weight);
+    }
+}
+
+Status
+AdmissionQueue::submit(const Request &request)
+{
+    SCNN_CHECK(request.tenant >= 0 &&
+                   static_cast<size_t>(request.tenant) <
+                       queues_.size(),
+               "tenant index out of range");
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_)
+        return unavailable("admission queue is shut down");
+
+    auto hasSpace = [&] {
+        return total_ < options_.capacity &&
+               static_cast<int64_t>(
+                   queues_[static_cast<size_t>(request.tenant)]
+                       .size()) <
+                   share_[static_cast<size_t>(request.tenant)];
+    };
+
+    if (!hasSpace() && options_.block_on_full) {
+        // Closed-loop backpressure: hold the submitter until a slot
+        // frees, bounded so a wedged pipeline cannot hang clients.
+        const auto wall = std::chrono::duration<double>(
+            options_.block_timeout * clock_.timeScale());
+        space_cv_.wait_for(lock, wall, [&] {
+            return shutdown_ || hasSpace();
+        });
+        if (shutdown_)
+            return unavailable("admission queue is shut down");
+    }
+    if (!hasSpace()) {
+        const auto &q = queues_[static_cast<size_t>(request.tenant)];
+        return resourceExhausted(
+            total_ >= options_.capacity
+                ? "admission queue full (" +
+                      std::to_string(total_) + " queued)"
+                : "tenant '" + std::to_string(request.tenant) +
+                      "' is over its fair share (" +
+                      std::to_string(q.size()) + "/" +
+                      std::to_string(share_[static_cast<size_t>(
+                          request.tenant)]) +
+                      " slots)");
+    }
+    queues_[static_cast<size_t>(request.tenant)].push_back(request);
+    ++total_;
+    work_cv_.notify_one();
+    return Status();
+}
+
+std::vector<Request>
+AdmissionQueue::pop(int tenant, int64_t max_n)
+{
+    std::vector<Request> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &q = queues_[static_cast<size_t>(tenant)];
+    while (!q.empty() && static_cast<int64_t>(out.size()) < max_n) {
+        out.push_back(q.front());
+        q.pop_front();
+        --total_;
+    }
+    if (!out.empty())
+        space_cv_.notify_all();
+    return out;
+}
+
+std::vector<TenantQueueState>
+AdmissionQueue::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TenantQueueState> out(queues_.size());
+    for (size_t t = 0; t < queues_.size(); ++t) {
+        out[t].pending = static_cast<int64_t>(queues_[t].size());
+        if (!queues_[t].empty()) {
+            out[t].oldest_arrival = queues_[t].front().arrival;
+            out[t].oldest_deadline = queues_[t].front().deadline;
+        }
+    }
+    return out;
+}
+
+std::vector<Request>
+AdmissionQueue::sweepExpired(double now)
+{
+    std::vector<Request> expired;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &q : queues_) {
+        for (auto it = q.begin(); it != q.end();) {
+            if (it->expiredAt(now)) {
+                expired.push_back(*it);
+                it = q.erase(it);
+                --total_;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (!expired.empty())
+        space_cv_.notify_all();
+    return expired;
+}
+
+int64_t
+AdmissionQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+int64_t
+AdmissionQueue::shareOf(int tenant) const
+{
+    return share_[static_cast<size_t>(tenant)];
+}
+
+bool
+AdmissionQueue::waitForWork(double vtimeout)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (total_ > 0 || shutdown_)
+        return true;
+    const auto wall = std::chrono::duration<double>(
+        vtimeout * clock_.timeScale());
+    work_cv_.wait_for(lock, wall,
+                      [&] { return total_ > 0 || shutdown_; });
+    return total_ > 0 || shutdown_;
+}
+
+bool
+AdmissionQueue::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+}
+
+void
+AdmissionQueue::shutdown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+}
+
+} // namespace serve
+} // namespace scnn

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bounded multi-tenant admission queue with load shedding and
+ * per-tenant fair backpressure.
+ *
+ * Each tenant owns a FIFO sub-queue capped at a weighted share of
+ * the total capacity, so one hot tenant saturating its share sheds
+ * (or blocks, in closed-loop mode) without starving anyone else's
+ * slots. The batcher drains sub-queues round-robin; expired
+ * requests are swept out by the watchdog and accounted
+ * DeadlineExceeded, never silently dropped.
+ */
+#ifndef SCNN_SERVE_ADMISSION_H
+#define SCNN_SERVE_ADMISSION_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/clock.h"
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace scnn {
+namespace serve {
+
+/** Admission-control knobs. */
+struct AdmissionOptions
+{
+    /** Total queued requests across all tenants. */
+    int64_t capacity = 256;
+    /**
+     * Closed-loop backpressure: a submit over the tenant's share
+     * blocks up to block_timeout virtual seconds for space instead
+     * of shedding immediately (open-loop mode sheds at once).
+     */
+    bool block_on_full = false;
+    double block_timeout = 0.05; ///< virtual seconds
+};
+
+/** Per-tenant queue occupancy, for the batcher's policy loop. */
+struct TenantQueueState
+{
+    int64_t pending = 0;
+    double oldest_arrival = 0.0; ///< valid when pending > 0
+    double oldest_deadline = 0.0;
+};
+
+class AdmissionQueue
+{
+  public:
+    /**
+     * @param weights one entry per tenant; tenant t's share of
+     *        @p options.capacity is proportional to weights[t]
+     *        (minimum 1 slot each).
+     */
+    AdmissionQueue(const VirtualClock &clock,
+                   const AdmissionOptions &options,
+                   const std::vector<int> &weights);
+
+    /**
+     * Admit @p request into its tenant's sub-queue.
+     *
+     * @returns Ok on admission; ResourceExhausted when the tenant's
+     *          share (or the whole queue) is full — the caller
+     *          accounts the request as Shed; Unavailable after
+     *          shutdown().
+     */
+    Status submit(const Request &request);
+
+    /** Pop up to @p max_n requests of @p tenant, FIFO. */
+    std::vector<Request> pop(int tenant, int64_t max_n);
+
+    /** Occupancy snapshot of every tenant sub-queue. */
+    std::vector<TenantQueueState> state() const;
+
+    /**
+     * Remove every queued request whose deadline expired before
+     * @p now and return them for DeadlineExceeded accounting.
+     */
+    std::vector<Request> sweepExpired(double now);
+
+    /** Total queued requests. */
+    int64_t size() const;
+
+    /** Per-tenant share cap, for tests. */
+    int64_t shareOf(int tenant) const;
+
+    /**
+     * Block until some request is queued, @p vtimeout virtual
+     * seconds pass, or shutdown. Returns true when work may be
+     * available.
+     */
+    bool waitForWork(double vtimeout);
+
+    /** Wake everything and refuse further submissions. */
+    void shutdown();
+
+    bool isShutdown() const;
+
+  private:
+    const VirtualClock &clock_;
+    AdmissionOptions options_;
+    std::vector<int64_t> share_; ///< per-tenant slot cap
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< queue became non-empty
+    std::condition_variable space_cv_; ///< slots freed
+    std::vector<std::deque<Request>> queues_;
+    int64_t total_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_ADMISSION_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-plan circuit breaker.
+ *
+ * A plan whose executions keep failing (poisoned cache entry,
+ * persistently faulty device path) must not keep soaking up retry
+ * budget: after failure_threshold consecutive failures the breaker
+ * opens and execution routes around the plan (deeper rung or fail
+ * fast) for open_duration virtual seconds. It then half-opens and
+ * admits a single probe — success closes it, failure re-opens it.
+ */
+#ifndef SCNN_SERVE_CIRCUIT_BREAKER_H
+#define SCNN_SERVE_CIRCUIT_BREAKER_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/plan_cache.h"
+
+namespace scnn {
+namespace serve {
+
+/** Breaker tuning. */
+struct BreakerOptions
+{
+    /** Consecutive failures that trip the breaker. */
+    int failure_threshold = 3;
+    /** Virtual seconds the breaker stays open before half-opening. */
+    double open_duration = 0.5;
+};
+
+enum class BreakerState
+{
+    Closed,
+    Open,
+    HalfOpen
+};
+
+const char *breakerStateName(BreakerState state);
+
+/** Breaker for one plan key. Thread-safe. */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(const BreakerOptions &options);
+
+    /**
+     * May an execution attempt proceed at time @p now? Half-open
+     * admits exactly one in-flight probe.
+     */
+    bool allow(double now);
+
+    void recordSuccess();
+
+    /** @returns true when this failure tripped the breaker open. */
+    bool recordFailure(double now);
+
+    BreakerState state(double now) const;
+
+  private:
+    BreakerOptions options_;
+    mutable std::mutex mu_;
+    int consecutive_failures_ = 0;
+    bool open_ = false;
+    bool probe_in_flight_ = false;
+    double open_until_ = 0.0;
+};
+
+/** Lazily-created breaker per plan key. */
+class BreakerRegistry
+{
+  public:
+    explicit BreakerRegistry(const BreakerOptions &options);
+
+    CircuitBreaker &of(const PlanKey &key);
+
+  private:
+    BreakerOptions options_;
+    std::mutex mu_;
+    std::unordered_map<PlanKey, std::unique_ptr<CircuitBreaker>,
+                       PlanKeyHash>
+        breakers_;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_CIRCUIT_BREAKER_H

@@ -1,0 +1,53 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+
+VirtualClock::VirtualClock(double time_scale)
+    : start_(std::chrono::steady_clock::now()),
+      time_scale_(time_scale)
+{
+    SCNN_CHECK(time_scale > 0.0, "time scale must be positive");
+}
+
+double
+VirtualClock::now() const
+{
+    const auto wall = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(wall).count() / time_scale_;
+}
+
+void
+VirtualClock::sleepFor(double vseconds) const
+{
+    if (vseconds <= 0.0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(vseconds * time_scale_));
+}
+
+bool
+VirtualClock::sleepFor(double vseconds,
+                       const std::atomic<bool> &cancel) const
+{
+    const double until = now() + vseconds;
+    // Slice so a cancellation (watchdog, shutdown) interrupts a long
+    // service sleep within ~1 wall millisecond.
+    const double slice = 1e-3 / time_scale_;
+    while (true) {
+        if (cancel.load(std::memory_order_relaxed))
+            return false;
+        const double remaining = until - now();
+        if (remaining <= 0.0)
+            return true;
+        sleepFor(std::min(remaining, slice));
+    }
+}
+
+} // namespace serve
+} // namespace scnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The engine's notion of time: a monotonic "virtual seconds" clock
+ * mapped onto wall time by a scale factor.
+ *
+ * Service times in the engine come from the stream simulator (a
+ * simulated P100 iteration is tens of milliseconds), so running a
+ * load test in real time would mostly sleep. With time_scale = 0.01
+ * one virtual second costs 10 wall milliseconds; every latency,
+ * deadline, and backoff in serve/ is expressed in virtual seconds
+ * and only the sleeps are scaled. time_scale = 1 serves in real
+ * time.
+ */
+#ifndef SCNN_SERVE_CLOCK_H
+#define SCNN_SERVE_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+
+namespace scnn {
+namespace serve {
+
+class VirtualClock
+{
+  public:
+    /** @p time_scale wall seconds per virtual second (> 0). */
+    explicit VirtualClock(double time_scale = 1.0);
+
+    /** Virtual seconds elapsed since construction. */
+    double now() const;
+
+    double timeScale() const { return time_scale_; }
+
+    /** Sleep @p vseconds of virtual time (uninterruptible). */
+    void sleepFor(double vseconds) const;
+
+    /**
+     * Sleep @p vseconds of virtual time in short slices, giving up
+     * early when @p cancel becomes true.
+     *
+     * @returns true when the full duration elapsed, false when
+     *          cancelled.
+     */
+    bool sleepFor(double vseconds,
+                  const std::atomic<bool> &cancel) const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    double time_scale_;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_CLOCK_H

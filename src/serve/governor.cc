@@ -1,0 +1,86 @@
+#include "serve/governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+
+MemoryGovernor::MemoryGovernor(const VirtualClock &clock,
+                               int64_t capacity)
+    : clock_(clock), capacity_(capacity)
+{
+    SCNN_REQUIRE(capacity > 0,
+                 "governor capacity must be positive");
+}
+
+bool
+MemoryGovernor::fitsLocked(int64_t bytes) const
+{
+    return bytes > 0 && reserved_ + bytes <= capacity_;
+}
+
+bool
+MemoryGovernor::tryReserve(int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fitsLocked(bytes))
+        return false;
+    reserved_ += bytes;
+    ++active_;
+    peak_active_ = std::max(peak_active_, active_);
+    return true;
+}
+
+bool
+MemoryGovernor::reserveFor(int64_t bytes, double vtimeout)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto wall = std::chrono::duration<double>(
+        std::max(vtimeout, 0.0) * clock_.timeScale());
+    if (!cv_.wait_for(lock, wall,
+                      [&] { return fitsLocked(bytes); }))
+        return false;
+    reserved_ += bytes;
+    ++active_;
+    peak_active_ = std::max(peak_active_, active_);
+    return true;
+}
+
+void
+MemoryGovernor::release(int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ -= bytes;
+    --active_;
+    SCNN_CHECK(reserved_ >= 0 && active_ >= 0,
+               "governor release without matching reserve");
+    cv_.notify_all();
+}
+
+int64_t
+MemoryGovernor::reserved() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reserved_;
+}
+
+double
+MemoryGovernor::utilization() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(reserved_) /
+           static_cast<double>(capacity_);
+}
+
+int64_t
+MemoryGovernor::peakConcurrent() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_active_;
+}
+
+} // namespace serve
+} // namespace scnn

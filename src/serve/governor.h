@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Device-memory admission governor: tracks the peak-memory
+ * reservations of in-flight batches against the device capacity.
+ *
+ * A batch may only execute while its plan's static peak fits in the
+ * unreserved capacity; under pressure, the engine first walks the
+ * tenant's degradation ladder to a deeper-split plan with a smaller
+ * peak, and only sheds when even the deepest rung cannot be
+ * reserved in time. Blocking reserves are bounded, so memory
+ * pressure turns into backpressure and then shedding, never a hang.
+ */
+#ifndef SCNN_SERVE_GOVERNOR_H
+#define SCNN_SERVE_GOVERNOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/clock.h"
+
+namespace scnn {
+namespace serve {
+
+class MemoryGovernor
+{
+  public:
+    MemoryGovernor(const VirtualClock &clock, int64_t capacity);
+
+    /** Reserve @p bytes now, or fail immediately. */
+    bool tryReserve(int64_t bytes);
+
+    /**
+     * Reserve @p bytes, waiting up to @p vtimeout virtual seconds
+     * for in-flight batches to release. Returns false on timeout.
+     */
+    bool reserveFor(int64_t bytes, double vtimeout);
+
+    void release(int64_t bytes);
+
+    int64_t reserved() const;
+    int64_t capacity() const { return capacity_; }
+    double utilization() const;
+
+    /** Peak concurrent reservation count observed (tenant metric). */
+    int64_t peakConcurrent() const;
+
+  private:
+    bool fitsLocked(int64_t bytes) const;
+
+    const VirtualClock &clock_;
+    int64_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    int64_t reserved_ = 0;
+    int64_t active_ = 0;
+    int64_t peak_active_ = 0;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_GOVERNOR_H

@@ -1,0 +1,150 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/faults.h"
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+namespace {
+
+/**
+ * Private hash streams for arrival generation, far away from the
+ * engine's kFaultStream* range so a shared seed never correlates
+ * client arrivals with injected faults.
+ */
+enum : uint64_t {
+    kArrivalStreamBase = 1000,
+    kThinningStreamBase = 2000,
+};
+
+double
+instantaneousRate(const LoadGenOptions &options, double t)
+{
+    if (!options.bursty)
+        return options.rate;
+    const double phase = std::fmod(t, 2.0 * options.burst_period);
+    return phase < options.burst_period
+               ? options.rate * options.burst_factor
+               : options.rate;
+}
+
+} // namespace
+
+std::vector<Arrival>
+generateArrivals(int tenants, const LoadGenOptions &options)
+{
+    SCNN_REQUIRE(tenants > 0, "need at least one tenant");
+    SCNN_REQUIRE(options.rate > 0.0, "arrival rate must be positive");
+    std::vector<Arrival> arrivals;
+    // Envelope rate for Lewis-Shedler thinning: generate a
+    // homogeneous process at the peak rate, then keep each point
+    // with probability rate(t) / envelope.
+    const double envelope =
+        options.rate *
+        (options.bursty ? std::max(options.burst_factor, 1.0) : 1.0);
+    for (int tenant = 0; tenant < tenants; ++tenant) {
+        double t = 0.0;
+        uint64_t index = 0;
+        while (true) {
+            const double u = faultUniform(
+                options.seed,
+                kArrivalStreamBase + static_cast<uint64_t>(tenant),
+                index);
+            t += -std::log1p(-u) / envelope;
+            if (t >= options.duration)
+                break;
+            if (options.bursty) {
+                const double keep = faultUniform(
+                    options.seed,
+                    kThinningStreamBase +
+                        static_cast<uint64_t>(tenant),
+                    index);
+                if (keep * envelope >
+                    instantaneousRate(options, t)) {
+                    ++index;
+                    continue;
+                }
+            }
+            arrivals.push_back({t, tenant});
+            ++index;
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return a.time != b.time ? a.time < b.time
+                                          : a.tenant < b.tenant;
+              });
+    return arrivals;
+}
+
+LoadGenerator::LoadGenerator(ServingEngine &engine,
+                             const LoadGenOptions &options)
+    : engine_(engine), options_(options),
+      outstanding_(engine.tenants().size())
+{
+}
+
+void
+LoadGenerator::onComplete(const Request &request, Outcome, double)
+{
+    if (!options_.closed_loop)
+        return;
+    if (request.tenant >= 0 &&
+        static_cast<size_t>(request.tenant) < outstanding_.size())
+        --outstanding_[static_cast<size_t>(request.tenant)];
+}
+
+void
+LoadGenerator::run()
+{
+    running_.store(true);
+    if (options_.closed_loop)
+        runClosedLoop();
+    else
+        runOpenLoop();
+    running_.store(false);
+}
+
+void
+LoadGenerator::runOpenLoop()
+{
+    const std::vector<Arrival> arrivals = generateArrivals(
+        static_cast<int>(engine_.tenants().size()), options_);
+    const VirtualClock &clock = engine_.clock();
+    const double t0 = clock.now();
+    for (const Arrival &a : arrivals) {
+        const double wait = t0 + a.time - clock.now();
+        if (wait > 0.0)
+            clock.sleepFor(wait);
+        engine_.submit(a.tenant);
+    }
+}
+
+void
+LoadGenerator::runClosedLoop()
+{
+    const VirtualClock &clock = engine_.clock();
+    const double t0 = clock.now();
+    const int tenants = static_cast<int>(engine_.tenants().size());
+    while (clock.now() - t0 < options_.duration) {
+        for (int t = 0; t < tenants; ++t) {
+            // Budget-capped top-up: a submit that sheds
+            // synchronously decrements outstanding_ re-entrantly,
+            // so an uncapped while-loop would spin hot here.
+            int budget = options_.concurrency;
+            auto &out = outstanding_[static_cast<size_t>(t)];
+            while (out.load() < options_.concurrency &&
+                   budget-- > 0) {
+                ++out;
+                engine_.submit(t);
+            }
+        }
+        clock.sleepFor(options_.refill_interval);
+    }
+}
+
+} // namespace serve
+} // namespace scnn

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic load generator for the serving engine.
+ *
+ * Two client models:
+ *  - open loop: per-tenant Poisson arrivals (optionally modulated by
+ *    a square-wave burst pattern) precomputed from the stateless
+ *    fault hash, so the same seed always produces the same arrival
+ *    schedule regardless of engine timing;
+ *  - closed loop: each tenant keeps a fixed number of requests
+ *    outstanding, resubmitting as outcomes arrive (backpressure
+ *    flows all the way to the client).
+ *
+ * Chaos mode lives in the engine's FaultPlan, not here: the load
+ * generator only decides WHEN requests arrive.
+ */
+#ifndef SCNN_SERVE_LOADGEN_H
+#define SCNN_SERVE_LOADGEN_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/request.h"
+
+namespace scnn {
+namespace serve {
+
+/** Load-generation knobs (all times in virtual seconds). */
+struct LoadGenOptions
+{
+    /** Submission window; drain happens after it closes. */
+    double duration = 2.0;
+    /** Mean open-loop arrivals per tenant per virtual second. */
+    double rate = 200.0;
+
+    bool closed_loop = false;
+    /** Outstanding requests per tenant in closed-loop mode. */
+    int concurrency = 4;
+    /** Closed-loop top-up cadence. */
+    double refill_interval = 0.002;
+
+    /** Square-wave rate modulation: on-phase rate *= burst_factor. */
+    bool bursty = false;
+    double burst_factor = 4.0;
+    /** Burst on-phase length; the off phase has the same length. */
+    double burst_period = 0.5;
+
+    uint64_t seed = 99;
+};
+
+/** One scheduled open-loop arrival. */
+struct Arrival
+{
+    double time = 0.0;
+    int tenant = -1;
+};
+
+/**
+ * Precompute the open-loop arrival schedule for @p tenants tenants:
+ * per-tenant Poisson processes (thinned against the burst square
+ * wave when options.bursty), merged and sorted by time. Pure
+ * function of (options, tenants) — deterministic across runs.
+ */
+std::vector<Arrival> generateArrivals(int tenants,
+                                      const LoadGenOptions &options);
+
+/**
+ * Drives one ServingEngine. Construct AFTER the engine, wire
+ * onComplete into the engine via setOnComplete BEFORE engine.start()
+ * (closed-loop mode needs the outcome feedback), then call run().
+ */
+class LoadGenerator
+{
+  public:
+    LoadGenerator(ServingEngine &engine,
+                  const LoadGenOptions &options);
+
+    /** Terminal-outcome feedback; safe from any engine thread. */
+    void onComplete(const Request &request, Outcome outcome,
+                    double latency);
+
+    /**
+     * Submit load for options.duration virtual seconds, then
+     * return. Does NOT drain the engine — the caller drains.
+     */
+    void run();
+
+  private:
+    void runOpenLoop();
+    void runClosedLoop();
+
+    ServingEngine &engine_;
+    LoadGenOptions options_;
+    std::atomic<bool> running_{false};
+    /** Closed loop: in-flight requests per tenant. */
+    std::vector<std::atomic<int>> outstanding_;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_LOADGEN_H

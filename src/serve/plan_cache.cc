@@ -1,0 +1,192 @@
+#include "serve/plan_cache.h"
+
+#include <exception>
+
+#include "util/logging.h"
+
+namespace scnn {
+namespace serve {
+
+std::string
+PlanKey::toString() const
+{
+    return model + "/b" + std::to_string(batch) + "/rung" +
+           std::to_string(rung);
+}
+
+size_t
+PlanKeyHash::operator()(const PlanKey &key) const
+{
+    size_t h = std::hash<std::string>{}(key.model);
+    auto mix = [&h](uint64_t v) {
+        // splitmix64-style avalanche, folded into the running hash.
+        v += 0x9e3779b97f4a7c15ULL;
+        v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+        h ^= static_cast<size_t>(v ^ (v >> 31)) + (h << 6) +
+             (h >> 2);
+    };
+    mix(static_cast<uint64_t>(key.batch));
+    mix(key.spec_digest);
+    mix(static_cast<uint64_t>(key.rung));
+    return h;
+}
+
+uint64_t
+deviceSpecDigest(const DeviceSpec &spec)
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    auto fold = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL; // FNV prime
+    };
+    auto foldDouble = [&](double d) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        fold(bits);
+    };
+    foldDouble(spec.peak_flops);
+    foldDouble(spec.mem_bandwidth);
+    foldDouble(spec.nvlink_bandwidth);
+    fold(static_cast<uint64_t>(spec.memory_capacity));
+    fold(static_cast<uint64_t>(spec.memory_streams));
+    foldDouble(spec.flops_efficiency);
+    foldDouble(spec.bandwidth_efficiency);
+    foldDouble(spec.launch_overhead);
+    foldDouble(spec.winograd_speedup);
+    return h;
+}
+
+PlanCache::PlanCache(PlanBuilder builder, size_t capacity,
+                     ServeStats *stats)
+    : builder_(std::move(builder)),
+      capacity_(std::max<size_t>(capacity, 1)), stats_(stats)
+{
+    SCNN_REQUIRE(builder_ != nullptr,
+                 "plan cache needs a builder function");
+}
+
+StatusOr<PlanPtr>
+PlanCache::get(const PlanKey &key)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = it->second;
+            if (entry->state == Entry::State::Loading) {
+                // Single flight: somebody is already planning this
+                // key; wait for their result instead of stampeding
+                // the planner.
+                if (stats_)
+                    ++stats_->single_flight_waits;
+                cv_.wait(lock, [&] {
+                    return entry->state != Entry::State::Loading;
+                });
+            } else if (stats_) {
+                ++stats_->cache_hits;
+            }
+            // A doomed entry was invalidated mid-build and is no
+            // longer in the map; serve its result without touching
+            // the LRU (it must not be re-cached).
+            if (!entry->doomed)
+                touchLocked(entry, key);
+            if (entry->state == Entry::State::Ready)
+                return entry->plan;
+            return entry->status;
+        }
+
+        if (stats_)
+            ++stats_->cache_misses;
+        entry = std::make_shared<Entry>();
+        entries_.emplace(key, entry);
+    }
+
+    // Build outside the lock — this is the expensive part.
+    StatusOr<PlanPtr> built = [&]() -> StatusOr<PlanPtr> {
+        try {
+            return builder_(key);
+        } catch (const std::exception &e) {
+            return internalError("plan builder threw for " +
+                                 key.toString() + ": " + e.what());
+        }
+    }();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    if (built.ok()) {
+        entry->state = Entry::State::Ready;
+        entry->plan = built.value();
+    } else {
+        entry->state = Entry::State::Failed;
+        entry->status = built.status();
+    }
+    if (entry->doomed) {
+        // invalidate() raced the build: hand the result to waiters
+        // but do not keep it cached.
+        entries_.erase(key);
+    } else {
+        touchLocked(entry, key);
+        evictLocked();
+    }
+    cv_.notify_all();
+    if (built.ok())
+        return entry->plan;
+    return entry->status;
+}
+
+void
+PlanCache::invalidate(const PlanKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    std::shared_ptr<Entry> entry = it->second;
+    if (entry->state == Entry::State::Loading) {
+        entry->doomed = true;
+        return;
+    }
+    if (entry->in_lru)
+        lru_.erase(entry->lru_pos);
+    entries_.erase(it);
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+void
+PlanCache::touchLocked(const std::shared_ptr<Entry> &entry,
+                       const PlanKey &key)
+{
+    if (entry->state == Entry::State::Loading)
+        return;
+    if (entry->in_lru)
+        lru_.erase(entry->lru_pos);
+    lru_.push_front(key);
+    entry->lru_pos = lru_.begin();
+    entry->in_lru = true;
+}
+
+void
+PlanCache::evictLocked()
+{
+    while (lru_.size() > capacity_) {
+        const PlanKey victim = lru_.back();
+        lru_.pop_back();
+        auto it = entries_.find(victim);
+        SCNN_CHECK(it != entries_.end(),
+                   "LRU list out of sync with entry map");
+        entries_.erase(it);
+        if (stats_)
+            ++stats_->cache_evictions;
+    }
+}
+
+} // namespace serve
+} // namespace scnn

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * LRU plan cache with single-flight population.
+ *
+ * HMMS planning (split transform + storage assignment + offload
+ * plan + static layout + timing simulation) costs orders of
+ * magnitude more than a cache lookup, so it must stay off the hot
+ * path: plans are cached keyed by (model, batch bucket, DeviceSpec
+ * digest, degradation rung). When several workers miss the same key
+ * concurrently, exactly one runs the planner and the rest block on
+ * the in-flight entry — a miss stampede never multiplies planner
+ * work. Build failures are cached too (they are deterministic for a
+ * fixed key), so a rung that cannot be built is probed once, not per
+ * batch; invalidate() clears an entry the circuit breaker declared
+ * poisoned.
+ */
+#ifndef SCNN_SERVE_PLAN_CACHE_H
+#define SCNN_SERVE_PLAN_CACHE_H
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/splitter.h"
+#include "graph/graph.h"
+#include "hmms/plan.h"
+#include "hmms/planner.h"
+#include "hmms/static_planner.h"
+#include "hmms/tso.h"
+#include "serve/stats.h"
+#include "sim/device.h"
+#include "sim/stream_sim.h"
+#include "util/status.h"
+
+namespace scnn {
+namespace serve {
+
+/** Cache key: one executable plan shape. */
+struct PlanKey
+{
+    std::string model;
+    int64_t batch = 1;
+    uint64_t spec_digest = 0;
+    /** Degradation rung (0 = undergraded plan). */
+    int rung = 0;
+
+    bool
+    operator==(const PlanKey &other) const
+    {
+        return model == other.model && batch == other.batch &&
+               spec_digest == other.spec_digest &&
+               rung == other.rung;
+    }
+
+    std::string toString() const;
+};
+
+struct PlanKeyHash
+{
+    size_t operator()(const PlanKey &key) const;
+};
+
+/** Digest of the DeviceSpec fields that affect planning. */
+uint64_t deviceSpecDigest(const DeviceSpec &spec);
+
+/** A fully planned, verified, simulated execution recipe. */
+struct CachedPlan
+{
+    Graph graph;
+    StorageAssignment assignment;
+    MemoryPlan plan;
+    StaticMemoryPlan memory;
+    PlannerConfig config;
+    bool split_applied = false;
+    SplitOptions split;
+    /** Peak device bytes the admission governor reserves. */
+    int64_t device_bytes = 0;
+    /** Fault-free simulated seconds one batch takes to execute. */
+    double batch_time = 0.0;
+};
+
+using PlanPtr = std::shared_ptr<const CachedPlan>;
+
+/**
+ * Builds the plan for a key. Runs outside the cache lock; thrown
+ * exceptions are converted to Internal statuses.
+ */
+using PlanBuilder = std::function<StatusOr<PlanPtr>(const PlanKey &)>;
+
+class PlanCache
+{
+  public:
+    /**
+     * @param capacity max resident entries (>= 1); least recently
+     *        used Ready/Failed entries are evicted, in-flight
+     *        builds never are.
+     * @param stats optional hit/miss/eviction/wait counters.
+     */
+    PlanCache(PlanBuilder builder, size_t capacity,
+              ServeStats *stats = nullptr);
+
+    /**
+     * Return the plan for @p key, building it (single-flight) on a
+     * miss. Concurrent misses of the same key run the builder once.
+     */
+    StatusOr<PlanPtr> get(const PlanKey &key);
+
+    /**
+     * Drop @p key so the next get() replans it (e.g. after the
+     * circuit breaker declared the entry poisoned). An in-flight
+     * build is left to finish; its waiters still get that result,
+     * but the completed entry is not cached.
+     */
+    void invalidate(const PlanKey &key);
+
+    /** Resident (Ready or Failed) entries. */
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        enum class State
+        {
+            Loading,
+            Ready,
+            Failed
+        };
+        State state = State::Loading;
+        PlanPtr plan;
+        Status status;
+        /** Set by invalidate() while the build is in flight. */
+        bool doomed = false;
+        std::list<PlanKey>::iterator lru_pos;
+        bool in_lru = false;
+    };
+
+    void touchLocked(const std::shared_ptr<Entry> &entry,
+                     const PlanKey &key);
+    void evictLocked();
+
+    PlanBuilder builder_;
+    size_t capacity_;
+    ServeStats *stats_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<PlanKey, std::shared_ptr<Entry>, PlanKeyHash>
+        entries_;
+    std::list<PlanKey> lru_; ///< most recent at front
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_PLAN_CACHE_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Core value types of the inference serving engine: tenants,
+ * requests, and terminal request outcomes.
+ *
+ * The accounting contract every component upholds: a submitted
+ * request reaches EXACTLY ONE terminal outcome. Nothing is ever
+ * silently dropped — a request that cannot be served is shed, a
+ * request whose deadline expires is cancelled and accounted
+ * DeadlineExceeded, a request whose batch dies is Failed with a
+ * diagnosable Status. ServeStats::accountingLeak() checks the
+ * invariant submitted == completed + shed + deadline_exceeded +
+ * failed; the chaos soak in CI asserts it is exactly zero.
+ */
+#ifndef SCNN_SERVE_REQUEST_H
+#define SCNN_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "models/models.h"
+#include "util/status.h"
+
+namespace scnn {
+namespace serve {
+
+/** Terminal state of a request. Every request reaches exactly one. */
+enum class Outcome
+{
+    Completed,        ///< executed and returned before the deadline
+    Shed,             ///< rejected by admission or memory pressure
+    DeadlineExceeded, ///< cancelled because its deadline expired
+    Failed,           ///< batch execution failed after retries
+};
+
+const char *outcomeName(Outcome outcome);
+
+/** One inference request flowing through the pipeline. */
+struct Request
+{
+    uint64_t id = 0;
+    int tenant = -1;
+    /** Engine-clock arrival time, virtual seconds. */
+    double arrival = 0.0;
+    /**
+     * Absolute engine-clock deadline (virtual seconds); infinity
+     * means the request never expires.
+     */
+    double deadline = std::numeric_limits<double>::infinity();
+
+    bool
+    expiredAt(double now) const
+    {
+        return now > deadline;
+    }
+};
+
+/** Static description of one tenant sharing the engine. */
+struct TenantProfile
+{
+    std::string name;
+    /** Model the tenant serves ("vgg19", "resnet18", ...). */
+    std::string model = "vgg19";
+    /** Model scale knobs (batch is overridden per bucket). */
+    ModelConfig config{.batch = 1, .image = 32, .width = 0.125};
+    /** Largest batch bucket the batcher may coalesce into. */
+    int64_t max_batch = 8;
+    /** Relative admission-queue share (>= 1). */
+    int weight = 1;
+    /** Default relative deadline (virtual seconds) for requests. */
+    double deadline = 0.25;
+};
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_REQUEST_H

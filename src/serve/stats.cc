@@ -1,0 +1,142 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace scnn {
+namespace serve {
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+    case Outcome::Completed:
+        return "completed";
+    case Outcome::Shed:
+        return "shed";
+    case Outcome::DeadlineExceeded:
+        return "deadline_exceeded";
+    case Outcome::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+void
+ServeStats::recordOutcome(int tenant, Outcome outcome)
+{
+    switch (outcome) {
+    case Outcome::Completed:
+        ++completed;
+        break;
+    case Outcome::Shed:
+        ++shed;
+        break;
+    case Outcome::DeadlineExceeded:
+        ++deadline_exceeded;
+        break;
+    case Outcome::Failed:
+        ++failed;
+        break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenant >= 0) {
+        if (per_tenant_.size() <= static_cast<size_t>(tenant))
+            per_tenant_.resize(static_cast<size_t>(tenant) + 1,
+                               {0, 0, 0, 0});
+        ++per_tenant_[static_cast<size_t>(tenant)]
+                     [static_cast<size_t>(outcome)];
+    }
+}
+
+std::vector<std::array<uint64_t, 4>>
+ServeStats::perTenant() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_tenant_;
+}
+
+void
+ServeStats::recordLatency(int tenant, double latency)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_samples_.emplace_back(tenant, latency);
+}
+
+std::vector<double>
+ServeStats::latencies(int tenant) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<double> out;
+    out.reserve(latency_samples_.size());
+    for (const auto &[t, latency] : latency_samples_)
+        if (tenant < 0 || t == tenant)
+            out.push_back(latency);
+    return out;
+}
+
+StatsSnapshot
+ServeStats::snapshot() const
+{
+    StatsSnapshot s;
+    s.submitted = submitted.load();
+    s.admitted = admitted.load();
+    s.completed = completed.load();
+    s.shed = shed.load();
+    s.deadline_exceeded = deadline_exceeded.load();
+    s.failed = failed.load();
+    s.batches = batches.load();
+    s.padded_slots = padded_slots.load();
+    s.retries = retries.load();
+    s.degraded_plans = degraded_plans.load();
+    s.breaker_trips = breaker_trips.load();
+    s.breaker_rejections = breaker_rejections.load();
+    s.watchdog_kills = watchdog_kills.load();
+    s.cache_hits = cache_hits.load();
+    s.cache_misses = cache_misses.load();
+    s.cache_evictions = cache_evictions.load();
+    s.single_flight_waits = single_flight_waits.load();
+    return s;
+}
+
+std::string
+StatsSnapshot::toString() const
+{
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "submitted %llu = completed %llu + shed %llu + "
+        "deadline_exceeded %llu + failed %llu (leak %lld); "
+        "batches %llu, retries %llu, degraded %llu, "
+        "breaker trips %llu, watchdog kills %llu",
+        static_cast<unsigned long long>(submitted),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(deadline_exceeded),
+        static_cast<unsigned long long>(failed),
+        static_cast<long long>(accountingLeak()),
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(degraded_plans),
+        static_cast<unsigned long long>(breaker_trips),
+        static_cast<unsigned long long>(watchdog_kills));
+    return line;
+}
+
+double
+percentile(const std::vector<double> &sorted_samples, double q)
+{
+    if (sorted_samples.empty())
+        return 0.0;
+    const double rank =
+        q * static_cast<double>(sorted_samples.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_samples[lo] +
+           frac * (sorted_samples[hi] - sorted_samples[lo]);
+}
+
+} // namespace serve
+} // namespace scnn

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lock-cheap serving counters and a latency recorder.
+ *
+ * Counters are atomics bumped on the hot path; snapshot() produces a
+ * consistent-enough copy for reporting (exact once the engine is
+ * drained, which is when the accounting identity is checked).
+ */
+#ifndef SCNN_SERVE_STATS_H
+#define SCNN_SERVE_STATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace scnn {
+namespace serve {
+
+/** Point-in-time copy of every counter (plain integers). */
+struct StatsSnapshot
+{
+    uint64_t submitted = 0;
+    uint64_t admitted = 0; ///< accepted into the queue
+    uint64_t completed = 0;
+    uint64_t shed = 0; ///< admission + memory-pressure rejections
+    uint64_t deadline_exceeded = 0;
+    uint64_t failed = 0;
+
+    uint64_t batches = 0;
+    uint64_t padded_slots = 0; ///< bucket slots filled with padding
+    uint64_t retries = 0;      ///< failed execution attempts retried
+    uint64_t degraded_plans = 0; ///< batches served on a rung > 0
+    uint64_t breaker_trips = 0;
+    uint64_t breaker_rejections = 0;
+    uint64_t watchdog_kills = 0;
+
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t single_flight_waits = 0;
+
+    /**
+     * submitted - (completed + shed + deadline_exceeded + failed).
+     * Zero once the engine has drained; anything else means a
+     * request leaked out of the accounting.
+     */
+    int64_t
+    accountingLeak() const
+    {
+        return static_cast<int64_t>(submitted) -
+               static_cast<int64_t>(completed + shed +
+                                    deadline_exceeded + failed);
+    }
+
+    std::string toString() const;
+};
+
+/** Shared mutable counters; every pipeline stage holds a pointer. */
+class ServeStats
+{
+  public:
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> failed{0};
+
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> padded_slots{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> degraded_plans{0};
+    std::atomic<uint64_t> breaker_trips{0};
+    std::atomic<uint64_t> breaker_rejections{0};
+    std::atomic<uint64_t> watchdog_kills{0};
+
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> cache_evictions{0};
+    std::atomic<uint64_t> single_flight_waits{0};
+
+    /**
+     * The single accounting entry point: bump the global counter of
+     * @p outcome and the tenant's per-outcome tally. Every request
+     * must pass through here exactly once.
+     */
+    void recordOutcome(int tenant, Outcome outcome);
+
+    /** Record a completed request's latency (virtual seconds). */
+    void recordLatency(int tenant, double latency);
+
+    /** All recorded latencies of @p tenant (-1 = every tenant). */
+    std::vector<double> latencies(int tenant = -1) const;
+
+    /** Per-tenant outcome counts, indexed by Outcome. */
+    std::vector<std::array<uint64_t, 4>> perTenant() const;
+
+    StatsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<int, double>> latency_samples_;
+    std::vector<std::array<uint64_t, 4>> per_tenant_;
+};
+
+/**
+ * Percentile over @p sorted_samples with nearest-rank interpolation;
+ * q in [0, 1]. Returns 0 for an empty sample set.
+ */
+double percentile(const std::vector<double> &sorted_samples, double q);
+
+} // namespace serve
+} // namespace scnn
+
+#endif // SCNN_SERVE_STATS_H

@@ -45,6 +45,8 @@ FaultPlan::validate() const
             "transfer_failure_rate must lie in [0, 1]");
     if (!inUnit(link_drop_rate))
         return invalidArgument("link_drop_rate must lie in [0, 1]");
+    if (!inUnit(serve_hang_rate))
+        return invalidArgument("serve_hang_rate must lie in [0, 1]");
     if (max_transfer_retries < 0)
         return invalidArgument(
             "max_transfer_retries must be non-negative");

@@ -53,6 +53,7 @@ enum : uint64_t {
     kFaultStreamTransfer = 1,
     kFaultStreamKernel = 2,
     kFaultStreamRing = 3,
+    kFaultStreamServe = 4, ///< serving-engine batch execution faults
 };
 
 /** Declarative fault schedule. Default-constructed plan is empty. */
@@ -79,6 +80,13 @@ struct FaultPlan
     // --- distributed ---
     /** Probability that a ring step's transfer drops (per attempt). */
     double link_drop_rate = 0.0;
+
+    // --- serving engine (serve/) ---
+    /**
+     * Probability that a served batch execution hangs until the
+     * engine's watchdog kills it (consumed by serve/engine).
+     */
+    double serve_hang_rate = 0.0;
 
     /** True if any field can change stream-simulator behaviour. */
     bool affectsSim() const;

@@ -210,8 +210,11 @@ trainModel(const Graph &base, const TrainConfig &config,
             std::string entry = "epoch " + std::to_string(epoch) +
                                 ": injected crash; ";
             if (have_checkpoint) {
-                const Status s = loadParams(params, base,
-                                            config.checkpoint_path);
+                const Status s =
+                    loadParams(params, base, config.checkpoint_path)
+                        .withContext("epoch " +
+                                     std::to_string(epoch) +
+                                     " restore");
                 entry += s.ok()
                              ? "restored parameters from last "
                                "checkpoint"
@@ -224,7 +227,9 @@ trainModel(const Graph &base, const TrainConfig &config,
             SCNN_LOG_DEBUG << entry;
         } else if (!config.checkpoint_path.empty()) {
             const Status s =
-                saveParams(params, base, config.checkpoint_path);
+                saveParams(params, base, config.checkpoint_path)
+                    .withContext("epoch " + std::to_string(epoch) +
+                                 " checkpoint");
             if (s.ok()) {
                 have_checkpoint = true;
             } else {

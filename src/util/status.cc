@@ -22,6 +22,10 @@ statusCodeName(StatusCode code)
         return "IoError";
     case StatusCode::Internal:
         return "Internal";
+    case StatusCode::DeadlineExceeded:
+        return "DeadlineExceeded";
+    case StatusCode::Unavailable:
+        return "Unavailable";
     }
     return "Unknown";
 }
@@ -79,6 +83,18 @@ Status
 internalError(std::string message)
 {
     return Status(StatusCode::Internal, std::move(message));
+}
+
+Status
+deadlineExceededError(std::string message)
+{
+    return Status(StatusCode::DeadlineExceeded, std::move(message));
+}
+
+Status
+unavailable(std::string message)
+{
+    return Status(StatusCode::Unavailable, std::move(message));
 }
 
 } // namespace scnn

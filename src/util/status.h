@@ -29,6 +29,8 @@ enum class StatusCode {
     FailedPrecondition, ///< inputs are individually valid but disagree
     IoError,            ///< the operating system refused an I/O call
     Internal,           ///< unclassified failure
+    DeadlineExceeded,   ///< the request's deadline expired first
+    Unavailable,        ///< transient failure; retrying may succeed
 };
 
 /** Human-readable name of @p code ("InvalidArgument", ...). */
@@ -54,6 +56,22 @@ class Status
     /** "InvalidArgument: offload cap must lie in [0, 1]" (or "Ok"). */
     std::string toString() const;
 
+    /**
+     * Prefix an error's message with where it happened, keeping the
+     * code: s.withContext("loading 'ckpt.bin'") turns
+     * "DataLoss: truncated" into "DataLoss: loading 'ckpt.bin':
+     * truncated". An Ok status passes through untouched, so the call
+     * composes with SCNN_RETURN_IF_ERROR.
+     */
+    Status withContext(const std::string &context) const
+    {
+        if (ok())
+            return *this;
+        return Status(code_, message_.empty()
+                                 ? context
+                                 : context + ": " + message_);
+    }
+
   private:
     StatusCode code_ = StatusCode::Ok;
     std::string message_;
@@ -66,6 +84,8 @@ Status resourceExhausted(std::string message);
 Status failedPrecondition(std::string message);
 Status ioError(std::string message);
 Status internalError(std::string message);
+Status deadlineExceededError(std::string message);
+Status unavailable(std::string message);
 
 /**
  * Either a T or the Status explaining why there is no T.

@@ -5,10 +5,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <system_error>
+#include <vector>
 
 #include "core/splitter.h"
 #include "hmms/plan_report.h"
@@ -248,6 +250,79 @@ TEST(PlanReport, HmmsSpansExceedLayerWiseSpans)
                                    assignment).value());
     EXPECT_EQ(lw.max_offload_span, 0);
     EXPECT_GT(hm.max_offload_span, 0);
+}
+
+TEST(Checkpoint, TruncationAtAnyOffsetFailsCleanly)
+{
+    // A checkpoint cut off at any byte — header, count, payload, or
+    // CRC footer — must load as a clean DataLoss without touching a
+    // single parameter (the staged-load contract the trainer's
+    // crash recovery depends on).
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(5);
+    ParamStore saved(g, rng);
+    const std::string path = tempPath("ckpt_trunc_src.bin");
+    ASSERT_TRUE(saveParams(saved, g, path).ok());
+
+    std::error_code ec;
+    const auto full_size = std::filesystem::file_size(path, ec);
+    ASSERT_FALSE(ec);
+    ASSERT_GT(full_size, 16u);
+
+    // Offsets spanning every file region: zero-length, mid-magic,
+    // exactly the magic, mid-count, mid-payload (several points),
+    // and one byte short of complete (inside the CRC footer).
+    const std::vector<uintmax_t> offsets = {
+        0,  3,  8, 12, 16, full_size / 4,
+        full_size / 2, full_size - 5, full_size - 1};
+    for (const uintmax_t offset : offsets) {
+        const std::string cut =
+            tempPath("ckpt_trunc_cut.bin");
+        std::filesystem::copy_file(
+            path, cut,
+            std::filesystem::copy_options::overwrite_existing);
+        std::filesystem::resize_file(cut, offset, ec);
+        ASSERT_FALSE(ec) << "offset " << offset;
+
+        Rng rng2(77);
+        ParamStore loaded(g, rng2);
+        Rng rng3(77);
+        const ParamStore untouched(g, rng3);
+
+        const Status s = loadParams(loaded, g, cut);
+        ASSERT_FALSE(s.ok()) << "offset " << offset;
+        EXPECT_EQ(s.code(), StatusCode::DataLoss)
+            << "offset " << offset << ": " << s.toString();
+        // Staged load: a failed restore leaves the store bitwise
+        // untouched at every truncation point.
+        for (ParamId p = 0;
+             p < static_cast<ParamId>(loaded.size()); ++p)
+            ASSERT_TRUE(allClose(loaded.value(p),
+                                 untouched.value(p), 0.0f))
+                << "offset " << offset << " param " << p;
+        std::remove(cut.c_str());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadErrorsCarryContext)
+{
+    // Status::withContext is how callers attach where-it-happened
+    // breadcrumbs; the composed message keeps both halves.
+    Graph g = buildVgg19({.batch = 1, .image = 32, .width = 0.125});
+    Rng rng(5);
+    ParamStore store(g, rng);
+    const Status s =
+        loadParams(store, g, tempPath("ckpt_missing.bin"))
+            .withContext("epoch 3 restore");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_NE(s.toString().find("epoch 3 restore"),
+              std::string::npos);
+    EXPECT_NE(s.toString().find("ckpt_missing.bin"),
+              std::string::npos);
+    // Context on an OK status is a no-op.
+    EXPECT_TRUE(Status().withContext("ignored").ok());
 }
 
 } // namespace

@@ -14,8 +14,10 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <set>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "data/synthetic.h"
 #include "dist/ring_allreduce.h"
 #include "hmms/degradation.h"
@@ -547,6 +549,73 @@ TEST(TrainerFaults, RunsAreReproducibleUnderFaults)
         EXPECT_EQ(a.epochs[i].test_error, b.epochs[i].test_error);
     }
     std::remove(cfg.checkpoint_path.c_str());
+}
+
+TEST(Degradation, ExhaustedChainNeverRevisitsARung)
+{
+    const Graph g = smallVgg();
+    DeviceSpec spec;
+    spec.memory_capacity = 1; // nothing can fit: full ladder walk
+    DegradationReport report;
+    auto result = planWithDegradation(
+        g, spec, {PlannerKind::Hmms, 0.5, {}}, &report);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_FALSE(report.success);
+    // The exhaustion Status names the capacity and attempt count so
+    // the failure is diagnosable from the log line alone.
+    EXPECT_NE(result.status().toString().find("attempts"),
+              std::string::npos);
+
+    // Termination proof: the walk visits each rung configuration at
+    // most once — no (action, planner, cap, geometry) repeats.
+    std::set<std::string> seen;
+    for (const DegradationAttempt &a : report.attempts) {
+        char key[128];
+        std::snprintf(key, sizeof(key), "%s|%s|%.4f|%d|%.2f@%dx%d",
+                      a.action.c_str(), plannerKindName(a.kind),
+                      a.offload_cap, a.split ? 1 : 0,
+                      a.split_options.depth,
+                      a.split_options.splits_h,
+                      a.split_options.splits_w);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "rung revisited: " << key;
+    }
+}
+
+TEST(Degradation, EveryEmittedRungRebuildsLintClean)
+{
+    // Rebuild the exact plan of every rung the chain walked and run
+    // the static analyzer over it: the degradation ladder must never
+    // emit (or even consider) an ill-formed plan, not just the one
+    // rung it finally accepts.
+    const Graph g = smallVgg();
+    DeviceSpec spec;
+    spec.memory_capacity = 1; // force the complete walk
+    DegradationReport report;
+    ASSERT_FALSE(planWithDegradation(g, spec,
+                                     {PlannerKind::Hmms, 0.5, {}},
+                                     &report)
+                     .ok());
+    ASSERT_GE(report.attempts.size(), 4u);
+    for (const DegradationAttempt &a : report.attempts) {
+        Graph built =
+            a.split ? splitCnnTransform(g, a.split_options) : g;
+        auto assignment = assignStorage(built, built.topoOrder());
+        auto plan = planMemory(built, spec,
+                               {a.kind, a.offload_cap, {}},
+                               assignment);
+        ASSERT_TRUE(plan.ok()) << a.action << ": "
+                               << plan.status().toString();
+        const StaticMemoryPlan mem =
+            planStaticMemory(built, assignment, plan.value());
+        const auto diags = analyzePlan(built, assignment,
+                                       plan.value(), mem, {});
+        EXPECT_EQ(countBySeverity(diags, DiagSeverity::Error), 0)
+            << "rung '" << a.action << "' fails lint:\n"
+            << renderDiagnosticsText(diags);
+    }
 }
 
 } // namespace

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over bench_kernels output.
+"""Perf/robustness gate over the benchmark JSON reports.
 
-Reads a freshly generated BENCH_kernels.json and fails (exit 1) when
-the fused split-conv numbers regress past the thresholds below. Also
-prints a side-by-side diff against the committed baseline JSON so a
-regression is diagnosable from the CI log alone.
+Auto-detects the report flavour:
+ - bench_kernels output (key "split_conv_summary"): fails when the
+   fused split-conv numbers regress past the thresholds below;
+ - bench_serving output (key "scenarios"): fails when the request
+   accounting leaks, percentiles are malformed, the chaos scenario
+   exercised none of the fault machinery, or the degradation
+   ablation does not serve strictly more concurrent tenants with
+   the Split-CNN ladder enabled than disabled.
+
+Also prints a side-by-side diff against the committed baseline JSON
+so a regression is diagnosable from the CI log alone.
 
 Usage:
     check_bench.py <fresh.json> [<baseline.json>]
 
 Thread-scaling checks are skipped when the reporting machine has
 fewer than 4 hardware threads (the speedup is then physically
-unmeasurable); the overhead-ratio checks always run.
+unmeasurable); the overhead-ratio checks always run. Serving checks
+deliberately avoid gating on throughput or completion ratios — those
+depend on the CI machine — and gate only on machine-independent
+invariants.
 """
 import json
 import sys
@@ -42,6 +52,81 @@ def fail(msg):
     return 1
 
 
+def check_serving(fresh, baseline):
+    """Gate the bench_serving report on machine-independent invariants."""
+    rc = 0
+    scenarios = fresh.get("scenarios", {})
+    if not scenarios:
+        return fail("no scenarios in serving report")
+
+    if baseline is not None:
+        print("\nsummary (fresh vs committed baseline):")
+        base = baseline.get("scenarios", {})
+        for name, s in scenarios.items():
+            b = base.get(name, {})
+            print(f"  {name}: completed {s['completed']} "
+                  f"(baseline {b.get('completed', '?')}), "
+                  f"p99 {s['p99']:.4f} (baseline {b.get('p99', '?')}), "
+                  f"shed {s['shed']} (baseline {b.get('shed', '?')})")
+
+    for name, s in scenarios.items():
+        # Conservation identity: every submitted request reached
+        # exactly one terminal outcome. This must hold on any machine.
+        leak = s["accounting_leak"]
+        terminal = (s["completed"] + s["shed"] +
+                    s["deadline_exceeded"] + s["failed"])
+        if leak != 0 or terminal != s["submitted"]:
+            rc |= fail(f"{name}: accounting leak {leak} "
+                       f"(submitted {s['submitted']}, terminal {terminal})")
+        else:
+            print(f"ok: {name} accounting exact "
+                  f"({s['submitted']} requests)")
+        if s["completed"] > 0:
+            if not (0 <= s["p50"] <= s["p99"] <= s["p999"]):
+                rc |= fail(f"{name}: malformed percentiles "
+                           f"p50 {s['p50']} p99 {s['p99']} "
+                           f"p999 {s['p999']}")
+            if s["goodput"] <= 0:
+                rc |= fail(f"{name}: completed requests but "
+                           f"goodput {s['goodput']}")
+
+    chaos = next((s for n, s in scenarios.items() if "chaos" in n),
+                 None)
+    if chaos is None:
+        rc |= fail("no chaos scenario in serving report")
+    elif (chaos["retries"] + chaos["watchdog_kills"] +
+          chaos["failed"]) == 0:
+        rc |= fail("chaos scenario exercised no fault machinery "
+                   "(no retries, watchdog kills, or failures)")
+    else:
+        print(f"ok: chaos exercised faults (retries "
+              f"{chaos['retries']}, watchdog kills "
+              f"{chaos['watchdog_kills']}, failed {chaos['failed']})")
+
+    abl = fresh.get("degradation_ablation")
+    if abl is None:
+        return rc | fail("no degradation_ablation in serving report")
+    on, off = abl["enabled"], abl["disabled"]
+    for side, s in (("enabled", on), ("disabled", off)):
+        if s["accounting_leak"] != 0:
+            rc |= fail(f"ablation {side}: accounting leak "
+                       f"{s['accounting_leak']}")
+    # The Split-CNN serving-capacity lever: under memory pressure the
+    # ladder must buy strictly more concurrent tenant reservations.
+    if on["peak_concurrent"] <= off["peak_concurrent"]:
+        rc |= fail(f"degradation enabled peak_concurrent "
+                   f"{on['peak_concurrent']} <= disabled "
+                   f"{off['peak_concurrent']}")
+    else:
+        print(f"ok: degradation peak_concurrent "
+              f"{on['peak_concurrent']} > {off['peak_concurrent']} "
+              f"(degraded batches: {on['degraded_plans']})")
+    if on["degraded_plans"] == 0:
+        rc |= fail("ablation served no degraded plans with the "
+                   "ladder enabled")
+    return rc
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
@@ -55,6 +140,10 @@ def main():
             print(f"note: no baseline at {sys.argv[2]}")
 
     hw = int(fresh.get("hardware_threads", 0))
+    if "scenarios" in fresh:
+        print(f"serving report: {hw} hardware threads, time scale "
+              f"{fresh.get('time_scale', '?')}")
+        return check_serving(fresh, baseline)
     print(f"machine: {hw} hardware threads, "
           f"simd kernel {fresh.get('simd_kernel', '?')}")
 

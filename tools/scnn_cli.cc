@@ -21,6 +21,17 @@
  *   scnn train    [--epochs N] [--samples N] [--mode base|scnn|sscnn]
  *                 [--depth D] [--grid HxW]
  *       Small CPU training run on the synthetic dataset.
+ *   scnn serve    [--tenants N] [--workers N] [--duration N]
+ *                 [--closed] [--chaos] [--squeeze] [--no-degrade]
+ *                 [--util F] [--seed N] [--json]
+ *       Run the overload-hardened serving engine under generated
+ *       load for N batch-times (default 300) and print the request
+ *       accounting. --chaos injects hangs/failures, --squeeze
+ *       shrinks device capacity below two unsplit plans (exercises
+ *       the Split-CNN degradation ladder), --closed switches to
+ *       closed-loop clients. Exits 1 when the accounting identity
+ *       submitted == completed + shed + deadline_exceeded + failed
+ *       is violated (the CI chaos soak gates on this).
  *
  * Models: alexnet, vgg19, resnet18, resnet50.
  *
@@ -28,6 +39,7 @@
  * engine's thread pool (default 1, or the SCNN_THREADS environment
  * variable). Results are bitwise-identical for any thread count.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +56,8 @@
 #include "hmms/residency_checker.h"
 #include "hmms/static_planner.h"
 #include "models/models.h"
+#include "serve/engine.h"
+#include "serve/loadgen.h"
 #include "sim/profile.h"
 #include "sim/stream_sim.h"
 #include "train/trainer.h"
@@ -274,10 +288,129 @@ cmdTrain(const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    using namespace serve;
+    const int tenants_n =
+        static_cast<int>(args.flagInt("tenants", 3));
+    SCNN_REQUIRE(tenants_n >= 1, "--tenants must be >= 1");
+
+    EngineOptions eopt;
+    eopt.workers = static_cast<int>(args.flagInt("workers", 3));
+    eopt.enable_degradation = !args.has("no-degrade");
+    eopt.seed = static_cast<uint64_t>(args.flagInt("seed", 1));
+    if (args.has("chaos")) {
+        eopt.faults.transfer_failure_rate = 0.10;
+        eopt.faults.serve_hang_rate = 0.02;
+        eopt.faults.kernel_jitter = 0.20;
+    }
+
+    std::vector<TenantProfile> tenants;
+    for (int i = 0; i < tenants_n; ++i) {
+        TenantProfile t;
+        t.name = "tenant" + std::to_string(i);
+        t.config = {.batch = 1, .image = 32, .width = 0.125};
+        tenants.push_back(t);
+    }
+
+    // Calibrate the run off the simulated batch time, exactly like
+    // bench/bench_serving.cc (see there for the rationale).
+    auto probe =
+        buildServingPlan(tenants[0], tenants[0].max_batch,
+                         eopt.device, /*rung=*/0);
+    SCNN_REQUIRE(probe.ok(), probe.status().toString());
+    const double batch_time = probe.value()->batch_time;
+    const int64_t unsplit_bytes = probe.value()->device_bytes;
+    eopt.time_scale = 2.5e-3 / batch_time;
+    eopt.batcher.max_linger = 3.0 * batch_time;
+    eopt.memory_reserve_timeout = 10.0 * batch_time;
+    eopt.retry_backoff = batch_time;
+    eopt.watchdog_interval = 5.0 * batch_time;
+    for (TenantProfile &t : tenants)
+        t.deadline = 50.0 * batch_time;
+    if (args.has("squeeze")) {
+        // Below two unsplit plans: concurrency requires the ladder.
+        eopt.device.memory_capacity =
+            static_cast<int64_t>(1.6 * unsplit_bytes);
+    }
+
+    LoadGenOptions lopt;
+    lopt.duration = args.flagDouble("duration", 300.0) * batch_time;
+    lopt.rate = args.flagDouble("util", 0.5) * eopt.workers *
+                static_cast<double>(tenants[0].max_batch) /
+                (batch_time * tenants_n);
+    lopt.closed_loop = args.has("closed");
+    lopt.refill_interval = batch_time;
+    lopt.seed = eopt.seed + 90;
+
+    ServingEngine engine(tenants, eopt);
+    LoadGenerator gen(engine, lopt);
+    engine.setOnComplete(
+        [&gen](const Request &r, Outcome o, double latency) {
+            gen.onComplete(r, o, latency);
+        });
+    const Status started = engine.start();
+    SCNN_REQUIRE(started.ok(), started.toString());
+    gen.run();
+    engine.drain();
+
+    const StatsSnapshot s = engine.snapshot();
+    std::vector<double> lat = engine.stats().latencies();
+    std::sort(lat.begin(), lat.end());
+    if (args.has("json")) {
+        std::printf(
+            "{\"submitted\": %llu, \"completed\": %llu, "
+            "\"shed\": %llu, \"deadline_exceeded\": %llu, "
+            "\"failed\": %llu, \"accounting_leak\": %lld,\n"
+            " \"p50\": %.6f, \"p99\": %.6f, \"p999\": %.6f,\n"
+            " \"retries\": %llu, \"degraded_plans\": %llu, "
+            "\"breaker_trips\": %llu, \"watchdog_kills\": %llu, "
+            "\"peak_concurrent\": %lld}\n",
+            static_cast<unsigned long long>(s.submitted),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.deadline_exceeded),
+            static_cast<unsigned long long>(s.failed),
+            static_cast<long long>(s.accountingLeak()),
+            percentile(lat, 0.50), percentile(lat, 0.99),
+            percentile(lat, 0.999),
+            static_cast<unsigned long long>(s.retries),
+            static_cast<unsigned long long>(s.degraded_plans),
+            static_cast<unsigned long long>(s.breaker_trips),
+            static_cast<unsigned long long>(s.watchdog_kills),
+            static_cast<long long>(
+                engine.governor().peakConcurrent()));
+    } else {
+        std::printf("%s\n", s.toString().c_str());
+        std::printf("p50/p99/p999 %.4f/%.4f/%.4f vs; degraded "
+                    "batches %llu, breaker trips %llu, watchdog "
+                    "kills %llu, peak concurrent %lld\n",
+                    percentile(lat, 0.50), percentile(lat, 0.99),
+                    percentile(lat, 0.999),
+                    static_cast<unsigned long long>(
+                        s.degraded_plans),
+                    static_cast<unsigned long long>(
+                        s.breaker_trips),
+                    static_cast<unsigned long long>(
+                        s.watchdog_kills),
+                    static_cast<long long>(
+                        engine.governor().peakConcurrent()));
+    }
+    if (s.accountingLeak() != 0) {
+        std::fprintf(stderr,
+                     "ACCOUNTING LEAK: %lld requests unaccounted\n",
+                     static_cast<long long>(s.accountingLeak()));
+        return 1;
+    }
+    return 0;
+}
+
+int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: scnn <profile|plan|lint|maxbatch|dot|train> "
+                 "usage: scnn "
+                 "<profile|plan|lint|maxbatch|dot|train|serve> "
                  "<model> [flags]\nsee the header of "
                  "tools/scnn_cli.cc for the full flag list\n");
     return 2;
@@ -310,6 +443,8 @@ main(int argc, char **argv)
             return cmdDot(args);
         if (cmd == "train")
             return cmdTrain(args);
+        if (cmd == "serve")
+            return cmdServe(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -28,6 +28,8 @@
 #include "kernels/conv2d.h"
 #include "kernels/gemm.h"
 #include "kernels/microkernel.h"
+#include "kernels/pool2d.h"
+#include "kernels/winograd.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
@@ -174,12 +176,83 @@ main(int argc, char **argv)
     }
     setGlobalThreads(1);
 
-    auto findSplit = [&](int depth, int threads) -> const SplitResult & {
-        for (const auto &r : splits)
+    // --- Winograd vs im2col inside the fused split path ---------------
+    // 64-channel layer (vgg19 conv4 @ 1/8 width), 2x2 split, 1
+    // thread, kernel choice pinned on each side. 64 channels is past
+    // the cost-model crossover (c ~ 43), so auto-dispatch picks
+    // Winograd here and winograd_speedup is the factor it banks; the
+    // 16-channel conv2d_forward layer above stays on im2col.
+    double wino_ms = 0.0, wino_im2col_ms = 0.0;
+    {
+        Rng wrng(3);
+        Tensor wx(Shape{1, 64, 56, 56});
+        Tensor ww(Shape{64, 64, 3, 3});
+        wx.fillNormal(wrng, 0.0f, 1.0f);
+        ww.fillNormal(wrng, 0.0f, 0.1f);
+        const auto scheme = splitWindowOp2d(
+            cwin, 56, 56, evenOutputSplit(cwin.outH(56), 2),
+            evenOutputSplit(cwin.outW(56), 2));
+        wino_im2col_ms = timeIt(
+                             [&] {
+                                 Tensor out = splitConv2dForwardFused(
+                                     wx, ww, Tensor(), cwin, scheme,
+                                     false);
+                             },
+                             11) *
+                         1e3;
+        wino_ms = timeIt(
+                      [&] {
+                          Tensor out = splitConv2dForwardFused(
+                              wx, ww, Tensor(), cwin, scheme, true);
+                      },
+                      11) *
+                  1e3;
+    }
+
+    // --- fused split pooling: depth x thread sweep --------------------
+    // 3x3 stride-2 max pool over the conv input; overhead ratio is
+    // fused split pool / unsplit pool at the same thread count.
+    const Window2d pwin = Window2d::square(3, 2, 1);
+    std::vector<SplitResult> pool_splits;
+    for (int depth : depths) {
+        const auto scheme = splitWindowOp2d(
+            pwin, 56, 56, evenOutputSplit(pwin.outH(56), depth),
+            evenOutputSplit(pwin.outW(56), depth));
+        for (int threads : thread_counts) {
+            setGlobalThreads(threads);
+            SplitResult r;
+            r.depth = depth;
+            r.threads = threads;
+            r.split_ms = timeIt(
+                             [&] {
+                                 Tensor out = splitMaxPool2dForward(
+                                     cx, pwin, scheme);
+                             },
+                             11) *
+                         1e3;
+            r.unsplit_ms = timeIt(
+                               [&] {
+                                   std::vector<int64_t> argmax;
+                                   Tensor out = maxPool2dForward(
+                                       cx, pwin, argmax);
+                               },
+                               11) *
+                           1e3;
+            pool_splits.push_back(r);
+        }
+    }
+    setGlobalThreads(1);
+
+    auto findIn = [](const std::vector<SplitResult> &v, int depth,
+                     int threads) -> const SplitResult & {
+        for (const auto &r : v)
             if (r.depth == depth && r.threads == threads)
                 return r;
         std::fprintf(stderr, "missing measurement\n");
         std::abort();
+    };
+    auto findSplit = [&](int depth, int threads) -> const SplitResult & {
+        return findIn(splits, depth, threads);
     };
 
     // --- report -------------------------------------------------------
@@ -236,6 +309,38 @@ main(int argc, char **argv)
             t1.split_ms / t4.split_ms,
             i + 1 < std::size(depths) ? "," : "");
     }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"winograd\": {\"workload\": \"1x64x56x56 * "
+                 "64x64x3x3, 2x2 split, 1 thread\", \"im2col_ms\": "
+                 "%.3f, \"winograd_ms\": %.3f, \"winograd_speedup\": "
+                 "%.3f},\n",
+                 wino_im2col_ms, wino_ms, wino_im2col_ms / wino_ms);
+    std::fprintf(f, "  \"split_pool\": [\n");
+    for (size_t i = 0; i < pool_splits.size(); ++i) {
+        const auto &r = pool_splits[i];
+        std::fprintf(
+            f,
+            "    {\"split\": \"%dx%d\", \"threads\": %d, "
+            "\"split_ms\": %.3f, \"unsplit_ms\": %.3f, "
+            "\"split_pool_overhead_ratio\": %.3f}%s\n",
+            r.depth, r.depth, r.threads, r.split_ms, r.unsplit_ms,
+            r.overheadRatio(), i + 1 < pool_splits.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"split_pool_summary\": {\n");
+    for (size_t i = 0; i < std::size(depths); ++i) {
+        const int depth = depths[i];
+        const SplitResult &t1 = findIn(pool_splits, depth, 1);
+        const SplitResult &t4 = findIn(pool_splits, depth, 4);
+        std::fprintf(
+            f,
+            "    \"%dx%d\": {\"split_pool_overhead_ratio_1t\": %.3f, "
+            "\"speedup_4t\": %.2f}%s\n",
+            depth, depth, t1.overheadRatio(),
+            t1.split_ms / t4.split_ms,
+            i + 1 < std::size(depths) ? "," : "");
+    }
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -253,6 +358,14 @@ main(int argc, char **argv)
     for (const auto &r : splits)
         std::printf("split %dx%d @ %dt: split %.3f ms, unsplit %.3f "
                     "ms, overhead %.2fx\n",
+                    r.depth, r.depth, r.threads, r.split_ms,
+                    r.unsplit_ms, r.overheadRatio());
+    std::printf("winograd (2x2 split, 1t): im2col %.3f ms, winograd "
+                "%.3f ms (%.2fx)\n",
+                wino_im2col_ms, wino_ms, wino_im2col_ms / wino_ms);
+    for (const auto &r : pool_splits)
+        std::printf("split pool %dx%d @ %dt: split %.3f ms, unsplit "
+                    "%.3f ms, overhead %.2fx\n",
                     r.depth, r.depth, r.threads, r.split_ms,
                     r.unsplit_ms, r.overheadRatio());
     return 0;

@@ -1,6 +1,9 @@
 #include "core/split_op.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -9,7 +12,6 @@
 #include "kernels/im2col.h"
 #include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
-#include "kernels/rowops.h"
 #include "kernels/winograd.h"
 #include "util/logging.h"
 #include "util/scratch_arena.h"
@@ -61,42 +63,51 @@ slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi, int wi)
 }
 
 // ---------------------------------------------------------------------------
-// Fused zero-copy split convolution.
+// Fused zero-copy split execution, v2.
 //
 // The materializing path pays, per patch: a pad2d input copy, a
 // fresh output tensor, and two concat passes — pure memory traffic
-// that made a 2x2 split ~2.8x slower than the unsplit conv. The
-// fused path eliminates all of it: halo-aware im2col (or the
-// Winograd tile loop) reads the parent tensor through PatchView
-// strided offsets, the GEMM consumes weight panels packed once per
-// call, and results land directly in the parent output. Work is a
-// flat list of (image, patch, output-row tile) items, so a 2x2
-// split exposes n * 4 * ceil(oh_p / kRowTile) units of parallelism
-// instead of 4.
+// that made a 2x2 split ~2.8x slower than the unsplit conv. v1
+// removed those copies but still ran one small GEMM per
+// (patch, row-tile) into a bounce buffer: the GEMM's N collapsed to
+// a patch width, edge microtiles wasted MACs, B panels were repacked
+// per tile, and a copyRow pass moved every output byte twice.
+//
+// v2 makes the GEMM shape equal to the unsplit convolution's. A work
+// item is an output-row *band* of one patch-row group (all patches
+// sharing a split-H piece): every patch stages its halo-aware im2col
+// columns into one shared column matrix whose columns are ordered by
+// parent output position (im2colViewStrided with col_ld = the band's
+// full column count, row_step = the parent output width), the matrix
+// is packed into B panels once (gemmPackB) and consumed across every
+// output-channel block without repacking (gemmPackedAB), and C is
+// the parent output itself (ldc = the parent channel stride) — no
+// bounce buffer, no copy pass. Weight panels come from a keyed
+// per-(layer, split) cache instead of being repacked per call.
 //
 // Determinism: the work list is a function of shapes alone (the row
-// tile is a fixed constant), every item writes a disjoint output
+// band is a fixed constant), every item writes a disjoint output
 // region, and each item's arithmetic is scheduling-independent — so
 // outputs are bitwise identical for any thread count. Under the
-// scalar microkernel the fused im2col+GEMM path also reproduces the
-// materializing im2col path's bytes exactly, and the fused Winograd
-// path reproduces the materializing Winograd path's bytes exactly
-// (same per-element operation sequences).
+// scalar microkernel each output element accumulates k ascending
+// from a zeroed start exactly like the materializing im2col path, so
+// the two produce identical bytes; the fused batched-GEMM Winograd
+// path likewise reproduces the materializing Winograd path's bytes.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-/** Output rows per work item. Fixed (never derived from the thread
- * count) so the tile decomposition — and with it every byte of the
+/** Output rows per work band. Fixed (never derived from the thread
+ * count) so the band decomposition — and with it every byte of the
  * result — is identical at any pool size. Even, so Winograd 2-row
- * tiles never straddle items. */
-constexpr int64_t kRowTile = 16;
+ * tiles never straddle bands. */
+constexpr int64_t kRowBand = 16;
 
-/** One unit of fused work: a row tile of patch (hi, wi). */
-struct TileItem
+/** One unit of fused conv work: patch-local output rows [oy0, oy1)
+ * of patch-row group hi (all width patches of that group). */
+struct BandItem
 {
     int hi;
-    int wi;
     int64_t oy0;
     int64_t oy1;
 };
@@ -112,17 +123,171 @@ envMaterialize()
     return materialize;
 }
 
-bool
+enum class WinoMode { Auto, Off, On };
+
+WinoMode
 envSplitWinograd()
 {
-    static const bool wino = [] {
+    static const WinoMode mode = [] {
         const char *env = std::getenv("SCNN_SPLIT_WINOGRAD");
-        return env != nullptr && std::string_view(env) == "1";
+        if (env == nullptr)
+            return WinoMode::Auto;
+        return std::string_view(env) == "1" ? WinoMode::On
+                                            : WinoMode::Off;
     }();
-    return wino;
+    return mode;
+}
+
+uint64_t
+hashFloats(const float *p, int64_t count)
+{
+    // FNV-1a over the raw bytes: cheap relative to a pack (one
+    // sequential read, no writes) and exhaustive, so in-place weight
+    // updates can never serve stale panels.
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(p);
+    const int64_t nbytes = count * int64_t(sizeof(float));
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t i = 0; i < nbytes; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** A cached packed-panel buffer plus the shared_ptr keeping it alive
+ * while a worker reads it (eviction only drops the cache's ref). */
+struct PanelRef
+{
+    std::shared_ptr<std::vector<float>> keepalive;
+    const float *panels = nullptr;
+};
+
+/**
+ * Keyed LRU cache of packed weight panels, shared process-wide.
+ *
+ * Key: weight base pointer + panel shape + kernel choice + active
+ * microkernel (packed layouts are microkernel-dependent). A full
+ * content hash validates every hit. Capacity is a handful of layers;
+ * an inference loop over a fixed net hits every call after the first
+ * pass, which is what turns "pack once per call" into "pack once per
+ * (layer, split)".
+ */
+class WeightPanelCache
+{
+public:
+    template <typename PackFn>
+    PanelRef
+    lookupOrPack(const float *w, int64_t wcount, int64_t m, int64_t k,
+                 bool winograd, int64_t panel_floats, PackFn &&pack)
+    {
+        const uint64_t h = hashFloats(w, wcount);
+        const char *kernel = activeMicrokernel().name;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++tick_;
+        for (auto &e : entries_) {
+            if (e.wptr == w && e.m == m && e.k == k &&
+                e.winograd == winograd && e.kernel == kernel) {
+                e.tick = tick_;
+                if (e.hash == h) {
+                    ++hits_;
+                    return {e.buf, e.panels};
+                }
+                // Same layer slot, new contents (in-place update):
+                // repack into the existing entry.
+                ++misses_;
+                pack(e.panels);
+                e.hash = h;
+                return {e.buf, e.panels};
+            }
+        }
+        ++misses_;
+        Entry e;
+        e.wptr = w;
+        e.m = m;
+        e.k = k;
+        e.winograd = winograd;
+        e.kernel = kernel;
+        e.hash = h;
+        e.tick = tick_;
+        // Over-allocate so the panel base can be 64-byte aligned for
+        // the microkernel's SIMD loads.
+        e.buf = std::make_shared<std::vector<float>>(
+            static_cast<size_t>(panel_floats + 16));
+        auto addr = reinterpret_cast<uintptr_t>(e.buf->data());
+        e.panels = reinterpret_cast<float *>((addr + 63) & ~uintptr_t{63});
+        pack(e.panels);
+        if (entries_.size() >= kCapacity) {
+            size_t oldest = 0;
+            for (size_t i = 1; i < entries_.size(); ++i)
+                if (entries_[i].tick < entries_[oldest].tick)
+                    oldest = i;
+            entries_[oldest] = std::move(e);
+            return {entries_[oldest].buf, entries_[oldest].panels};
+        }
+        entries_.push_back(std::move(e));
+        return {entries_.back().buf, entries_.back().panels};
+    }
+
+    SplitWeightCacheStats
+    stats()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return {hits_, misses_,
+                static_cast<int64_t>(entries_.size())};
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.clear();
+        hits_ = misses_ = 0;
+        tick_ = 0;
+    }
+
+private:
+    struct Entry
+    {
+        const float *wptr = nullptr;
+        int64_t m = 0;
+        int64_t k = 0;
+        bool winograd = false;
+        const char *kernel = nullptr;
+        uint64_t hash = 0;
+        std::shared_ptr<std::vector<float>> buf;
+        float *panels = nullptr;
+        int64_t tick = 0;
+    };
+    static constexpr size_t kCapacity = 8;
+
+    std::mutex mu_;
+    std::vector<Entry> entries_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+    int64_t tick_ = 0;
+};
+
+WeightPanelCache &
+weightCache()
+{
+    static WeightPanelCache cache;
+    return cache;
 }
 
 } // namespace
+
+SplitWeightCacheStats
+splitWeightCacheStats()
+{
+    return weightCache().stats();
+}
+
+void
+splitWeightCacheClear()
+{
+    weightCache().clear();
+}
 
 Tensor
 splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
@@ -155,97 +320,123 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
         SCNN_REQUIRE(bias.numel() == oc,
                      "split conv bias size mismatch");
 
-    // Flat work list shared by every image; also the per-item
-    // scratch high-water mark.
-    std::vector<TileItem> items;
-    int64_t max_tile_spatial = 0;
+    // Validate the scheme geometry once, and build the flat band list
+    // shared by every image.
+    std::vector<BandItem> bands;
+    int64_t max_band_rows = 0;
     for (int hi = 0; hi < scheme.h.parts(); ++hi) {
         const SplitPiece1d &ph = scheme.h.pieces[hi];
         for (int wi = 0; wi < scheme.w.parts(); ++wi) {
             const SplitPiece1d &pw = scheme.w.pieces[wi];
             const Window2d local = patchWindow(win, scheme, hi, wi);
-            const int64_t oh_p = local.outH(ph.inLen());
-            const int64_t ow_p = local.outW(pw.inLen());
-            SCNN_CHECK(oh_p == ph.outLen() && ow_p == pw.outLen(),
+            SCNN_CHECK(local.outH(ph.inLen()) == ph.outLen() &&
+                           local.outW(pw.inLen()) == pw.outLen(),
                        "split scheme geometry mismatch for patch ("
                            << hi << ", " << wi << ")");
-            for (int64_t oy0 = 0; oy0 < oh_p; oy0 += kRowTile) {
-                const int64_t oy1 = std::min(oh_p, oy0 + kRowTile);
-                items.push_back({hi, wi, oy0, oy1});
-                max_tile_spatial = std::max(max_tile_spatial,
-                                            (oy1 - oy0) * ow_p);
-            }
+        }
+        for (int64_t oy0 = 0; oy0 < ph.outLen(); oy0 += kRowBand) {
+            const int64_t oy1 = std::min(ph.outLen(), oy0 + kRowBand);
+            bands.push_back({hi, oy0, oy1});
+            max_band_rows = std::max(max_band_rows, oy1 - oy0);
         }
     }
 
-    // Per-layer shared state, packed once in the caller's arena and
-    // read concurrently by every worker: the GEMM weight panels (or
-    // the Winograd U tiles).
-    auto &arena = ScratchArena::tls();
-    auto guard = arena.scope();
-    float *packed_w = nullptr;
-    float *u = nullptr;
-    if (use_winograd) {
-        u = arena.alloc(oc * c * 16);
-        winogradTransformWeights(weight.data(), oc, c, u);
-    } else {
-        packed_w = arena.alloc(gemmPackedASize(oc, krows));
-        gemmPackA(oc, krows, 1.0f, weight.data(), packed_w);
-    }
+    // Weight panels: packed at most once per (layer, split) — served
+    // from the keyed cache on every later call, shared read-only by
+    // all workers. In debug builds, assert a hit really skipped the
+    // pack (the packs == layers invariant).
+#ifndef NDEBUG
+    const int64_t packs_before = gemmPackACalls();
+    const SplitWeightCacheStats stats_before = splitWeightCacheStats();
+#endif
+    PanelRef wref;
+    if (use_winograd)
+        wref = weightCache().lookupOrPack(
+            weight.data(), oc * krows, oc, c, true,
+            winogradPackedUSize(oc, c), [&](float *dst) {
+                winogradPackWeights(weight.data(), oc, c, dst);
+            });
+    else
+        wref = weightCache().lookupOrPack(
+            weight.data(), oc * krows, oc, krows, false,
+            gemmPackedASize(oc, krows), [&](float *dst) {
+                gemmPackA(oc, krows, 1.0f, weight.data(), dst);
+            });
+#ifndef NDEBUG
+    if (splitWeightCacheStats().hits > stats_before.hits)
+        SCNN_CHECK(gemmPackACalls() == packs_before,
+                   "weight-cache hit must not repack panels");
+#endif
 
     Tensor out = Tensor::uninitialized(Shape{n, oc, out_h, out_w});
     const float *bias_ptr = has_bias ? bias.data() : nullptr;
-    const Microkernel &uk = activeMicrokernel();
-    const int64_t n_items = static_cast<int64_t>(items.size());
+    const int64_t n_bands = static_cast<int64_t>(bands.size());
+    const int64_t max_band_cols = max_band_rows * out_w;
 
-    globalPool().parallelFor(n * n_items, [&](int64_t begin,
+    globalPool().parallelFor(n * n_bands, [&](int64_t begin,
                                               int64_t end) {
         auto &warena = ScratchArena::tls();
         auto wguard = warena.scope();
         float *col = nullptr;
-        float *cbuf = nullptr;
+        float *pb = nullptr;
         if (!use_winograd) {
-            col = warena.alloc(krows * max_tile_spatial);
-            cbuf = warena.alloc(oc * max_tile_spatial);
+            col = warena.alloc(krows * max_band_cols);
+            pb = warena.alloc(gemmPackedBSize(krows, max_band_cols));
         }
         for (int64_t i = begin; i < end; ++i) {
-            const int64_t in = i / n_items;
-            const TileItem &it =
-                items[static_cast<size_t>(i % n_items)];
-            const SplitPiece1d &ph = scheme.h.pieces[it.hi];
-            const SplitPiece1d &pw = scheme.w.pieces[it.wi];
-            const PatchView view{ph.in_start, pw.in_start, ph.inLen(),
-                                 pw.inLen()};
-            const Window2d local =
-                patchWindow(win, scheme, it.hi, it.wi);
+            const int64_t in = i / n_bands;
+            const BandItem &band =
+                bands[static_cast<size_t>(i % n_bands)];
+            const SplitPiece1d &ph = scheme.h.pieces[band.hi];
             const float *img = x.data() + in * c * ih * iw;
             float *out_img = out.data() + in * oc * out_h * out_w;
+
             if (use_winograd) {
-                conv2dWinogradPatch(img, c, ih, iw, view, local, u,
-                                    oc, bias_ptr, it.oy0 / 2,
-                                    (it.oy1 + 1) / 2, out_img, out_h,
-                                    out_w, ph.out_start,
-                                    pw.out_start);
+                for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+                    const SplitPiece1d &pw = scheme.w.pieces[wi];
+                    const PatchView view{ph.in_start, pw.in_start,
+                                         ph.inLen(), pw.inLen()};
+                    conv2dWinogradPatch(
+                        img, c, ih, iw, view,
+                        patchWindow(win, scheme, band.hi, wi),
+                        wref.panels, oc, bias_ptr, band.oy0 / 2,
+                        (band.oy1 + 1) / 2, out_img, out_h, out_w,
+                        ph.out_start, pw.out_start);
+                }
                 continue;
             }
-            const int64_t ow_p = pw.outLen();
-            const int64_t rows = it.oy1 - it.oy0;
-            const int64_t tile_spatial = rows * ow_p;
-            im2colView(img, c, ih, iw, view, local, it.oy0, it.oy1,
-                       col);
-            gemmPackedA(oc, tile_spatial, krows, packed_w, col, 0.0f,
-                        cbuf);
-            if (has_bias)
-                addRowBias(cbuf, oc, tile_spatial, bias.data());
-            for (int64_t o = 0; o < oc; ++o) {
-                const float *src = cbuf + o * tile_spatial;
-                float *dst = out_img + o * out_h * out_w +
-                             (ph.out_start + it.oy0) * out_w +
-                             pw.out_start;
-                for (int64_t r = 0; r < rows; ++r)
-                    uk.copyRow(dst + r * out_w, src + r * ow_p,
-                               ow_p);
+
+            // Stage every patch's columns of this band into the
+            // shared column matrix, ordered by parent output
+            // position: window-element row r of output (oy, ox_glob)
+            // sits at col[r*nb + (oy - oy0)*out_w + ox_glob].
+            const int64_t rows = band.oy1 - band.oy0;
+            const int64_t nb = rows * out_w;
+            for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+                const SplitPiece1d &pw = scheme.w.pieces[wi];
+                const PatchView view{ph.in_start, pw.in_start,
+                                     ph.inLen(), pw.inLen()};
+                im2colViewStrided(
+                    img, c, ih, iw, view,
+                    patchWindow(win, scheme, band.hi, wi), band.oy0,
+                    band.oy1, col + pw.out_start, nb, out_w);
             }
+            // One unsplit-shaped GEMM for the whole band: B panels
+            // packed once, consumed by every output-channel block, C
+            // written straight into the parent output.
+            gemmPackB(krows, nb, col, nb, pb);
+            float *cbase =
+                out_img + (ph.out_start + band.oy0) * out_w;
+            const int64_t ldc = out_h * out_w;
+            gemmPackedAB(oc, nb, krows, wref.panels, pb, 0.0f, cbase,
+                         ldc);
+            if (has_bias)
+                for (int64_t o = 0; o < oc; ++o) {
+                    float *crow = cbase + o * ldc;
+                    const float b = bias_ptr[o];
+                    for (int64_t j = 0; j < nb; ++j)
+                        crow[j] += b;
+                }
         }
     });
     return out;
@@ -271,13 +462,109 @@ splitConv2dForward(const Tensor &x, const Tensor &weight,
     if (envMaterialize())
         return splitConv2dForwardMaterialized(x, weight, bias, win,
                                               scheme);
-    const bool wino = envSplitWinograd() && winogradApplicable(win);
+    bool wino = false;
+    if (winogradApplicable(win)) {
+        switch (envSplitWinograd()) {
+        case WinoMode::On:
+            wino = true;
+            break;
+        case WinoMode::Off:
+            wino = false;
+            break;
+        case WinoMode::Auto:
+            wino = winogradCostModelWins(x.shape().dim(1),
+                                         weight.shape().dim(0));
+            break;
+        }
+    }
     return splitConv2dForwardFused(x, weight, bias, win, scheme, wino);
 }
 
+namespace {
+
+/** Shared driver for the fused split-pool paths: one work item per
+ * (image, patch), each writing a disjoint block of the parent
+ * output through the halo-aware patch kernel. */
+template <typename PatchKernel>
 Tensor
-splitMaxPool2dForward(const Tensor &x, const Window2d &win,
-                      const SplitScheme2d &scheme)
+splitPool2dForwardFusedImpl(const Tensor &x, const Window2d &win,
+                            const SplitScheme2d &scheme,
+                            PatchKernel &&kernel)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "split pool input must be NCHW");
+    SCNN_CHECK(scheme.h.parts() > 0 && scheme.w.parts() > 0,
+               "empty split scheme");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    SCNN_REQUIRE(out_h > 0 && out_w > 0, "empty split pool output");
+
+    const int hp = scheme.h.parts();
+    const int wp = scheme.w.parts();
+    const int64_t parts = int64_t(hp) * wp;
+
+    // Every output element belongs to exactly one patch block, so the
+    // allocation skips its zero-fill; items write disjoint regions.
+    Tensor out = Tensor::uninitialized(Shape{n, c, out_h, out_w});
+    globalPool().parallelFor(n * parts, [&](int64_t begin,
+                                            int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            const int64_t in = i / parts;
+            const int hi = static_cast<int>((i % parts) / wp);
+            const int wi = static_cast<int>(i % wp);
+            const SplitPiece1d &ph = scheme.h.pieces[hi];
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            const PatchView view{ph.in_start, pw.in_start, ph.inLen(),
+                                 pw.inLen()};
+            const Window2d local = patchWindow(win, scheme, hi, wi);
+            SCNN_CHECK(local.outH(ph.inLen()) == ph.outLen() &&
+                           local.outW(pw.inLen()) == pw.outLen(),
+                       "split scheme geometry mismatch for patch ("
+                           << hi << ", " << wi << ")");
+            kernel(x.data() + in * c * ih * iw, c, ih, iw, view,
+                   local, out.data() + in * c * out_h * out_w, out_h,
+                   out_w, ph.out_start, pw.out_start);
+        }
+    });
+    return out;
+}
+
+} // namespace
+
+Tensor
+splitMaxPool2dForwardFused(const Tensor &x, const Window2d &win,
+                           const SplitScheme2d &scheme)
+{
+    return splitPool2dForwardFusedImpl(
+        x, win, scheme,
+        [](const float *img, int64_t c, int64_t ih, int64_t iw,
+           const PatchView &view, const Window2d &local, float *out,
+           int64_t out_oh, int64_t out_ow, int64_t oy0, int64_t ox0) {
+            maxPool2dPatch(img, c, ih, iw, view, local, out, out_oh,
+                           out_ow, oy0, ox0);
+        });
+}
+
+Tensor
+splitAvgPool2dForwardFused(const Tensor &x, const Window2d &win,
+                           const SplitScheme2d &scheme)
+{
+    return splitPool2dForwardFusedImpl(
+        x, win, scheme,
+        [](const float *img, int64_t c, int64_t ih, int64_t iw,
+           const PatchView &view, const Window2d &local, float *out,
+           int64_t out_oh, int64_t out_ow, int64_t oy0, int64_t ox0) {
+            avgPool2dPatch(img, c, ih, iw, view, local, out, out_oh,
+                           out_ow, oy0, ox0);
+        });
+}
+
+Tensor
+splitMaxPool2dForwardMaterialized(const Tensor &x, const Window2d &win,
+                                  const SplitScheme2d &scheme)
 {
     return runSplitOp(x, win, scheme,
                       [&](const Tensor &patch, const Window2d &local) {
@@ -287,13 +574,31 @@ splitMaxPool2dForward(const Tensor &x, const Window2d &win,
 }
 
 Tensor
-splitAvgPool2dForward(const Tensor &x, const Window2d &win,
-                      const SplitScheme2d &scheme)
+splitAvgPool2dForwardMaterialized(const Tensor &x, const Window2d &win,
+                                  const SplitScheme2d &scheme)
 {
     return runSplitOp(x, win, scheme,
                       [&](const Tensor &patch, const Window2d &local) {
                           return avgPool2dForward(patch, local);
                       });
+}
+
+Tensor
+splitMaxPool2dForward(const Tensor &x, const Window2d &win,
+                      const SplitScheme2d &scheme)
+{
+    if (envMaterialize())
+        return splitMaxPool2dForwardMaterialized(x, win, scheme);
+    return splitMaxPool2dForwardFused(x, win, scheme);
+}
+
+Tensor
+splitAvgPool2dForward(const Tensor &x, const Window2d &win,
+                      const SplitScheme2d &scheme)
+{
+    if (envMaterialize())
+        return splitAvgPool2dForwardMaterialized(x, win, scheme);
+    return splitAvgPool2dForwardFused(x, win, scheme);
 }
 
 } // namespace scnn

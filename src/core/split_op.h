@@ -102,13 +102,25 @@ runSplitOp(const Tensor &x, const Window2d &win,
 /**
  * Split convolution forward (Eqs. 4-7 applied to conv2d).
  *
- * Default execution is the *fused zero-copy* path: patches are
+ * Default execution is the *fused zero-copy* path (v2): patches are
  * views into the parent tensor (no pad2d copy, no per-patch output
- * tensors, no concat) driven by halo-aware im2col over a weight
- * matrix packed once per call, parallelized over
- * image x patch x output-row tiles so even a 2x2 split scales past
- * 4 threads. Set SCNN_SPLIT_EXEC=materialize to fall back to the
- * materializing reference path.
+ * tensors, no concat). Each work item is an output-row band of one
+ * patch-row group: every patch in the band stages its halo-aware
+ * im2col columns into one shared column matrix ordered by parent
+ * output position, the matrix is packed into B panels once and
+ * consumed across every output-channel tile without repacking, and
+ * the GEMM's C is the parent output itself — so the GEMM runs at the
+ * unsplit convolution's shape and the split overhead reduces to the
+ * per-patch im2col flank handling. Weight panels are packed once per
+ * (layer, split) via a keyed cache, not once per call.
+ *
+ * Kernel selection: when the window is 3x3 stride-1 and
+ * winogradCostModelWins says the transform overhead amortizes, the
+ * batched-GEMM Winograd patch kernel runs instead of im2col+GEMM.
+ * SCNN_SPLIT_WINOGRAD=0 forces Winograd off, =1 forces it on (for
+ * applicable windows), unset defers to the cost model. Set
+ * SCNN_SPLIT_EXEC=materialize to fall back to the materializing
+ * reference path.
  */
 Tensor splitConv2dForward(const Tensor &x, const Tensor &weight,
                           const Tensor &bias, const Window2d &win,
@@ -127,24 +139,72 @@ Tensor splitConv2dForwardMaterialized(const Tensor &x,
 
 /**
  * The fused zero-copy path, with the kernel choice explicit:
- * @p use_winograd selects the halo-aware Winograd tile loop
- * (requires winogradApplicable(win)); otherwise halo-aware im2col
- * feeds packed-panel GEMM tiles. Exposed for tests and benches; the
- * splitConv2dForward dispatcher picks im2col+GEMM by default
- * (SCNN_SPLIT_WINOGRAD=1 opts into the Winograd tile loop).
+ * @p use_winograd selects the halo-aware batched-GEMM Winograd patch
+ * kernel (requires winogradApplicable(win)); otherwise halo-aware
+ * im2col feeds packed-panel GEMMs writing straight into the parent
+ * output. Exposed for tests and benches; the splitConv2dForward
+ * dispatcher makes the choice via the cost model and
+ * SCNN_SPLIT_WINOGRAD.
  */
 Tensor splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
                                const Tensor &bias, const Window2d &win,
                                const SplitScheme2d &scheme,
                                bool use_winograd);
 
-/** Split max-pool forward. */
+/** @name Per-(layer, split) weight-panel cache
+ *
+ * splitConv2dForwardFused packs its weight operand (GEMM A panels,
+ * or the 16 packed Winograd U matrices) at most once per layer: a
+ * small keyed LRU cache holds the packed panels across calls, keyed
+ * by weight identity, shape, kernel choice, and the active
+ * microkernel, and validated by a full content hash so in-place
+ * weight updates (training) repack instead of serving stale panels.
+ */
+///@{
+struct SplitWeightCacheStats
+{
+    int64_t hits = 0;   ///< lookups served from cached panels
+    int64_t misses = 0; ///< lookups that had to pack
+    int64_t entries = 0; ///< live cached layers
+};
+
+/** Snapshot of the cache counters (process-wide). */
+SplitWeightCacheStats splitWeightCacheStats();
+
+/** Drop every cached panel and zero the counters (tests). */
+void splitWeightCacheClear();
+///@}
+
+/** Split max-pool forward: fused zero-copy by default,
+ * SCNN_SPLIT_EXEC=materialize falls back to the reference path. */
 Tensor splitMaxPool2dForward(const Tensor &x, const Window2d &win,
                              const SplitScheme2d &scheme);
 
-/** Split average-pool forward. */
+/** Split average-pool forward (same dispatch as max-pool). */
 Tensor splitAvgPool2dForward(const Tensor &x, const Window2d &win,
                              const SplitScheme2d &scheme);
+
+/**
+ * @name Split pooling, both executions explicit
+ *
+ * The fused paths read halo-aware PatchViews of the parent and write
+ * the strided parent output directly, parallelized over
+ * image x patch work items; the materializing paths are the
+ * slicePatch + pool + concat reference. Fused and materializing
+ * outputs are bitwise-identical (same clip tests, same tap order).
+ */
+///@{
+Tensor splitMaxPool2dForwardFused(const Tensor &x, const Window2d &win,
+                                  const SplitScheme2d &scheme);
+Tensor splitAvgPool2dForwardFused(const Tensor &x, const Window2d &win,
+                                  const SplitScheme2d &scheme);
+Tensor splitMaxPool2dForwardMaterialized(const Tensor &x,
+                                         const Window2d &win,
+                                         const SplitScheme2d &scheme);
+Tensor splitAvgPool2dForwardMaterialized(const Tensor &x,
+                                         const Window2d &win,
+                                         const SplitScheme2d &scheme);
+///@}
 
 } // namespace scnn
 

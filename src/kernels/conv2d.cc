@@ -70,7 +70,8 @@ Tensor
 conv2dForwardAuto(const Tensor &x, const Tensor &weight,
                   const Tensor &bias, const Window2d &win)
 {
-    if (winogradApplicable(win))
+    if (winogradApplicable(win) &&
+        winogradCostModelWins(x.shape().dim(1), weight.shape().dim(0)))
         return conv2dForwardWinograd(x, weight, bias, win);
     return conv2dForward(x, weight, bias, win);
 }

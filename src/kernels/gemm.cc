@@ -1,6 +1,7 @@
 #include "kernels/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
@@ -317,6 +318,18 @@ gemmNTBlocked(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
 // weight matrix exactly once instead of once per patch-tile).
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::atomic<int64_t> g_pack_a_calls{0};
+
+} // namespace
+
+int64_t
+gemmPackACalls()
+{
+    return g_pack_a_calls.load(std::memory_order_relaxed);
+}
+
 int64_t
 gemmPackedASize(int64_t m, int64_t k)
 {
@@ -333,6 +346,7 @@ gemmPackedASize(int64_t m, int64_t k)
 void
 gemmPackA(int64_t m, int64_t k, float alpha, const float *a, float *pa)
 {
+    g_pack_a_calls.fetch_add(1, std::memory_order_relaxed);
     const int64_t mr = activeMicrokernel().mr;
     for (int64_t pc = 0; pc < k; pc += KC) {
         const int64_t kc = std::min(KC, k - pc);
@@ -352,6 +366,123 @@ gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
     applyBeta(m, n, beta, c);
     blockedCore(m, n, k, nullptr, 0, 0, 0.0f, b, /*b_rs=*/n,
                 /*b_cs=*/1, c, pa);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed B panels: stage a KxN operand once in microkernel layout
+// and replay it across oc tiles and column chunks. The layout is
+// slab-major — for KC slab pc the block starts at pc * roundUp(n, nr)
+// and holds the slab's nr-wide column panels back to back — so
+// consumers (and cooperative packers) can address any (slab, panel)
+// pair directly, unlike the jc-major transient layout blockedCore
+// uses internally.
+// ---------------------------------------------------------------------------
+
+int64_t
+gemmPackedBSize(int64_t k, int64_t n)
+{
+    return k * roundUp(n, activeMicrokernel().nr);
+}
+
+int64_t
+gemmPackedBPanels(int64_t n)
+{
+    const int64_t nr = activeMicrokernel().nr;
+    return (n + nr - 1) / nr;
+}
+
+void
+gemmPackBPanels(int64_t k, int64_t n, const float *b, int64_t ldb,
+                int64_t j0, int64_t j1, float *pb)
+{
+    const int64_t nr = activeMicrokernel().nr;
+    const int64_t n_round = roundUp(n, nr);
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        float *slab = pb + pc * n_round;
+        for (int64_t j = j0; j < j1; ++j) {
+            const int64_t jc = j * nr;
+            const int64_t cols = std::min(nr, n - jc);
+            float *dst = slab + j * kc * nr;
+            const float *src = b + pc * ldb + jc;
+            for (int64_t p = 0; p < kc; ++p) {
+                for (int64_t jj = 0; jj < cols; ++jj)
+                    *dst++ = src[p * ldb + jj];
+                for (int64_t jj = cols; jj < nr; ++jj)
+                    *dst++ = 0.0f;
+            }
+        }
+    }
+}
+
+void
+gemmPackB(int64_t k, int64_t n, const float *b, int64_t ldb, float *pb)
+{
+    gemmPackBPanels(k, n, b, ldb, 0, gemmPackedBPanels(n), pb);
+}
+
+void
+gemmPackedABCols(int64_t m, int64_t n, int64_t k, const float *pa,
+                 const float *pb, int64_t j0, int64_t j1, float beta,
+                 float *c, int64_t ldc)
+{
+    const Microkernel &uk = activeMicrokernel();
+    const int64_t mr = uk.mr;
+    const int64_t nr = uk.nr;
+    const int64_t n_round = roundUp(n, nr);
+    const int64_t c0 = j0 * nr;
+    const int64_t c1 = std::min(n, j1 * nr);
+
+    // The naive kernels' beta pass, restricted to these columns.
+    if (beta != 1.0f) {
+        for (int64_t i = 0; i < m; ++i) {
+            float *crow = c + i * ldc;
+            if (beta == 0.0f) {
+                std::memset(crow + c0, 0,
+                            static_cast<size_t>(c1 - c0) *
+                                sizeof(float));
+            } else {
+                for (int64_t j = c0; j < c1; ++j)
+                    crow[j] *= beta;
+            }
+        }
+    }
+
+    // KC slabs ascending, exactly blockedCore's per-element
+    // accumulation order, with the packed-A cursor replaying
+    // gemmPackA's (pc, ic) block walk.
+    const float *pa_cursor = pa;
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        const float *slab = pb + pc * n_round;
+        for (int64_t ic = 0; ic < m; ic += MC) {
+            const int64_t mc = std::min(MC, m - ic);
+            const float *pablock = pa_cursor;
+            pa_cursor += roundUp(mc, mr) * kc;
+            for (int64_t j = j0; j < j1; ++j) {
+                const int64_t cols = std::min(nr, n - j * nr);
+                const float *pbp = slab + j * kc * nr;
+                for (int64_t ir = 0; ir < mc; ir += mr) {
+                    const int64_t rows = std::min(mr, mc - ir);
+                    const float *pap = pablock + (ir / mr) * kc * mr;
+                    float *ct = c + (ic + ir) * ldc + j * nr;
+                    if (rows == mr && cols == nr)
+                        uk.tile(kc, pap, pbp, ct, ldc);
+                    else
+                        microTileEdge(uk, kc, rows, cols, pap, pbp,
+                                      ct, ldc);
+                }
+            }
+        }
+    }
+}
+
+void
+gemmPackedAB(int64_t m, int64_t n, int64_t k, const float *pa,
+             const float *pb, float beta, float *c, int64_t ldc)
+{
+    gemmPackedABCols(m, n, k, pa, pb, 0, gemmPackedBPanels(n), beta, c,
+                     ldc);
 }
 
 const char *

@@ -100,6 +100,57 @@ void gemmPackA(int64_t m, int64_t k, float alpha, const float *a,
  * the alpha folded at pack time. */
 void gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
                  const float *b, float beta, float *c);
+
+/** Number of gemmPackA calls since process start (monotonic). The
+ * split executor's weight-panel cache asserts packs == layers with
+ * this counter; it is cheap enough to keep in release builds. */
+int64_t gemmPackACalls();
+///@}
+
+/**
+ * @name Pre-packed B panels
+ *
+ * Pack a KxN B operand once into microkernel panels and replay it
+ * across many GEMM calls — the split executor stages each im2col
+ * patch-column panel once per call and consumes it across every
+ * output-channel tile and column chunk without repacking. The layout
+ * is slab-major (KC slabs ascending, nr-wide column panels within a
+ * slab), so a consumer can walk any panel subrange independently;
+ * like packed A, the layout depends on the active microkernel.
+ */
+///@{
+/** Floats required for the packed representation of a KxN B. */
+int64_t gemmPackedBSize(int64_t k, int64_t n);
+
+/** Pack B (KxN, row stride @p ldb) into @p pb
+ * (gemmPackedBSize(k, n) floats, 64-byte aligned for SIMD loads). */
+void gemmPackB(int64_t k, int64_t n, const float *b, int64_t ldb,
+               float *pb);
+
+/** Pack only the nr-wide column panels [j0, j1) of B — every slab's
+ * block for those panels. Disjoint panel ranges write disjoint bytes,
+ * so workers can pack one B cooperatively. Panel p covers columns
+ * [p*nr, min(n, (p+1)*nr)); the total panel count is
+ * gemmPackedBPanels(n). */
+void gemmPackBPanels(int64_t k, int64_t n, const float *b, int64_t ldb,
+                     int64_t j0, int64_t j1, float *pb);
+
+/** Number of nr-wide column panels a KxN pack is divided into. */
+int64_t gemmPackedBPanels(int64_t n);
+
+/** C = packedA * packedB + beta * C, with C row stride @p ldc.
+ * Bit-identical to gemmBlocked for the same operands under the same
+ * microkernel (same per-element accumulation order). */
+void gemmPackedAB(int64_t m, int64_t n, int64_t k, const float *pa,
+                  const float *pb, float beta, float *c, int64_t ldc);
+
+/** Compute only the C columns of panels [j0, j1): the parallel
+ * building block behind gemmPackedAB. Panel ranges touch disjoint C
+ * columns, so chunks fan out across workers with no repacking and no
+ * change to any element's accumulation order. */
+void gemmPackedABCols(int64_t m, int64_t n, int64_t k, const float *pa,
+                      const float *pb, int64_t j0, int64_t j1,
+                      float beta, float *c, int64_t ldc);
 ///@}
 
 /** "blocked" or "naive": what the dispatchers currently select for

@@ -1,51 +1,61 @@
 #include "kernels/im2col.h"
 
 #include <algorithm>
-
-#include "kernels/microkernel.h"
+#include <cstring>
 
 namespace scnn {
 
 void
-im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
-           const PatchView &view, const Window2d &win, int64_t oy0,
-           int64_t oy1, float *col)
+im2colViewStrided(const float *img, int64_t c, int64_t ih, int64_t iw,
+                  const PatchView &view, const Window2d &win,
+                  int64_t oy0, int64_t oy1, float *col, int64_t col_ld,
+                  int64_t row_step)
 {
     const int64_t ow = win.outW(view.iw);
-    const int64_t rows_out = oy1 - oy0;
-    const int64_t ospatial = rows_out * ow;
-    const Microkernel &uk = activeMicrokernel();
+    const size_t row_bytes = static_cast<size_t>(ow) * sizeof(float);
     int64_t row = 0;
     for (int64_t ic = 0; ic < c; ++ic) {
         const float *chan = img + ic * ih * iw;
         for (int64_t ky = 0; ky < win.kh; ++ky) {
             for (int64_t kx = 0; kx < win.kw; ++kx, ++row) {
-                float *dst = col + row * ospatial;
+                float *dst = col + row * col_ld;
+                // For stride 1 the valid ox range is
+                // [pw_b - kx, view.iw + pw_b - kx) for every output
+                // row, so the flank bounds hoist out of the oy loop:
+                // zero the out-of-patch flanks (when present) and
+                // bulk-copy the middle, bit-identical to the element
+                // loop in the strided branch. Narrow patches make
+                // these rows short, so the flank work is guarded to
+                // keep the per-row cost at one memcpy.
+                const int64_t lo =
+                    std::clamp<int64_t>(win.pw_b - kx, 0, ow);
+                const int64_t hi = std::clamp<int64_t>(
+                    view.iw + win.pw_b - kx, lo, ow);
+                const int64_t src_off = view.c0 + lo - win.pw_b + kx;
                 for (int64_t oy = oy0; oy < oy1; ++oy) {
-                    float *drow = dst + (oy - oy0) * ow;
+                    float *drow = dst + (oy - oy0) * row_step;
                     const int64_t iy = oy * win.sh - win.ph_b + ky;
                     if (iy < 0 || iy >= view.ih) {
-                        uk.zeroRow(drow, ow);
+                        std::memset(drow, 0, row_bytes);
                         continue;
                     }
-                    const float *src_row =
-                        chan + (view.r0 + iy) * iw + view.c0;
                     if (win.sw == 1) {
-                        // Contiguous inner loop: the valid ox range
-                        // is [pw_b - kx, view.iw + pw_b - kx); zero
-                        // the out-of-patch flanks and bulk-copy the
-                        // middle (exact, so bit-identical to the
-                        // element loop below).
-                        const int64_t lo = std::clamp<int64_t>(
-                            win.pw_b - kx, 0, ow);
-                        const int64_t hi = std::clamp<int64_t>(
-                            view.iw + win.pw_b - kx, lo, ow);
-                        uk.zeroRow(drow, lo);
-                        uk.copyRow(drow + lo,
-                                   src_row + lo - win.pw_b + kx,
-                                   hi - lo);
-                        uk.zeroRow(drow + hi, ow - hi);
+                        if (lo > 0)
+                            std::memset(drow, 0,
+                                        static_cast<size_t>(lo) *
+                                            sizeof(float));
+                        std::memcpy(
+                            drow + lo,
+                            chan + (view.r0 + iy) * iw + src_off,
+                            static_cast<size_t>(hi - lo) *
+                                sizeof(float));
+                        if (hi < ow)
+                            std::memset(drow + hi, 0,
+                                        static_cast<size_t>(ow - hi) *
+                                            sizeof(float));
                     } else {
+                        const float *src_row =
+                            chan + (view.r0 + iy) * iw + view.c0;
                         for (int64_t ox = 0; ox < ow; ++ox) {
                             const int64_t ix =
                                 ox * win.sw - win.pw_b + kx;
@@ -58,6 +68,16 @@ im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
             }
         }
     }
+}
+
+void
+im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
+           const PatchView &view, const Window2d &win, int64_t oy0,
+           int64_t oy1, float *col)
+{
+    const int64_t ow = win.outW(view.iw);
+    im2colViewStrided(img, c, ih, iw, view, win, oy0, oy1, col,
+                      (oy1 - oy0) * ow, ow);
 }
 
 void

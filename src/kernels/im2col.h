@@ -46,6 +46,21 @@ void im2colView(const float *img, int64_t c, int64_t ih, int64_t iw,
                 int64_t oy0, int64_t oy1, float *col);
 
 /**
+ * im2colView writing into a strided slice of a larger column matrix:
+ * window element row r of patch-output pixel (oy, ox) lands at
+ * col[r*col_ld + (oy-oy0)*row_step + ox]. The split executor stages
+ * every patch of an output-row group into one shared column matrix
+ * this way (col_ld = the group's full column count, row_step = the
+ * parent output width), so the group runs as a single packed GEMM
+ * whose C is the parent output itself. im2colView is the contiguous
+ * special case (col_ld = (oy1-oy0)*outW, row_step = outW).
+ */
+void im2colViewStrided(const float *img, int64_t c, int64_t ih,
+                       int64_t iw, const PatchView &view,
+                       const Window2d &win, int64_t oy0, int64_t oy1,
+                       float *col, int64_t col_ld, int64_t row_step);
+
+/**
  * Scatter-add a column buffer back into an image (CHW); the adjoint of
  * im2col. @p img must be zero-initialized by the caller.
  */

@@ -174,6 +174,78 @@ avgPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
     return grad_x;
 }
 
+void
+maxPool2dPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
+               const PatchView &view, const Window2d &win, float *out,
+               int64_t out_oh, int64_t out_ow, int64_t oy0,
+               int64_t ox0)
+{
+    const int64_t oh_p = win.outH(view.ih);
+    const int64_t ow_p = win.outW(view.iw);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        const float *chan = img + ic * ih * iw;
+        float *ochan = out + ic * out_oh * out_ow;
+        for (int64_t oy = 0; oy < oh_p; ++oy) {
+            float *orow = ochan + (oy0 + oy) * out_ow + ox0;
+            for (int64_t ox = 0; ox < ow_p; ++ox) {
+                float best = -std::numeric_limits<float>::infinity();
+                bool found = false;
+                for (int64_t ky = 0; ky < win.kh; ++ky) {
+                    const int64_t iy = oy * win.sh - win.ph_b + ky;
+                    if (iy < 0 || iy >= view.ih)
+                        continue;
+                    for (int64_t kx = 0; kx < win.kw; ++kx) {
+                        const int64_t ix = ox * win.sw - win.pw_b + kx;
+                        if (ix < 0 || ix >= view.iw)
+                            continue;
+                        const float v =
+                            chan[view.parentOffset(iy, ix, iw)];
+                        // Same comparison as maxPool2dForward, so
+                        // NaN-laden windows resolve identically.
+                        if (v > best) {
+                            best = v;
+                            found = true;
+                        }
+                    }
+                }
+                orow[ox] = found ? best : 0.0f;
+            }
+        }
+    }
+}
+
+void
+avgPool2dPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
+               const PatchView &view, const Window2d &win, float *out,
+               int64_t out_oh, int64_t out_ow, int64_t oy0,
+               int64_t ox0)
+{
+    const int64_t oh_p = win.outH(view.ih);
+    const int64_t ow_p = win.outW(view.iw);
+    const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        const float *chan = img + ic * ih * iw;
+        float *ochan = out + ic * out_oh * out_ow;
+        for (int64_t oy = 0; oy < oh_p; ++oy) {
+            float *orow = ochan + (oy0 + oy) * out_ow + ox0;
+            for (int64_t ox = 0; ox < ow_p; ++ox) {
+                float acc = 0.0f;
+                for (int64_t ky = 0; ky < win.kh; ++ky) {
+                    const int64_t iy = oy * win.sh - win.ph_b + ky;
+                    if (iy < 0 || iy >= view.ih)
+                        continue;
+                    for (int64_t kx = 0; kx < win.kw; ++kx) {
+                        const int64_t ix = ox * win.sw - win.pw_b + kx;
+                        if (ix >= 0 && ix < view.iw)
+                            acc += chan[view.parentOffset(iy, ix, iw)];
+                    }
+                }
+                orow[ox] = acc * inv_area;
+            }
+        }
+    }
+}
+
 Tensor
 globalAvgPoolForward(const Tensor &x)
 {

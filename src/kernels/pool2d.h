@@ -42,6 +42,44 @@ Tensor avgPool2dForward(const Tensor &x, const Window2d &win);
 Tensor avgPool2dBackward(const Shape &x_shape, const Tensor &grad_out,
                          const Window2d &win);
 
+/**
+ * @name Halo-aware patch-view pooling
+ *
+ * Zero-copy split execution: pool a rectangular patch of one parent
+ * image straight out of parent memory (window taps outside the view
+ * read as the split scheme's zero padding) and write the result into
+ * the patch's block of the parent output — no pad2d input copy, no
+ * per-patch output tensor, no concat. The clip tests and the
+ * tap-visit order are byte-for-byte the ones maxPool2dForward /
+ * avgPool2dForward apply to a materialized patch, so the fused and
+ * materializing split-pool paths produce identical bits.
+ */
+///@{
+/**
+ * Max-pool one image's patch.
+ *
+ * @param img parent image, C x ih x iw, contiguous.
+ * @param view patch rectangle inside the parent.
+ * @param win patch-local window (split-scheme paddings).
+ * @param out parent output image base, [C, out_oh, out_ow].
+ * @param oy0,ox0 where the patch's output block starts in @p out.
+ *
+ * All-padding windows write 0, matching maxPool2dForward. No argmax:
+ * the fused path serves forward-only (inference) execution.
+ */
+void maxPool2dPatch(const float *img, int64_t c, int64_t ih,
+                    int64_t iw, const PatchView &view,
+                    const Window2d &win, float *out, int64_t out_oh,
+                    int64_t out_ow, int64_t oy0, int64_t ox0);
+
+/** Average-pool one image's patch; count_include_pad semantics like
+ * avgPool2dForward (every window divides by kh*kw). */
+void avgPool2dPatch(const float *img, int64_t c, int64_t ih,
+                    int64_t iw, const PatchView &view,
+                    const Window2d &win, float *out, int64_t out_oh,
+                    int64_t out_ow, int64_t oy0, int64_t ox0);
+///@}
+
 /** Global average pool: [N, C, H, W] -> [N, C, 1, 1]. */
 Tensor globalAvgPoolForward(const Tensor &x);
 

@@ -74,6 +74,23 @@ struct PatchView
     {
         return PatchView{0, 0, ih, iw};
     }
+
+    /** True when patch-local coordinates fall inside the view — the
+     * bounds the halo-aware kernels clip window taps against (taps
+     * outside the view are the split scheme's zero padding). */
+    bool
+    inBounds(int64_t y, int64_t x) const
+    {
+        return y >= 0 && y < ih && x >= 0 && x < iw;
+    }
+
+    /** Linear offset of patch-local (y, x) in the parent image whose
+     * row stride is @p parent_iw. Caller must ensure inBounds. */
+    int64_t
+    parentOffset(int64_t y, int64_t x, int64_t parent_iw) const
+    {
+        return (r0 + y) * parent_iw + (c0 + x);
+    }
 };
 
 } // namespace scnn

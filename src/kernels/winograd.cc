@@ -1,5 +1,8 @@
 #include "kernels/winograd.h"
 
+#include <algorithm>
+
+#include "kernels/gemm.h"
 #include "util/logging.h"
 #include "util/scratch_arena.h"
 #include "util/threadpool.h"
@@ -7,6 +10,11 @@
 namespace scnn {
 
 namespace {
+
+/** Tile rows one parallel work item covers in conv2dForwardWinograd:
+ * large enough that the 16 batched GEMMs see a useful N, small
+ * enough that tile-row chunks of one image still fan out. */
+constexpr int64_t kTileRowChunk = 8;
 
 /**
  * Weight transform U = G g G^T for one 3x3 filter, with
@@ -84,25 +92,54 @@ winogradApplicable(const Window2d &win)
     return win.kh == 3 && win.kw == 3 && win.sh == 1 && win.sw == 1;
 }
 
-void
-winogradTransformWeights(const float *weight, int64_t oc, int64_t c,
-                         float *u)
+bool
+winogradCostModelWins(int64_t c, int64_t oc)
 {
+    // Per 2x2 output tile, winograd saves 36*c*oc - 16*c*oc = 20*c*oc
+    // multiply-accumulates over im2col+GEMM, and pays the input
+    // transform (~64 flops+moves per channel), the inverse transform
+    // (~44 per output channel), and the V scatter. The direct path's
+    // GEMM also runs at higher arithmetic intensity than the 16 small
+    // contractions, which the margin factor absorbs. Measured on the
+    // AVX2 microkernel (56x56 input, square channels): winograd is
+    // 0.87x at c = oc = 16, 0.83x at 32, 1.07x at 64, 1.44x at 128 —
+    // a margin of 8.0 puts the square-channel crossover at c ~ 43, so
+    // 32 loses and 64 wins, matching those measurements.
+    return 20.0 * double(c) * double(oc) >=
+           8.0 * (64.0 * double(c) + 44.0 * double(oc));
+}
+
+int64_t
+winogradPackedUSize(int64_t oc, int64_t c)
+{
+    return 16 * gemmPackedASize(oc, c);
+}
+
+void
+winogradPackWeights(const float *weight, int64_t oc, int64_t c,
+                    float *pu)
+{
+    // Stage the 16 transform-point matrices U_e (oc x c, row-major)
+    // in the arena, then pack each one into microkernel A-panels.
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+    float *ue = arena.alloc(16 * oc * c);
     for (int64_t o = 0; o < oc; ++o)
         for (int64_t ic = 0; ic < c; ++ic) {
             float tile[4][4];
             transformWeight(weight + (o * c + ic) * 9, tile);
-            float *dst = u + (o * c + ic) * 16;
-            for (int r = 0; r < 4; ++r)
-                for (int col = 0; col < 4; ++col)
-                    dst[r * 4 + col] = tile[r][col];
+            for (int e = 0; e < 16; ++e)
+                ue[e * oc * c + o * c + ic] = tile[e / 4][e % 4];
         }
+    const int64_t pa_sz = gemmPackedASize(oc, c);
+    for (int e = 0; e < 16; ++e)
+        gemmPackA(oc, c, 1.0f, ue + e * oc * c, pu + e * pa_sz);
 }
 
 void
 conv2dWinogradPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
                     const PatchView &view, const Window2d &win,
-                    const float *u, int64_t oc, const float *bias,
+                    const float *pu, int64_t oc, const float *bias,
                     int64_t ty0, int64_t ty1, float *out,
                     int64_t out_oh, int64_t out_ow, int64_t oy0,
                     int64_t ox0)
@@ -111,21 +148,27 @@ conv2dWinogradPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
     const int64_t oh_p = win.outH(view.ih);
     const int64_t ow_p = win.outW(view.iw);
     const int64_t tiles_x = (ow_p + 1) / 2;
+    const int64_t tiles = (ty1 - ty0) * tiles_x;
+    if (tiles <= 0)
+        return;
 
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();
-    float *v = arena.alloc(c * 16);
+    float *v = arena.alloc(16 * c * tiles);
+    float *m = arena.alloc(16 * oc * tiles);
 
-    for (int64_t ty = ty0; ty < ty1; ++ty) {
-        for (int64_t tx = 0; tx < tiles_x; ++tx) {
-            // Gather the 4x4 input tile (with padding) per channel,
-            // bounds-checked against the *patch* extents but read
-            // straight from parent memory.
-            const int64_t y0 = 2 * ty - win.ph_b;
-            const int64_t x0 = 2 * tx - win.pw_b;
-            for (int64_t ic = 0; ic < c; ++ic) {
+    // Phase 1: gather + transform every input tile of the block,
+    // scattering transform point e of (channel ic, tile t) to
+    // V_e(ic, t). Channel-major loop keeps the per-e rows of V
+    // written sequentially in t.
+    for (int64_t ic = 0; ic < c; ++ic) {
+        const float *chan = img + ic * ih * iw;
+        for (int64_t ty = ty0; ty < ty1; ++ty)
+            for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                const int64_t t = (ty - ty0) * tiles_x + tx;
+                const int64_t y0 = 2 * ty - win.ph_b;
+                const int64_t x0 = 2 * tx - win.pw_b;
                 float d[4][4];
-                const float *chan = img + ic * ih * iw;
                 for (int r = 0; r < 4; ++r)
                     for (int col = 0; col < 4; ++col) {
                         const int64_t yy = y0 + r;
@@ -139,35 +182,44 @@ conv2dWinogradPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
                     }
                 float tile[4][4];
                 transformInput(d, tile);
-                float *dst = v + ic * 16;
-                for (int r = 0; r < 4; ++r)
-                    for (int col = 0; col < 4; ++col)
-                        dst[r * 4 + col] = tile[r][col];
+                for (int e = 0; e < 16; ++e)
+                    v[(e * c + ic) * tiles + t] = tile[e / 4][e % 4];
             }
-            // Elementwise multiply-accumulate over channels, then
-            // inverse-transform per output channel.
-            for (int64_t o = 0; o < oc; ++o) {
-                float m[4][4] = {};
-                for (int64_t ic = 0; ic < c; ++ic) {
-                    const float *uf = u + (o * c + ic) * 16;
-                    const float *vf = v + ic * 16;
-                    for (int e = 0; e < 16; ++e)
-                        m[e / 4][e % 4] += uf[e] * vf[e];
-                }
+    }
+
+    // Phase 2: one packed GEMM per transform point,
+    // M_e = U_e (oc x c) * V_e (c x tiles). Under the scalar
+    // microkernel this accumulates channels ascending with the same
+    // per-step rounding as a scalar MAC loop, so M is bit-identical
+    // to the per-tile formulation.
+    const int64_t pa_sz = gemmPackedASize(oc, c);
+    for (int e = 0; e < 16; ++e)
+        gemmPackedA(oc, tiles, c, pu + e * pa_sz,
+                    v + e * c * tiles, 0.0f, m + e * oc * tiles);
+
+    // Phase 3: inverse-transform each tile per output channel and
+    // write the clipped 2x2 block into the strided parent output.
+    for (int64_t o = 0; o < oc; ++o) {
+        const float b = bias != nullptr ? bias[o] : 0.0f;
+        float *ochan = out + o * out_oh * out_ow;
+        for (int64_t ty = ty0; ty < ty1; ++ty)
+            for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                const int64_t t = (ty - ty0) * tiles_x + tx;
+                float mm[4][4];
+                for (int e = 0; e < 16; ++e)
+                    mm[e / 4][e % 4] =
+                        m[(e * oc + o) * tiles + t];
                 float y[2][2];
-                transformOutput(m, y);
-                const float b = bias != nullptr ? bias[o] : 0.0f;
+                transformOutput(mm, y);
                 for (int r = 0; r < 2; ++r)
                     for (int col = 0; col < 2; ++col) {
                         const int64_t py = 2 * ty + r;
                         const int64_t px = 2 * tx + col;
                         if (py < oh_p && px < ow_p)
-                            out[o * out_oh * out_ow +
-                                (oy0 + py) * out_ow + ox0 + px] =
+                            ochan[(oy0 + py) * out_ow + ox0 + px] =
                                 y[r][col] + b;
                     }
             }
-        }
     }
 }
 
@@ -190,28 +242,35 @@ conv2dForwardWinograd(const Tensor &x, const Tensor &weight,
     const int64_t ow = win.outW(iw);
     SCNN_REQUIRE(oh > 0 && ow > 0, "empty output");
 
-    // Transform all filters once: U[oc][c] is a 4x4 tile. The U
-    // buffer lives in the caller's arena and is shared read-only by
-    // every worker.
+    // Transform and pack all filters once; the packed U lives in the
+    // caller's arena and is shared read-only by every worker.
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();
-    float *u = arena.alloc(oc * c * 16);
-    winogradTransformWeights(weight.data(), oc, c, u);
+    float *pu = arena.alloc(winogradPackedUSize(oc, c));
+    winogradPackWeights(weight.data(), oc, c, pu);
 
     // The 2x2 output tiles cover every output element, so the
-    // allocation skips its zero-fill; images are independent. The
-    // whole image is one trivial patch view.
+    // allocation skips its zero-fill. Work items are (image,
+    // tile-row chunk) pairs writing disjoint output rows.
     Tensor out = Tensor::uninitialized(Shape{n, oc, oh, ow});
     const float *bias_ptr = bias.numel() > 0 ? bias.data() : nullptr;
     const int64_t tiles_y = (oh + 1) / 2;
+    const int64_t chunks =
+        (tiles_y + kTileRowChunk - 1) / kTileRowChunk;
 
-    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
-        for (int64_t in = nb; in < ne; ++in)
+    globalPool().parallelFor(n * chunks, [&](int64_t b, int64_t e) {
+        for (int64_t it = b; it < e; ++it) {
+            const int64_t in = it / chunks;
+            const int64_t ch = it % chunks;
+            const int64_t ty0 = ch * kTileRowChunk;
+            const int64_t ty1 =
+                std::min(tiles_y, ty0 + kTileRowChunk);
             conv2dWinogradPatch(x.data() + in * c * ih * iw, c, ih,
-                                iw, PatchView::full(ih, iw), win, u,
-                                oc, bias_ptr, 0, tiles_y,
+                                iw, PatchView::full(ih, iw), win, pu,
+                                oc, bias_ptr, ty0, ty1,
                                 out.data() + in * oc * oh * ow, oh,
                                 ow, 0, 0);
+        }
     });
     return out;
 }
@@ -222,9 +281,18 @@ winogradWorkspaceBytes(const Tensor &x, const Tensor &weight,
 {
     SCNN_REQUIRE(winogradApplicable(win), "not a winograd geometry");
     const int64_t c = x.shape().dim(1);
+    const int64_t iw = x.shape().dim(3);
     const int64_t oc = weight.shape().dim(0);
-    // U (all filters) + V (one tile column of channels) + M.
-    return (oc * c * 16 + c * 16 + 16) * int64_t(sizeof(float));
+    const int64_t ow = win.outW(iw);
+    const int64_t oh = win.outH(x.shape().dim(2));
+    const int64_t tiles_x = (ow + 1) / 2;
+    const int64_t tiles_y = (oh + 1) / 2;
+    const int64_t chunk_tiles =
+        std::min(tiles_y, kTileRowChunk) * tiles_x;
+    // Packed U (all filters) + one work item's V and M blocks.
+    return (winogradPackedUSize(oc, c) +
+            16 * (c + oc) * chunk_tiles) *
+           int64_t(sizeof(float));
 }
 
 } // namespace scnn

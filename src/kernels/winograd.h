@@ -39,37 +39,67 @@ int64_t winogradWorkspaceBytes(const Tensor &x, const Tensor &weight,
                                const Window2d &win);
 
 /**
- * @name Halo-aware patch-view winograd
- *
- * Zero-copy split execution: transform the filters once per layer,
- * then run the tile loop directly over a patch view of the parent
- * input, writing into a strided region of the parent output. The
- * per-tile arithmetic is identical to conv2dForwardWinograd run on a
- * materialized patch tensor, so both paths produce the same bytes.
+ * Winograd-vs-im2col selection heuristic, shared by
+ * conv2dForwardAuto and the split executor: Winograd's 2.25x MAC
+ * saving must amortize the per-tile input/inverse transforms, which
+ * scale with c + oc while the saving scales with c * oc. The
+ * constants were calibrated against bench_kernels (the
+ * winograd_speedup measurement gates them in CI). Deterministic in
+ * the shapes alone, so kernel selection — and with it every output
+ * byte — is stable across runs and thread counts.
  */
-///@{
-/** U = G g G^T for all filters; @p u holds oc*c*16 floats. */
-void winogradTransformWeights(const float *weight, int64_t oc,
-                              int64_t c, float *u);
+bool winogradCostModelWins(int64_t c, int64_t oc);
 
 /**
- * Run winograd tile rows [ty0, ty1) of one image's patch.
+ * @name Halo-aware patch-view winograd, batched-GEMM form
+ *
+ * Zero-copy split execution: transform and pack the filters once per
+ * layer, then run whole blocks of tiles as packed GEMMs directly
+ * over a patch view of the parent input, writing into a strided
+ * region of the parent output.
+ *
+ * For each of the 16 transform points e, the input transforms of a
+ * tile block are scattered into a c x T matrix V_e and contracted
+ * against the packed oc x c weight matrix U_e in one gemmPackedA
+ * call (the batched-GEMM Winograd formulation), instead of a scalar
+ * per-tile multiply-accumulate loop. Under the scalar microkernel
+ * the GEMM accumulates channels in the same ascending order with the
+ * same per-step rounding as the old scalar loop, so outputs are
+ * bit-identical to the materializing Winograd path; under AVX2 the
+ * contraction joins the documented determinism carve-out.
+ */
+///@{
+/** Floats winogradPackWeights needs for one layer's packed U. */
+int64_t winogradPackedUSize(int64_t oc, int64_t c);
+
+/** Transform all filters (U = G g G^T) and pack each of the 16
+ * transform-point matrices U_e (oc x c) into gemmPackA panels;
+ * @p pu holds winogradPackedUSize(oc, c) floats, 64-byte aligned.
+ * Packed under the active microkernel — pack and consume under the
+ * same SIMD selection. */
+void winogradPackWeights(const float *weight, int64_t oc, int64_t c,
+                         float *pu);
+
+/**
+ * Run winograd tile rows [ty0, ty1) of one image's patch as batched
+ * GEMMs.
  *
  * @param img parent image, C x ih x iw, contiguous.
  * @param view patch rectangle inside the parent.
  * @param win patch-local 3x3/1 window (split-scheme paddings).
- * @param u transformed weights from winogradTransformWeights.
+ * @param pu packed weights from winogradPackWeights.
  * @param bias per-channel bias or nullptr.
  * @param out parent output image base, [oc, out_oh, out_ow].
  * @param oy0,ox0 where the patch's output block starts in @p out.
  *
  * Tile row ty produces patch-output rows [2ty, 2ty+2) clipped to the
  * patch output height, so callers can tile a patch across workers
- * with any even row granularity.
+ * with any even row granularity. Scratch (V and M matrices for the
+ * block) comes from the calling thread's arena.
  */
 void conv2dWinogradPatch(const float *img, int64_t c, int64_t ih,
                          int64_t iw, const PatchView &view,
-                         const Window2d &win, const float *u,
+                         const Window2d &win, const float *pu,
                          int64_t oc, const float *bias, int64_t ty0,
                          int64_t ty1, float *out, int64_t out_oh,
                          int64_t out_ow, int64_t oy0, int64_t ox0);

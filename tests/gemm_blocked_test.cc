@@ -38,6 +38,21 @@ struct GemmCase
     int64_t m, n, k;
 };
 
+/** 64-byte-aligned float buffer: packed panels are consumed with
+ * aligned SIMD loads (the gemm.h contract), which a plain
+ * std::vector does not guarantee. */
+struct AlignedBuf
+{
+    explicit AlignedBuf(int64_t n)
+        : raw(static_cast<size_t>(n + 16), 0.0f)
+    {
+        auto addr = reinterpret_cast<uintptr_t>(raw.data());
+        p = reinterpret_cast<float *>((addr + 63) & ~uintptr_t{63});
+    }
+    std::vector<float> raw;
+    float *p;
+};
+
 /** Prime and otherwise edge-unfriendly sizes: every microkernel edge
  * case (partial MR rows, partial NR columns, short K) is hit. */
 const GemmCase kCases[] = {
@@ -234,16 +249,15 @@ TEST(GemmBlocked, PackedAReuseBitwiseMatchesBlocked)
             gemmBlocked(cs.m, cs.n, cs.k, 1.0f, a.data(), b.data(),
                         0.0f, c_ref.data());
 
-            std::vector<float> pa(static_cast<size_t>(
-                gemmPackedASize(cs.m, cs.k)));
-            gemmPackA(cs.m, cs.k, 1.0f, a.data(), pa.data());
+            AlignedBuf pa(gemmPackedASize(cs.m, cs.k));
+            gemmPackA(cs.m, cs.k, 1.0f, a.data(), pa.p);
             // Replay the packed panels twice: reuse must not mutate
             // them.
             for (int rep = 0; rep < 2; ++rep) {
                 std::vector<float> c_packed(
                     static_cast<size_t>(cs.m * cs.n), 0.0f);
-                gemmPackedA(cs.m, cs.n, cs.k, pa.data(), b.data(),
-                            0.0f, c_packed.data());
+                gemmPackedA(cs.m, cs.n, cs.k, pa.p, b.data(), 0.0f,
+                            c_packed.data());
                 ASSERT_EQ(0, std::memcmp(c_ref.data(),
                                          c_packed.data(),
                                          c_ref.size() *
@@ -253,6 +267,170 @@ TEST(GemmBlocked, PackedAReuseBitwiseMatchesBlocked)
                     << " simd=" << simd << ")";
             }
         }
+    }
+}
+
+/** Packing B once and replaying it through gemmPackedAB must track
+ * the one-shot blocked kernel: bitwise under the scalar microkernel
+ * (the packed consumption replays blockedCore's per-element
+ * accumulation order), epsilon-bounded under AVX2. The replay runs
+ * twice over the same panels — a cache hit must see the bytes a miss
+ * packed. */
+TEST(PackedB, ReplayMatchesBlocked)
+{
+    for (const bool simd : {false, true}) {
+        if (simd && !simdAvailable())
+            continue;
+        ScopedSimd pin(simd);
+        uint32_t seed = 6200;
+        for (const auto &cs : kCases) {
+            Rng rng(++seed);
+            std::vector<float> a(static_cast<size_t>(cs.m * cs.k));
+            std::vector<float> b(static_cast<size_t>(cs.k * cs.n));
+            fillRandom(a, rng);
+            fillRandom(b, rng);
+
+            std::vector<float> c_ref(
+                static_cast<size_t>(cs.m * cs.n), 0.0f);
+            gemmBlocked(cs.m, cs.n, cs.k, 1.0f, a.data(), b.data(),
+                        0.0f, c_ref.data());
+
+            AlignedBuf pa(gemmPackedASize(cs.m, cs.k));
+            gemmPackA(cs.m, cs.k, 1.0f, a.data(), pa.p);
+            AlignedBuf pb(gemmPackedBSize(cs.k, cs.n));
+            gemmPackB(cs.k, cs.n, b.data(), cs.n, pb.p);
+            for (int rep = 0; rep < 2; ++rep) {
+                std::vector<float> c_packed(
+                    static_cast<size_t>(cs.m * cs.n), 0.0f);
+                gemmPackedAB(cs.m, cs.n, cs.k, pa.p, pb.p, 0.0f,
+                             c_packed.data(), cs.n);
+                if (!simd) {
+                    ASSERT_EQ(0, std::memcmp(c_ref.data(),
+                                             c_packed.data(),
+                                             c_ref.size() *
+                                                 sizeof(float)))
+                        << "packed-B replay " << rep
+                        << " differs bitwise (m=" << cs.m
+                        << " n=" << cs.n << " k=" << cs.k << ")";
+                } else {
+                    for (int64_t i = 0; i < cs.m * cs.n; ++i) {
+                        const float ref =
+                            c_ref[static_cast<size_t>(i)];
+                        const float got =
+                            c_packed[static_cast<size_t>(i)];
+                        const float tol =
+                            1e-5f * std::max(1.0f, std::fabs(ref)) *
+                            std::max<float>(
+                                1.0f, std::sqrt((float)cs.k));
+                        ASSERT_NEAR(ref, got, tol)
+                            << "element " << i << " (m=" << cs.m
+                            << " n=" << cs.n << " k=" << cs.k
+                            << " rep=" << rep << ")";
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** The parallel building blocks must be pure decompositions: packing
+ * B panel-range by panel-range equals one gemmPackB byte-for-byte,
+ * and consuming the panels in any column chunking equals one
+ * gemmPackedAB byte-for-byte — under either microkernel. This is the
+ * determinism argument for the split executor's cooperative
+ * staging. */
+TEST(PackedB, PanelChunkingIsBitwiseStable)
+{
+    for (const bool simd : {false, true}) {
+        if (simd && !simdAvailable())
+            continue;
+        ScopedSimd pin(simd);
+        uint32_t seed = 7300;
+        for (const auto &cs : kCases) {
+            Rng rng(++seed);
+            std::vector<float> a(static_cast<size_t>(cs.m * cs.k));
+            std::vector<float> b(static_cast<size_t>(cs.k * cs.n));
+            fillRandom(a, rng);
+            fillRandom(b, rng);
+
+            AlignedBuf pa(gemmPackedASize(cs.m, cs.k));
+            gemmPackA(cs.m, cs.k, 1.0f, a.data(), pa.p);
+
+            const size_t pb_sz =
+                static_cast<size_t>(gemmPackedBSize(cs.k, cs.n));
+            AlignedBuf pb_once(static_cast<int64_t>(pb_sz));
+            gemmPackB(cs.k, cs.n, b.data(), cs.n, pb_once.p);
+
+            const int64_t panels = gemmPackedBPanels(cs.n);
+            AlignedBuf pb_coop(static_cast<int64_t>(pb_sz));
+            const int64_t mid = panels / 2;
+            gemmPackBPanels(cs.k, cs.n, b.data(), cs.n, 0, mid,
+                            pb_coop.p);
+            gemmPackBPanels(cs.k, cs.n, b.data(), cs.n, mid, panels,
+                            pb_coop.p);
+            ASSERT_EQ(0, std::memcmp(pb_once.p, pb_coop.p,
+                                     pb_sz * sizeof(float)))
+                << "cooperative pack differs (n=" << cs.n
+                << " simd=" << simd << ")";
+
+            std::vector<float> c_once(
+                static_cast<size_t>(cs.m * cs.n), 0.0f);
+            gemmPackedAB(cs.m, cs.n, cs.k, pa.p, pb_once.p, 0.0f,
+                         c_once.data(), cs.n);
+            for (const int64_t step : {int64_t{1}, int64_t{3},
+                                       std::max<int64_t>(1, mid)}) {
+                std::vector<float> c_chunk(
+                    static_cast<size_t>(cs.m * cs.n), 0.0f);
+                for (int64_t j0 = 0; j0 < panels; j0 += step)
+                    gemmPackedABCols(cs.m, cs.n, cs.k, pa.p,
+                                     pb_once.p, j0,
+                                     std::min(panels, j0 + step),
+                                     0.0f, c_chunk.data(), cs.n);
+                ASSERT_EQ(0,
+                          std::memcmp(c_once.data(), c_chunk.data(),
+                                      c_once.size() * sizeof(float)))
+                    << "column chunking step " << step
+                    << " differs (m=" << cs.m << " n=" << cs.n
+                    << " k=" << cs.k << " simd=" << simd << ")";
+            }
+        }
+    }
+}
+
+/** gemmPackedAB with a C row stride wider than N must write exactly
+ * the same bytes into the strided rows and leave the gap columns
+ * untouched — the split executor writes GEMM results straight into
+ * parent-output rows this way. */
+TEST(PackedB, StridedCMatchesDense)
+{
+    ScopedSimd scalar(false);
+    const int64_t m = 13, n = 23, k = 31, ldc = 40;
+    Rng rng(8400);
+    std::vector<float> a(static_cast<size_t>(m * k));
+    std::vector<float> b(static_cast<size_t>(k * n));
+    fillRandom(a, rng);
+    fillRandom(b, rng);
+    AlignedBuf pa(gemmPackedASize(m, k));
+    gemmPackA(m, k, 1.0f, a.data(), pa.p);
+    AlignedBuf pb(gemmPackedBSize(k, n));
+    gemmPackB(k, n, b.data(), n, pb.p);
+
+    std::vector<float> c_dense(static_cast<size_t>(m * n), 0.0f);
+    gemmPackedAB(m, n, k, pa.p, pb.p, 0.0f, c_dense.data(), n);
+    std::vector<float> c_strided(static_cast<size_t>(m * ldc),
+                                 -7.0f);
+    gemmPackedAB(m, n, k, pa.p, pb.p, 0.0f, c_strided.data(), ldc);
+    for (int64_t i = 0; i < m; ++i) {
+        ASSERT_EQ(0, std::memcmp(
+                         c_dense.data() + i * n,
+                         c_strided.data() + i * ldc,
+                         static_cast<size_t>(n) * sizeof(float)))
+            << "row " << i << " differs";
+        for (int64_t j = n; j < ldc; ++j)
+            ASSERT_EQ(-7.0f,
+                      c_strided[static_cast<size_t>(i * ldc + j)])
+                << "gap column (" << i << ", " << j
+                << ") was clobbered";
     }
 }
 

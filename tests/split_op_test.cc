@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "kernels/conv2d.h"
+#include "kernels/gemm.h"
 #include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
 #include "kernels/winograd.h"
@@ -234,9 +235,11 @@ TEST(SplitOp, SlicePatchMatchesManualCrop)
  *   gemm() size heuristic may route the two sides to different
  *   kernels, so equality is only epsilon-close — the documented
  *   carve-out;
- * - fused Winograd is bitwise-identical to the materializing path
- *   (conv2dForwardAuto routes 3x3/s1 patches to Winograd, and the
- *   fused tile loop replays its arithmetic on parent memory);
+ * - fused Winograd is bitwise-identical (scalar microkernel) to
+ *   materializing each patch and running conv2dForwardWinograd on it:
+ *   the batched per-transform-point GEMMs accumulate channels in the
+ *   same ascending order as the materializing kernel's, on the same
+ *   transformed values;
  * - fused-vs-materialized always agrees within float tolerance even
  *   when the two sides round differently.
  */
@@ -316,12 +319,30 @@ TEST(SplitOp, FusedWinogradBitwiseMatchesMaterialized)
         b.fillNormal(rng, 0.0f, 0.4f);
         const auto scheme =
             makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        // Materializing path pinned to the Winograd kernel so the
+        // comparison is like-for-like (Auto's cost model would pick
+        // im2col for these small channel counts).
+        auto materialized = [&] {
+            return runSplitOp(
+                x, win, scheme,
+                [&](const Tensor &patch, const Window2d &local) {
+                    return conv2dForwardWinograd(patch, w, b, local);
+                });
+        };
+        {
+            // Bitwise under the scalar reference kernel.
+            ScopedSimd pin(false);
+            Tensor fused = splitConv2dForwardFused(
+                x, w, b, win, scheme, /*use_winograd=*/true);
+            Tensor sref = materialized();
+            ASSERT_EQ(fused.shape(), sref.shape()) << hc.name;
+            EXPECT_TRUE(allClose(fused, sref, 0.0f)) << hc.name;
+        }
+        // Epsilon-close whichever kernel the environment picked.
         Tensor fused = splitConv2dForwardFused(
             x, w, b, win, scheme, /*use_winograd=*/true);
-        Tensor ref =
-            splitConv2dForwardMaterialized(x, w, b, win, scheme);
-        ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
-        EXPECT_TRUE(allClose(fused, ref, 0.0f)) << hc.name;
+        EXPECT_TRUE(allClose(fused, materialized(), 1e-4f))
+            << hc.name;
     }
 }
 
@@ -345,6 +366,167 @@ TEST(SplitOp, FusedMatchesMaterializedWithinTolerance)
         ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
         EXPECT_TRUE(allClose(fused, ref, 1e-4f)) << hc.name;
     }
+}
+
+/**
+ * Fused zero-copy split pooling vs the materializing reference, over
+ * the same halo-geometry sweep as the conv tests (1px borders,
+ * uneven patch grids, stride-2, 2-row halos) plus natural pool
+ * shapes. The patch kernels replay maxPool2dForward /
+ * avgPool2dForward's clip tests and tap order on parent memory, so
+ * equality is bitwise — max selection is order-sensitive and avg
+ * accumulation order fixed, no epsilon needed.
+ */
+const HaloCase kPoolCases[] = {
+    {"borders_1px", 9, 9, 3, 1, 1, 3, 3},
+    {"uneven", 17, 19, 3, 1, 1, 3, 4},
+    {"stride2", 18, 22, 3, 2, 1, 2, 3},
+    {"big_halo", 16, 16, 5, 1, 2, 2, 2},
+    {"no_pad", 14, 12, 3, 1, 0, 2, 2},
+    {"tiny_patches", 7, 7, 3, 1, 1, 3, 3},
+    {"natural_2x2", 16, 16, 2, 2, 0, 2, 2},
+    {"natural_pad", 14, 14, 2, 2, 1, 2, 2},
+    {"pool3_stride2", 21, 17, 3, 2, 1, 3, 2},
+};
+
+TEST(SplitPool, FusedMaxBitwiseMatchesMaterialized)
+{
+    uint32_t seed = 200;
+    for (const auto &hc : kPoolCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor fused = splitMaxPool2dForwardFused(x, win, scheme);
+        Tensor ref =
+            splitMaxPool2dForwardMaterialized(x, win, scheme);
+        ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
+        EXPECT_TRUE(allClose(fused, ref, 0.0f)) << hc.name;
+    }
+}
+
+TEST(SplitPool, FusedAvgBitwiseMatchesMaterialized)
+{
+    uint32_t seed = 220;
+    for (const auto &hc : kPoolCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor fused = splitAvgPool2dForwardFused(x, win, scheme);
+        Tensor ref =
+            splitAvgPool2dForwardMaterialized(x, win, scheme);
+        ASSERT_EQ(fused.shape(), ref.shape()) << hc.name;
+        EXPECT_TRUE(allClose(fused, ref, 0.0f)) << hc.name;
+    }
+}
+
+/** All-padding windows (possible on heavily padded tiny patches)
+ * must write 0 through the fused path exactly like the reference. */
+TEST(SplitPool, FusedMaxHandlesAllPaddingWindows)
+{
+    Rng rng(250);
+    Tensor x(Shape{1, 2, 6, 6});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    // k=2/s=2/p=2 on a 6x6 input: the corner windows see only
+    // padding.
+    const Window2d win = Window2d::square(2, 2, 2);
+    const auto scheme = makeScheme(win, 6, 6, 2, 2);
+    Tensor fused = splitMaxPool2dForwardFused(x, win, scheme);
+    Tensor ref = splitMaxPool2dForwardMaterialized(x, win, scheme);
+    EXPECT_TRUE(allClose(fused, ref, 0.0f));
+    EXPECT_EQ(fused.at4(0, 0, 0, 0), 0.0f);
+}
+
+/**
+ * The weight-panel cache must turn repeated fused calls into exactly
+ * one pack per (layer, kernel choice) — packs == layers — serve hits
+ * bitwise-identically to the miss that packed, and repack when a
+ * layer's weights change in place.
+ */
+TEST(SplitOp, WeightPanelCachePacksOncePerLayer)
+{
+    splitWeightCacheClear();
+    Rng rng(300);
+    Tensor x(Shape{1, 3, 16, 16});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w1(Shape{4, 3, 3, 3});
+    w1.fillNormal(rng, 0.0f, 0.4f);
+    Tensor w2(Shape{4, 3, 3, 3});
+    w2.fillNormal(rng, 0.0f, 0.4f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 16, 16, 2, 2);
+
+    const int64_t packs0 = gemmPackACalls();
+    Tensor first1 = splitConv2dForwardFused(x, w1, Tensor(), win,
+                                            scheme, false);
+    Tensor first2 = splitConv2dForwardFused(x, w2, Tensor(), win,
+                                            scheme, false);
+    const int64_t packs_after_miss = gemmPackACalls();
+    EXPECT_EQ(packs_after_miss - packs0, 2)
+        << "two layers must pack exactly twice";
+    auto stats = splitWeightCacheStats();
+    EXPECT_EQ(stats.misses, 2);
+    EXPECT_EQ(stats.hits, 0);
+    EXPECT_EQ(stats.entries, 2);
+
+    // Second pass over the same "network": all hits, zero packs,
+    // identical bytes.
+    Tensor again1 = splitConv2dForwardFused(x, w1, Tensor(), win,
+                                            scheme, false);
+    Tensor again2 = splitConv2dForwardFused(x, w2, Tensor(), win,
+                                            scheme, false);
+    EXPECT_EQ(gemmPackACalls(), packs_after_miss)
+        << "cache hits must not repack";
+    stats = splitWeightCacheStats();
+    EXPECT_EQ(stats.misses, 2);
+    EXPECT_EQ(stats.hits, 2);
+    EXPECT_TRUE(allClose(first1, again1, 0.0f));
+    EXPECT_TRUE(allClose(first2, again2, 0.0f));
+
+    // In-place weight update (training step): the content hash must
+    // catch it and repack rather than serve stale panels.
+    for (int64_t i = 0; i < w1.numel(); ++i)
+        w1.at(i) += 0.25f;
+    Tensor updated = splitConv2dForwardFused(x, w1, Tensor(), win,
+                                             scheme, false);
+    stats = splitWeightCacheStats();
+    EXPECT_EQ(stats.misses, 3) << "stale entry must repack";
+    Tensor fresh =
+        splitConv2dForwardMaterialized(x, w1, Tensor(), win, scheme);
+    EXPECT_TRUE(allClose(updated, fresh, 1e-4f));
+
+    splitWeightCacheClear();
+    EXPECT_EQ(splitWeightCacheStats().entries, 0);
+}
+
+/** The Winograd kernel choice gets its own cache slot (its packed U
+ * layout differs from the GEMM A panels for the same weights). */
+TEST(SplitOp, WeightPanelCacheKeyedByKernelChoice)
+{
+    splitWeightCacheClear();
+    Rng rng(320);
+    Tensor x(Shape{1, 3, 16, 16});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{4, 3, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.4f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 16, 16, 2, 2);
+
+    splitConv2dForwardFused(x, w, Tensor(), win, scheme, false);
+    splitConv2dForwardFused(x, w, Tensor(), win, scheme, true);
+    auto stats = splitWeightCacheStats();
+    EXPECT_EQ(stats.misses, 2) << "im2col and winograd panels are "
+                                  "distinct cache entries";
+    EXPECT_EQ(stats.entries, 2);
+    splitConv2dForwardFused(x, w, Tensor(), win, scheme, true);
+    stats = splitWeightCacheStats();
+    EXPECT_EQ(stats.hits, 1);
+    splitWeightCacheClear();
 }
 
 TEST(SplitOp, StochasticSchemeStillTilesOutput)

@@ -124,6 +124,29 @@ diagnosticCodes()
         {"SA504", DiagSeverity::Error,
          "slice/concat geometry invalid (out of bounds or not a "
          "tiling)"},
+        // --- SA6xx: parallel execution safety -----------------------------
+        {"SA601", DiagSeverity::Error,
+         "write sets of two work items in the same wave overlap"},
+        {"SA602", DiagSeverity::Error,
+         "work-item access outside the bounds of its region"},
+        {"SA603", DiagSeverity::Error,
+         "write to a read-only shared region (weight panels, "
+         "Winograd U tensors, cached panels)"},
+        {"SA604", DiagSeverity::Error,
+         "access to a scratch-arena region owned by another work "
+         "item"},
+        {"SA605", DiagSeverity::Error,
+         "executor wave reads a tensor not produced by an earlier "
+         "wave (happens-before violation)"},
+        {"SA606", DiagSeverity::Error,
+         "deferred BN running-stat update concurrent or out of "
+         "topological order (determinism contract violation)"},
+        {"SA607", DiagSeverity::Error,
+         "shadow-recorded access escapes the statically predicted "
+         "footprint (analyzer bug)"},
+        {"SA608", DiagSeverity::Error,
+         "work-item write sets do not cover an exact-cover region "
+         "(gap in the output tiling)"},
     };
     return table;
 }

@@ -1,0 +1,781 @@
+#include "analysis/parallel_model.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "kernels/gemm.h"
+#include "kernels/winograd.h"
+#include "train/executor.h"
+
+namespace scnn {
+
+int64_t
+findParallelRegion(const ParallelPlan &plan, const std::string &name)
+{
+    for (size_t i = 0; i < plan.regions.size(); ++i)
+        if (plan.regions[i].name == name)
+            return static_cast<int64_t>(i);
+    return -1;
+}
+
+std::string
+parallelItemName(const ParallelPlan &plan, int64_t item)
+{
+    if (item >= 0 && item < static_cast<int64_t>(plan.items.size()) &&
+        !plan.items[static_cast<size_t>(item)].name.empty())
+        return plan.items[static_cast<size_t>(item)].name;
+    std::ostringstream os;
+    os << "item " << item;
+    return os.str();
+}
+
+namespace {
+
+/** Expanded-interval explosion guard for corrupt spans. Every span a
+ * builder emits expands to at most (items x channels) intervals —
+ * orders of magnitude below this. */
+constexpr int64_t kMaxSpanExpansion = int64_t{1} << 22;
+
+/** Happens-before checks walk a per-offset array; ordered regions
+ * are slot-granular (one slot per tensor), far below this. */
+constexpr int64_t kMaxOrderedRegionSize = int64_t{1} << 20;
+
+/** Stop repeating one failure mode past this many findings/region. */
+constexpr int kMaxFindingsPerRegion = 16;
+
+/** Min/max float offset touched by a span; false for malformed
+ * spans (non-positive counts or lengths). Handles negative strides
+ * so corrupt plans get bounds diagnostics instead of UB. */
+bool
+spanBounds(const StridedSpan &sp, int64_t *lo, int64_t *hi)
+{
+    if (sp.len <= 0 || sp.n1 <= 0 || sp.n2 <= 0)
+        return false;
+    const int64_t r1 = (sp.n1 - 1) * sp.s1;
+    const int64_t r2 = (sp.n2 - 1) * sp.s2;
+    *lo = sp.base + std::min<int64_t>(r1, 0) + std::min<int64_t>(r2, 0);
+    *hi = sp.base + std::max<int64_t>(r1, 0) + std::max<int64_t>(r2, 0) +
+          sp.len;
+    return true;
+}
+
+/** One expanded contiguous interval of one item's access. */
+struct Interval
+{
+    int64_t lo = 0;
+    int64_t hi = 0; ///< exclusive
+    int64_t item = -1;
+    int64_t epoch = 0;
+    int64_t seq = -1;
+};
+
+void
+expandSpan(const StridedSpan &sp, int64_t item, int64_t epoch,
+           int64_t seq, std::vector<Interval> &out)
+{
+    // Zero-stride repeats expand to the same interval; dedupe them so
+    // a degenerate span cannot blow up the interval list.
+    const int64_t n1 = sp.s1 == 0 ? 1 : sp.n1;
+    const int64_t n2 = sp.s2 == 0 ? 1 : sp.n2;
+    for (int64_t i1 = 0; i1 < n1; ++i1)
+        for (int64_t i2 = 0; i2 < n2; ++i2) {
+            const int64_t base = sp.base + i1 * sp.s1 + i2 * sp.s2;
+            out.push_back({base, base + sp.len, item, epoch, seq});
+        }
+}
+
+/** Per-region interval sets, split by direction. */
+struct RegionAccesses
+{
+    std::vector<Interval> writes;
+    std::vector<Interval> reads;
+};
+
+bool
+byEpochThenLo(const Interval &a, const Interval &b)
+{
+    if (a.epoch != b.epoch)
+        return a.epoch < b.epoch;
+    return a.lo < b.lo;
+}
+
+/**
+ * SA601: within every epoch, sweep reads and writes together; any
+ * overlap between *different* items where at least one side writes
+ * is a data race.
+ */
+void
+checkSameEpochRaces(const ParallelPlan &plan, int64_t region,
+                    RegionAccesses &ra, DiagnosticSink &sink)
+{
+    const std::string &rname =
+        plan.regions[static_cast<size_t>(region)].name;
+    struct Tagged
+    {
+        Interval iv;
+        bool write;
+    };
+    std::vector<Tagged> all;
+    all.reserve(ra.writes.size() + ra.reads.size());
+    for (const Interval &iv : ra.writes)
+        all.push_back({iv, true});
+    for (const Interval &iv : ra.reads)
+        all.push_back({iv, false});
+    std::sort(all.begin(), all.end(),
+              [](const Tagged &a, const Tagged &b) {
+                  return byEpochThenLo(a.iv, b.iv);
+              });
+
+    int findings = 0;
+    std::vector<const Tagged *> active;
+    for (size_t i = 0; i < all.size(); ++i) {
+        if (i > 0 && all[i].iv.epoch != all[i - 1].iv.epoch)
+            active.clear();
+        const Tagged &cur = all[i];
+        // Expire intervals that end at or before the new start.
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const Tagged *t) {
+                                        return t->iv.hi <= cur.iv.lo;
+                                    }),
+                     active.end());
+        for (const Tagged *t : active) {
+            if (t->iv.item == cur.iv.item)
+                continue;
+            if (!t->write && !cur.write)
+                continue;
+            if (findings++ >= kMaxFindingsPerRegion)
+                return;
+            std::ostringstream os;
+            os << "region '" << rname << "': "
+               << (t->write && cur.write ? "write sets of "
+                                         : "write/read sets of ")
+               << parallelItemName(plan, t->iv.item) << " and "
+               << parallelItemName(plan, cur.iv.item) << " overlap at ["
+               << std::max(t->iv.lo, cur.iv.lo) << ", "
+               << std::min(t->iv.hi, cur.iv.hi) << ") in epoch "
+               << cur.iv.epoch;
+            DiagLocation loc;
+            loc.step = static_cast<int>(cur.iv.item);
+            sink.add("SA601", loc, os.str());
+        }
+        active.push_back(&all[i]);
+    }
+}
+
+/**
+ * SA605 (ordered regions): every offset a read touches in epoch e
+ * must have been written in some epoch strictly before e.
+ */
+void
+checkHappensBefore(const ParallelPlan &plan, int64_t region,
+                   const RegionAccesses &ra, DiagnosticSink &sink)
+{
+    const ParallelRegion &r =
+        plan.regions[static_cast<size_t>(region)];
+    if (r.size <= 0 || r.size > kMaxOrderedRegionSize)
+        return; // bounds problems are reported as SA602
+    std::vector<int64_t> first_write(static_cast<size_t>(r.size),
+                                     INT64_MAX);
+    for (const Interval &w : ra.writes)
+        for (int64_t off = std::max<int64_t>(w.lo, 0);
+             off < std::min(w.hi, r.size); ++off)
+            first_write[static_cast<size_t>(off)] =
+                std::min(first_write[static_cast<size_t>(off)],
+                         w.epoch);
+    int findings = 0;
+    for (const Interval &rd : ra.reads)
+        for (int64_t off = std::max<int64_t>(rd.lo, 0);
+             off < std::min(rd.hi, r.size); ++off) {
+            if (first_write[static_cast<size_t>(off)] < rd.epoch)
+                continue;
+            if (findings++ >= kMaxFindingsPerRegion)
+                return;
+            std::ostringstream os;
+            os << "region '" << r.name << "': "
+               << parallelItemName(plan, rd.item) << " reads slot " << off
+               << " in epoch " << rd.epoch
+               << (first_write[static_cast<size_t>(off)] == INT64_MAX
+                       ? " but no item ever writes it"
+                       : " before any earlier epoch writes it");
+            DiagLocation loc;
+            loc.step = static_cast<int>(rd.item);
+            sink.add("SA605", loc, os.str());
+            break; // one finding per read access
+        }
+}
+
+/**
+ * SA606 (serial_stats regions): overlapping writes must come from
+ * distinct epochs (never concurrent) and their epoch order must
+ * agree with their serial (seq) order — the deferred BN running-stat
+ * contract: updates happen one at a time, in topological order.
+ */
+void
+checkSerialStats(const ParallelPlan &plan, int64_t region,
+                 RegionAccesses &ra, DiagnosticSink &sink)
+{
+    const std::string &rname =
+        plan.regions[static_cast<size_t>(region)].name;
+    std::sort(ra.writes.begin(), ra.writes.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.lo < b.lo;
+              });
+    int findings = 0;
+    std::vector<const Interval *> active;
+    for (const Interval &cur : ra.writes) {
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const Interval *t) {
+                                        return t->hi <= cur.lo;
+                                    }),
+                     active.end());
+        for (const Interval *t : active) {
+            if (t->item == cur.item && t->epoch == cur.epoch)
+                continue;
+            const bool concurrent = t->epoch == cur.epoch;
+            const bool unordered = t->seq < 0 || cur.seq < 0;
+            const bool misordered =
+                !unordered && (t->epoch < cur.epoch) != (t->seq < cur.seq);
+            if (!concurrent && !unordered && !misordered)
+                continue;
+            if (findings++ >= kMaxFindingsPerRegion)
+                return;
+            std::ostringstream os;
+            os << "region '" << rname << "': stat updates of "
+               << parallelItemName(plan, t->item) << " and "
+               << parallelItemName(plan, cur.item) << " overlap at ["
+               << std::max(t->lo, cur.lo) << ", "
+               << std::min(t->hi, cur.hi) << ") ";
+            if (concurrent)
+                os << "in the same epoch " << cur.epoch
+                   << " (running-stat updates must be serialized)";
+            else if (unordered)
+                os << "without a serial order (seq unset)";
+            else
+                os << "with epoch order disagreeing with serial "
+                      "order (seq "
+                   << t->seq << " vs " << cur.seq << ")";
+            DiagLocation loc;
+            loc.step = static_cast<int>(cur.item);
+            sink.add("SA606", loc, os.str());
+        }
+        active.push_back(&cur);
+    }
+}
+
+/** SA608 (exact_cover regions): the write-set union tiles [0, size). */
+void
+checkCoverage(const ParallelPlan &plan, int64_t region,
+              RegionAccesses &ra, DiagnosticSink &sink)
+{
+    const ParallelRegion &r =
+        plan.regions[static_cast<size_t>(region)];
+    std::sort(ra.writes.begin(), ra.writes.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.lo < b.lo;
+              });
+    int findings = 0;
+    int64_t covered = 0;
+    auto gap = [&](int64_t lo, int64_t hi) {
+        if (findings++ >= kMaxFindingsPerRegion)
+            return;
+        std::ostringstream os;
+        os << "region '" << r.name << "': no work item writes ["
+           << lo << ", " << hi << ") — the decomposition leaves a "
+           << (hi - lo) << "-float gap";
+        sink.add("SA608", DiagLocation{}, os.str());
+    };
+    for (const Interval &w : ra.writes) {
+        if (w.lo > covered)
+            gap(covered, w.lo);
+        covered = std::max(covered, w.hi);
+    }
+    if (covered < r.size)
+        gap(covered, r.size);
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+analyzeParallelPlan(const ParallelPlan &plan)
+{
+    DiagnosticSink sink;
+    const int64_t n_regions =
+        static_cast<int64_t>(plan.regions.size());
+    std::vector<RegionAccesses> per_region(
+        static_cast<size_t>(n_regions));
+
+    for (size_t i = 0; i < plan.items.size(); ++i) {
+        const ParallelItem &item = plan.items[i];
+        const int64_t item_idx = static_cast<int64_t>(i);
+        for (const ParallelAccess &a : item.accesses) {
+            DiagLocation loc;
+            loc.step = static_cast<int>(item_idx);
+            if (a.region < 0 || a.region >= n_regions) {
+                std::ostringstream os;
+                os << parallelItemName(plan, item_idx)
+                   << " references region " << a.region
+                   << " of " << n_regions;
+                sink.add("SA602", loc, os.str());
+                continue;
+            }
+            const ParallelRegion &r =
+                plan.regions[static_cast<size_t>(a.region)];
+            int64_t lo = 0;
+            int64_t hi = 0;
+            if (!spanBounds(a.span, &lo, &hi) ||
+                a.span.count() > kMaxSpanExpansion) {
+                std::ostringstream os;
+                os << parallelItemName(plan, item_idx)
+                   << " has a malformed access span in region '"
+                   << r.name << "' (counts/length non-positive or "
+                   << "expansion too large)";
+                sink.add("SA602", loc, os.str());
+                continue;
+            }
+            if (lo < 0 || hi > r.size) {
+                std::ostringstream os;
+                os << parallelItemName(plan, item_idx) << " accesses ["
+                   << lo << ", " << hi << ") outside region '"
+                   << r.name << "' of size " << r.size;
+                sink.add("SA602", loc, os.str());
+                continue;
+            }
+            if (a.write && r.read_only) {
+                std::ostringstream os;
+                os << parallelItemName(plan, item_idx)
+                   << " writes [" << lo << ", " << hi
+                   << ") of read-only region '" << r.name << "'";
+                sink.add("SA603", loc, os.str());
+                continue;
+            }
+            if (r.owner >= 0 && r.owner != item_idx) {
+                std::ostringstream os;
+                os << parallelItemName(plan, item_idx) << " accesses region '"
+                   << r.name << "' owned by "
+                   << parallelItemName(plan, r.owner);
+                sink.add("SA604", loc, os.str());
+                continue;
+            }
+            if (r.read_only)
+                continue; // reads of read-only regions always race-free
+            auto &ra = per_region[static_cast<size_t>(a.region)];
+            expandSpan(a.span, item_idx, item.epoch, item.seq,
+                       a.write ? ra.writes : ra.reads);
+        }
+    }
+
+    for (int64_t rg = 0; rg < n_regions; ++rg) {
+        const ParallelRegion &r =
+            plan.regions[static_cast<size_t>(rg)];
+        if (r.read_only)
+            continue;
+        auto &ra = per_region[static_cast<size_t>(rg)];
+        if (r.serial_stats)
+            checkSerialStats(plan, rg, ra, sink);
+        else
+            checkSameEpochRaces(plan, rg, ra, sink);
+        if (r.ordered)
+            checkHappensBefore(plan, rg, ra, sink);
+        if (r.exact_cover)
+            checkCoverage(plan, rg, ra, sink);
+    }
+    return sink.take();
+}
+
+// ---------------------------------------------------------------------------
+// Builders: one per parallel surface. Each derives its decomposition
+// from the helper the kernel itself uses, so the model and the code
+// cannot drift apart silently.
+// ---------------------------------------------------------------------------
+
+ParallelPlan
+buildSplitConvPlan(int64_t n, int64_t c, int64_t ih, int64_t iw,
+                   int64_t oc, const Window2d &win,
+                   const SplitScheme2d &scheme)
+{
+    ParallelPlan plan;
+    plan.name = "split_conv";
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    const int64_t krows = c * win.kh * win.kw;
+
+    // The panel region covers whichever packed layout the dispatcher
+    // picks (im2col A panels or the 16 Winograd U matrices) — the
+    // footprints differ only in size, never in sharing discipline.
+    const int64_t panel_floats =
+        std::max(gemmPackedASize(oc, krows),
+                 winogradPackedUSize(oc, c));
+
+    ParallelRegion out_region;
+    out_region.name = "output";
+    out_region.size = n * oc * out_h * out_w;
+    out_region.exact_cover = true;
+    plan.regions.push_back(out_region);
+
+    ParallelRegion in_region;
+    in_region.name = "input";
+    in_region.size = n * c * ih * iw;
+    in_region.read_only = true;
+    plan.regions.push_back(in_region);
+
+    ParallelRegion w_region;
+    w_region.name = "weight_panels";
+    w_region.size = panel_floats;
+    w_region.read_only = true;
+    plan.regions.push_back(w_region);
+
+    const std::vector<SplitBandItem> bands =
+        splitConvBandItems(scheme.h);
+    int64_t max_band_rows = 0;
+    for (const SplitBandItem &b : bands)
+        max_band_rows = std::max(max_band_rows, b.oy1 - b.oy0);
+    const int64_t max_band_cols = max_band_rows * out_w;
+    const int64_t arena_floats =
+        krows * max_band_cols + gemmPackedBSize(krows, max_band_cols);
+
+    const int64_t n_bands = static_cast<int64_t>(bands.size());
+    for (int64_t i = 0; i < n * n_bands; ++i) {
+        const int64_t in = i / n_bands;
+        const SplitBandItem &band =
+            bands[static_cast<size_t>(i % n_bands)];
+        const SplitPiece1d &ph =
+            scheme.h.pieces[static_cast<size_t>(band.hi)];
+
+        // Every item owns a private staging region (its worker's
+        // scratch-arena scope); nothing else may touch it.
+        ParallelRegion arena;
+        {
+            std::ostringstream os;
+            os << "arena:" << i;
+            arena.name = os.str();
+        }
+        arena.size = arena_floats;
+        arena.owner = i;
+        plan.regions.push_back(arena);
+        const int arena_region =
+            static_cast<int>(plan.regions.size()) - 1;
+
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":band" << band.hi << "."
+               << band.oy0;
+            item.name = os.str();
+        }
+        item.epoch = 0; // one parallelFor = one barrier group
+
+        // The band writes parent output rows
+        // [out_start + oy0, out_start + oy1) of every channel, full
+        // width (all width patches of the group), at the parent
+        // channel stride.
+        ParallelAccess wout;
+        wout.region = 0;
+        wout.write = true;
+        wout.span = {in * oc * out_h * out_w +
+                         (ph.out_start + band.oy0) * out_w,
+                     oc, out_h * out_w, 1, 0,
+                     (band.oy1 - band.oy0) * out_w};
+        item.accesses.push_back(wout);
+
+        // Halo reads: each width patch's input rectangle, modeled as
+        // the conservative contiguous hull from the rectangle's
+        // first float (channel 0) to its last (channel c-1) — the
+        // same hull the shadow recorder logs, and provably inside
+        // the image.
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            const SplitPiece1d &pw =
+                scheme.w.pieces[static_cast<size_t>(wi)];
+            ParallelAccess rin;
+            rin.region = 1;
+            const int64_t first =
+                ph.in_start * iw + pw.in_start;
+            const int64_t last =
+                (c - 1) * ih * iw + (ph.in_start + ph.inLen() - 1) * iw +
+                pw.in_start + pw.inLen();
+            rin.span = StridedSpan::interval(
+                in * c * ih * iw + first, last - first);
+            item.accesses.push_back(rin);
+        }
+
+        // Weight panels are shared read-only by every item.
+        ParallelAccess rw_panels;
+        rw_panels.region = 2;
+        rw_panels.span = StridedSpan::interval(0, panel_floats);
+        item.accesses.push_back(rw_panels);
+
+        // Column staging lives in the item's own arena region.
+        ParallelAccess warena;
+        warena.region = arena_region;
+        warena.write = true;
+        warena.span = StridedSpan::interval(0, arena_floats);
+        item.accesses.push_back(warena);
+        ParallelAccess rarena = warena;
+        rarena.write = false;
+        item.accesses.push_back(rarena);
+
+        plan.items.push_back(std::move(item));
+    }
+    return plan;
+}
+
+ParallelPlan
+buildSplitPoolPlan(int64_t n, int64_t c, int64_t ih, int64_t iw,
+                   const Window2d &win, const SplitScheme2d &scheme)
+{
+    (void)win;
+    ParallelPlan plan;
+    plan.name = "split_pool";
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+
+    ParallelRegion out_region;
+    out_region.name = "output";
+    out_region.size = n * c * out_h * out_w;
+    out_region.exact_cover = true;
+    plan.regions.push_back(out_region);
+
+    ParallelRegion in_region;
+    in_region.name = "input";
+    in_region.size = n * c * ih * iw;
+    in_region.read_only = true;
+    plan.regions.push_back(in_region);
+
+    const int hp = scheme.h.parts();
+    const int wp = scheme.w.parts();
+    const int64_t parts = int64_t(hp) * wp;
+    for (int64_t i = 0; i < n * parts; ++i) {
+        const int64_t in = i / parts;
+        const int hi = static_cast<int>((i % parts) / wp);
+        const int wi = static_cast<int>(i % wp);
+        const SplitPiece1d &ph =
+            scheme.h.pieces[static_cast<size_t>(hi)];
+        const SplitPiece1d &pw =
+            scheme.w.pieces[static_cast<size_t>(wi)];
+
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":patch" << hi << "." << wi;
+            item.name = os.str();
+        }
+        item.epoch = 0;
+
+        // The patch writes its output block in every channel: rows
+        // [out_start_h, out_end_h), columns [out_start_w, out_end_w).
+        ParallelAccess wout;
+        wout.region = 0;
+        wout.write = true;
+        wout.span = {in * c * out_h * out_w + ph.out_start * out_w +
+                         pw.out_start,
+                     c, out_h * out_w, ph.outLen(), out_w,
+                     pw.outLen()};
+        item.accesses.push_back(wout);
+
+        ParallelAccess rin;
+        rin.region = 1;
+        const int64_t first = ph.in_start * iw + pw.in_start;
+        const int64_t last = (c - 1) * ih * iw +
+                             (ph.in_start + ph.inLen() - 1) * iw +
+                             pw.in_start + pw.inLen();
+        rin.span =
+            StridedSpan::interval(in * c * ih * iw + first,
+                                  last - first);
+        item.accesses.push_back(rin);
+
+        plan.items.push_back(std::move(item));
+    }
+    return plan;
+}
+
+ParallelPlan
+buildExecutorWavePlan(const Graph &graph, bool training)
+{
+    ParallelPlan plan;
+    plan.name = "executor_waves";
+
+    // Slot-granular model: one float per tensor / parameter. The
+    // executor's unit of sharing is the whole tensor (cache slots are
+    // disjoint allocations), so slot granularity is exact.
+    ParallelRegion slots;
+    slots.name = "slots";
+    slots.size = static_cast<int64_t>(graph.tensors().size());
+    slots.ordered = true;
+    slots.exact_cover = true;
+    plan.regions.push_back(slots);
+
+    ParallelRegion params;
+    params.name = "params";
+    params.size = static_cast<int64_t>(graph.params().size());
+    params.serial_stats = true;
+    plan.regions.push_back(params);
+
+    const auto waves = computeExecutionWaves(graph);
+    for (size_t w = 0; w < waves.size(); ++w) {
+        for (NodeId id : waves[w]) {
+            const Node &n = graph.node(id);
+            ParallelItem item;
+            item.name = n.name.empty()
+                            ? "node " + std::to_string(id)
+                            : n.name;
+            item.epoch = static_cast<int64_t>(w);
+
+            ParallelAccess wout;
+            wout.region = 0;
+            wout.write = true;
+            wout.span = StridedSpan::interval(n.output, 1);
+            item.accesses.push_back(wout);
+            for (TensorId t : n.inputs) {
+                ParallelAccess rin;
+                rin.region = 0;
+                rin.span = StridedSpan::interval(t, 1);
+                item.accesses.push_back(rin);
+            }
+            // Parameter reads. Training-mode BN computes batch stats
+            // and never touches the running stats (params[2..3]) in
+            // its wave — those are written by the deferred updates
+            // below. Inference-mode BN reads them like any other
+            // parameter.
+            const size_t n_params =
+                training && n.kind == OpKind::BatchNorm
+                    ? std::min<size_t>(n.params.size(), 2)
+                    : n.params.size();
+            for (size_t p = 0; p < n_params; ++p) {
+                ParallelAccess rp;
+                rp.region = 1;
+                rp.span = StridedSpan::interval(n.params[p], 1);
+                item.accesses.push_back(rp);
+            }
+            plan.items.push_back(std::move(item));
+        }
+    }
+
+    if (training) {
+        // Deferred BN running-stat updates: the executor applies them
+        // one at a time in topological order after every wave has
+        // completed. Each update is its own epoch (serialized) with
+        // seq = its topological position; patch clones sharing one
+        // running-stat parameter therefore write it in a fixed
+        // serial order — the bitwise-determinism contract SA606
+        // enforces. The narrow-wave serial fallback leaves this
+        // phase untouched.
+        int64_t serial_epoch = static_cast<int64_t>(waves.size());
+        int64_t seq = 0;
+        for (NodeId id : graph.topoOrder()) {
+            const Node &n = graph.node(id);
+            if (n.kind != OpKind::BatchNorm || n.params.size() < 4)
+                continue;
+            ParallelItem item;
+            item.name = (n.name.empty()
+                             ? "node " + std::to_string(id)
+                             : n.name) +
+                        ":bn_update";
+            item.epoch = serial_epoch++;
+            item.seq = seq++;
+            for (size_t p = 2; p < 4; ++p) {
+                ParallelAccess wp;
+                wp.region = 1;
+                wp.write = true;
+                wp.span = StridedSpan::interval(n.params[p], 1);
+                item.accesses.push_back(wp);
+                ParallelAccess rp = wp;
+                rp.write = false;
+                item.accesses.push_back(rp);
+            }
+            plan.items.push_back(std::move(item));
+        }
+    }
+    return plan;
+}
+
+std::vector<Diagnostic>
+analyzeParallelExecution(const Graph &graph, int splits_h,
+                         int splits_w)
+{
+    std::vector<Diagnostic> diags;
+    auto append = [&](std::vector<Diagnostic> part, NodeId node) {
+        for (Diagnostic &d : part) {
+            if (d.loc.node < 0)
+                d.loc.node = node;
+            diags.push_back(std::move(d));
+        }
+    };
+
+    append(analyzeParallelPlan(buildExecutorWavePlan(graph, true)),
+           -1);
+
+    for (const Node &n : graph.nodes()) {
+        if (n.kind != OpKind::Conv2d && n.kind != OpKind::MaxPool2d &&
+            n.kind != OpKind::AvgPool2d)
+            continue;
+        if (n.inputs.empty())
+            continue;
+        const Shape &ishape = graph.tensor(n.inputs[0]).shape;
+        const Shape &oshape = graph.tensor(n.output).shape;
+        if (ishape.rank() != 4 || oshape.rank() != 4)
+            continue;
+        const int64_t batch = ishape.dim(0);
+        const int64_t c = ishape.dim(1);
+        const int64_t ih = ishape.dim(2);
+        const int64_t iw = ishape.dim(3);
+        const int64_t oh = oshape.dim(2);
+        const int64_t ow = oshape.dim(3);
+        if (oh <= 0 || ow <= 0)
+            continue;
+        const int hp = static_cast<int>(
+            std::clamp<int64_t>(splits_h, 1, oh));
+        const int wp = static_cast<int>(
+            std::clamp<int64_t>(splits_w, 1, ow));
+
+        // allow_downsample: ResNet's 1x1/stride-2 shortcut convs have
+        // k < s, which the paper's Eqs. 1-2 exclude but the split
+        // machinery supports (the interval collapses to lb).
+        const WindowParams1d hop{n.win.kh, n.win.sh, n.win.ph_b,
+                                 n.win.ph_e};
+        const WindowParams1d wop{n.win.kw, n.win.sw, n.win.pw_b,
+                                 n.win.pw_e};
+        SplitScheme2d scheme;
+        scheme.h = splitWindowOp(hop, ih, evenOutputSplit(oh, hp),
+                                 InputSplitPolicy::Center,
+                                 /*allow_downsample=*/true);
+        scheme.w = splitWindowOp(wop, iw, evenOutputSplit(ow, wp),
+                                 InputSplitPolicy::Center,
+                                 /*allow_downsample=*/true);
+
+        // Two images suffice: image footprints are identical
+        // translates at stride channels*H*W, so disjointness between
+        // images 0 and 1 proves it for every pair.
+        const int64_t n_model = std::min<int64_t>(batch, 2);
+        ParallelPlan plan =
+            n.kind == OpKind::Conv2d
+                ? buildSplitConvPlan(n_model, c, ih, iw,
+                                     oshape.dim(1), n.win, scheme)
+                : buildSplitPoolPlan(n_model, c, ih, iw, n.win,
+                                     scheme);
+        {
+            std::ostringstream os;
+            os << plan.name << ":" << n.name << "[" << hp << "x"
+               << wp << "]";
+            plan.name = os.str();
+        }
+        append(analyzeParallelPlan(plan), n.id);
+    }
+    return diags;
+}
+
+bool
+lintParallelEnabled()
+{
+    // Same contract as lintPlansEnabled(): re-read each call so tests
+    // can toggle with setenv.
+    const char *env = std::getenv("SCNN_LINT_PARALLEL");
+    if (env != nullptr)
+        return *env != '0';
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace scnn

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "analysis/parallel_model.h"
+#include "analysis/shadow_access.h"
 #include "kernels/conv2d.h"
 #include "kernels/gemm.h"
 #include "kernels/im2col.h"
@@ -14,7 +15,9 @@
 #include "kernels/pool2d.h"
 #include "kernels/winograd.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/scratch_arena.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 
@@ -95,22 +98,23 @@ slicePatch(const Tensor &x, const SplitScheme2d &scheme, int hi, int wi)
 // path likewise reproduces the materializing Winograd path's bytes.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/** Output rows per work band. Fixed (never derived from the thread
- * count) so the band decomposition — and with it every byte of the
- * result — is identical at any pool size. Even, so Winograd 2-row
- * tiles never straddle bands. */
-constexpr int64_t kRowBand = 16;
-
-/** One unit of fused conv work: patch-local output rows [oy0, oy1)
- * of patch-row group hi (all width patches of that group). */
-struct BandItem
+std::vector<SplitBandItem>
+splitConvBandItems(const SplitScheme1d &h)
 {
-    int hi;
-    int64_t oy0;
-    int64_t oy1;
-};
+    std::vector<SplitBandItem> bands;
+    for (int hi = 0; hi < h.parts(); ++hi) {
+        const SplitPiece1d &ph = h.pieces[static_cast<size_t>(hi)];
+        for (int64_t oy0 = 0; oy0 < ph.outLen();
+             oy0 += kSplitConvRowBand) {
+            const int64_t oy1 =
+                std::min(ph.outLen(), oy0 + kSplitConvRowBand);
+            bands.push_back({hi, oy0, oy1});
+        }
+    }
+    return bands;
+}
+
+namespace {
 
 bool
 envMaterialize()
@@ -183,7 +187,7 @@ public:
     {
         const uint64_t h = hashFloats(w, wcount);
         const char *kernel = activeMicrokernel().name;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tick_;
         for (auto &e : entries_) {
             if (e.wptr == w && e.m == m && e.k == k &&
@@ -232,7 +236,7 @@ public:
     SplitWeightCacheStats
     stats()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return {hits_, misses_,
                 static_cast<int64_t>(entries_.size())};
     }
@@ -240,7 +244,7 @@ public:
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         entries_.clear();
         hits_ = misses_ = 0;
         tick_ = 0;
@@ -261,11 +265,11 @@ private:
     };
     static constexpr size_t kCapacity = 8;
 
-    std::mutex mu_;
-    std::vector<Entry> entries_;
-    int64_t hits_ = 0;
-    int64_t misses_ = 0;
-    int64_t tick_ = 0;
+    Mutex mu_;
+    std::vector<Entry> entries_ SCNN_GUARDED_BY(mu_);
+    int64_t hits_ SCNN_GUARDED_BY(mu_) = 0;
+    int64_t misses_ SCNN_GUARDED_BY(mu_) = 0;
+    int64_t tick_ SCNN_GUARDED_BY(mu_) = 0;
 };
 
 WeightPanelCache &
@@ -320,10 +324,8 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
         SCNN_REQUIRE(bias.numel() == oc,
                      "split conv bias size mismatch");
 
-    // Validate the scheme geometry once, and build the flat band list
-    // shared by every image.
-    std::vector<BandItem> bands;
-    int64_t max_band_rows = 0;
+    // Validate the scheme geometry once; the band decomposition comes
+    // from the shared helper the SA6xx analyzer also models.
     for (int hi = 0; hi < scheme.h.parts(); ++hi) {
         const SplitPiece1d &ph = scheme.h.pieces[hi];
         for (int wi = 0; wi < scheme.w.parts(); ++wi) {
@@ -334,12 +336,12 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
                        "split scheme geometry mismatch for patch ("
                            << hi << ", " << wi << ")");
         }
-        for (int64_t oy0 = 0; oy0 < ph.outLen(); oy0 += kRowBand) {
-            const int64_t oy1 = std::min(ph.outLen(), oy0 + kRowBand);
-            bands.push_back({hi, oy0, oy1});
-            max_band_rows = std::max(max_band_rows, oy1 - oy0);
-        }
     }
+    const std::vector<SplitBandItem> bands =
+        splitConvBandItems(scheme.h);
+    int64_t max_band_rows = 0;
+    for (const SplitBandItem &b : bands)
+        max_band_rows = std::max(max_band_rows, b.oy1 - b.oy0);
 
     // Weight panels: packed at most once per (layer, split) — served
     // from the keyed cache on every later call, shared read-only by
@@ -372,6 +374,21 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
     const float *bias_ptr = has_bias ? bias.data() : nullptr;
     const int64_t n_bands = static_cast<int64_t>(bands.size());
     const int64_t max_band_cols = max_band_rows * out_w;
+    const int64_t panel_floats = use_winograd
+                                     ? winogradPackedUSize(oc, c)
+                                     : gemmPackedASize(oc, krows);
+
+    // Shadow-access validation (SCNN_SHADOW_ACCESS=1): model this
+    // exact execution and, after the parallel section, check every
+    // claim the kernels recorded against the static prediction.
+    std::unique_ptr<ShadowSession> shadow;
+    if (shadowAccessEnabled()) {
+        shadow = std::make_unique<ShadowSession>(
+            buildSplitConvPlan(n, c, ih, iw, oc, win, scheme));
+        shadow->bind("output", out.data());
+        shadow->bind("input", x.data());
+        shadow->bind("weight_panels", wref.panels);
+    }
 
     globalPool().parallelFor(n * n_bands, [&](int64_t begin,
                                               int64_t end) {
@@ -385,11 +402,25 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
         }
         for (int64_t i = begin; i < end; ++i) {
             const int64_t in = i / n_bands;
-            const BandItem &band =
+            const SplitBandItem &band =
                 bands[static_cast<size_t>(i % n_bands)];
             const SplitPiece1d &ph = scheme.h.pieces[band.hi];
             const float *img = x.data() + in * c * ih * iw;
             float *out_img = out.data() + in * oc * out_h * out_w;
+
+            if (shadow) {
+                shadowSetItem(i);
+                // The band's whole output claim (both kernel paths
+                // write exactly these rows of every channel) and its
+                // shared read of the packed panels. Input halo reads
+                // are recorded inside the patch kernels.
+                shadowRecordSpan(
+                    out_img + (ph.out_start + band.oy0) * out_w,
+                    {0, oc, out_h * out_w, 1, 0,
+                     (band.oy1 - band.oy0) * out_w},
+                    true);
+                shadowRecord(wref.panels, panel_floats, false);
+            }
 
             if (use_winograd) {
                 for (int wi = 0; wi < scheme.w.parts(); ++wi) {
@@ -439,6 +470,14 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
                 }
         }
     });
+    if (shadow) {
+        const std::vector<Diagnostic> escapes = shadow->check();
+        SCNN_CHECK(escapes.empty(),
+                   "shadow-access validator: "
+                       << escapes.size()
+                       << " SA607 escape(s) in split conv; first: "
+                       << escapes.front().toString());
+    }
     return out;
 }
 
@@ -454,11 +493,38 @@ splitConv2dForwardMaterialized(const Tensor &x, const Tensor &weight,
                       });
 }
 
+namespace {
+
+/** Debug hook shared by the split dispatchers: statically prove the
+ * decomposition race-free before running it. Batch is modeled as
+ * min(n, 2) images — image footprints are identical translates, so
+ * two prove every inter-image pair (same convention as
+ * analyzeParallelExecution). */
+void
+lintSplitPlan(const ParallelPlan &plan, const char *what)
+{
+    const std::vector<Diagnostic> diags = analyzeParallelPlan(plan);
+    SCNN_CHECK(diags.empty(),
+               "parallel-safety lint: " << diags.size()
+                                        << " finding(s) in " << what
+                                        << "; first: "
+                                        << diags.front().toString());
+}
+
+} // namespace
+
 Tensor
 splitConv2dForward(const Tensor &x, const Tensor &weight,
                    const Tensor &bias, const Window2d &win,
                    const SplitScheme2d &scheme)
 {
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitConvPlan(
+                          std::min<int64_t>(x.shape().dim(0), 2),
+                          x.shape().dim(1), x.shape().dim(2),
+                          x.shape().dim(3), weight.shape().dim(0),
+                          win, scheme),
+                      "split conv");
     if (envMaterialize())
         return splitConv2dForwardMaterialized(x, weight, bias, win,
                                               scheme);
@@ -509,9 +575,20 @@ splitPool2dForwardFusedImpl(const Tensor &x, const Window2d &win,
     // Every output element belongs to exactly one patch block, so the
     // allocation skips its zero-fill; items write disjoint regions.
     Tensor out = Tensor::uninitialized(Shape{n, c, out_h, out_w});
+
+    std::unique_ptr<ShadowSession> shadow;
+    if (shadowAccessEnabled()) {
+        shadow = std::make_unique<ShadowSession>(
+            buildSplitPoolPlan(n, c, ih, iw, win, scheme));
+        shadow->bind("output", out.data());
+        shadow->bind("input", x.data());
+    }
+
     globalPool().parallelFor(n * parts, [&](int64_t begin,
                                             int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
+            if (shadow)
+                shadowSetItem(i); // patch kernels record the claims
             const int64_t in = i / parts;
             const int hi = static_cast<int>((i % parts) / wp);
             const int wi = static_cast<int>(i % wp);
@@ -529,6 +606,14 @@ splitPool2dForwardFusedImpl(const Tensor &x, const Window2d &win,
                    out_w, ph.out_start, pw.out_start);
         }
     });
+    if (shadow) {
+        const std::vector<Diagnostic> escapes = shadow->check();
+        SCNN_CHECK(escapes.empty(),
+                   "shadow-access validator: "
+                       << escapes.size()
+                       << " SA607 escape(s) in split pool; first: "
+                       << escapes.front().toString());
+    }
     return out;
 }
 
@@ -587,6 +672,12 @@ Tensor
 splitMaxPool2dForward(const Tensor &x, const Window2d &win,
                       const SplitScheme2d &scheme)
 {
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitPoolPlan(
+                          std::min<int64_t>(x.shape().dim(0), 2),
+                          x.shape().dim(1), x.shape().dim(2),
+                          x.shape().dim(3), win, scheme),
+                      "split max-pool");
     if (envMaterialize())
         return splitMaxPool2dForwardMaterialized(x, win, scheme);
     return splitMaxPool2dForwardFused(x, win, scheme);
@@ -596,6 +687,12 @@ Tensor
 splitAvgPool2dForward(const Tensor &x, const Window2d &win,
                       const SplitScheme2d &scheme)
 {
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitPoolPlan(
+                          std::min<int64_t>(x.shape().dim(0), 2),
+                          x.shape().dim(1), x.shape().dim(2),
+                          x.shape().dim(3), win, scheme),
+                      "split avg-pool");
     if (envMaterialize())
         return splitAvgPool2dForwardMaterialized(x, win, scheme);
     return splitAvgPool2dForwardFused(x, win, scheme);

@@ -99,6 +99,39 @@ runSplitOp(const Tensor &x, const Window2d &win,
     return concatDim(rows, 2);
 }
 
+/** @name Fused-conv band decomposition
+ *
+ * The fused conv path's unit of parallel work, exported so the SA6xx
+ * parallel-safety analyzer (analysis/parallel_model.h) models the
+ * *same* decomposition the kernel executes: both sides call
+ * splitConvBandItems, so a change to the banding changes the proof
+ * obligations with it.
+ */
+///@{
+
+/** Output rows per fused-conv work band. Fixed (never derived from
+ * the thread count) so the band decomposition — and with it every
+ * byte of the result — is identical at any pool size. Even, so
+ * Winograd 2-row tiles never straddle bands. */
+constexpr int64_t kSplitConvRowBand = 16;
+
+/** One unit of fused conv work: patch-local output rows [oy0, oy1)
+ * of patch-row group hi (all width patches of that group). */
+struct SplitBandItem
+{
+    int hi;      ///< index into the H scheme's pieces
+    int64_t oy0; ///< first patch-local output row (inclusive)
+    int64_t oy1; ///< last patch-local output row (exclusive)
+};
+
+/** The flat per-image band list for an H split scheme: each piece's
+ * output rows chopped into kSplitConvRowBand-row bands, in (hi, oy0)
+ * order. The fused conv work item index is
+ * image * bands.size() + band_index. */
+std::vector<SplitBandItem> splitConvBandItems(const SplitScheme1d &h);
+
+///@}
+
 /**
  * Split convolution forward (Eqs. 4-7 applied to conv2d).
  *

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/analyzer.h"
+#include "analysis/parallel_model.h"
 #include "sim/profile.h"
 #include "util/logging.h"
 
@@ -101,6 +102,20 @@ planWithDegradation(const Graph &base, const DeviceSpec &spec,
                 SCNN_LOG_WARN << "degradation rung '" << action
                               << "' rejected by lint:\n"
                               << renderDiagnosticsText(diags);
+            // Suite 6 gate: the rung must also be provably race-free
+            // — its wave schedule and, for split rungs, the fused
+            // decomposition at this rung's grid (SA6xx).
+            const auto pdiags = analyzeParallelExecution(
+                g, is_split ? sopt.splits_h : 1,
+                is_split ? sopt.splits_w : 1);
+            const int perrors =
+                countBySeverity(pdiags, DiagSeverity::Error);
+            if (perrors > 0)
+                SCNN_LOG_WARN
+                    << "degradation rung '" << action
+                    << "' rejected by the parallel-safety lint:\n"
+                    << renderDiagnosticsText(pdiags);
+            attempt.lint_errors += perrors;
         }
         rep.attempts.push_back(attempt);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/shadow_access.h"
+
 namespace scnn {
 
 void
@@ -12,6 +14,12 @@ im2colViewStrided(const float *img, int64_t c, int64_t ih, int64_t iw,
                   int64_t row_step)
 {
     const int64_t ow = win.outW(view.iw);
+    // Shadow claim: everything read below lies inside the patch's
+    // contiguous hull, channel 0's first rectangle float through
+    // channel c-1's last (the span the SA6xx model predicts).
+    shadowRecord(img + view.r0 * iw + view.c0,
+                 (c - 1) * ih * iw + (view.ih - 1) * iw + view.iw,
+                 false);
     const size_t row_bytes = static_cast<size_t>(ow) * sizeof(float);
     int64_t row = 0;
     for (int64_t ic = 0; ic < c; ++ic) {
@@ -19,19 +27,26 @@ im2colViewStrided(const float *img, int64_t c, int64_t ih, int64_t iw,
         for (int64_t ky = 0; ky < win.kh; ++ky) {
             for (int64_t kx = 0; kx < win.kw; ++kx, ++row) {
                 float *dst = col + row * col_ld;
-                // For stride 1 the valid ox range is
-                // [pw_b - kx, view.iw + pw_b - kx) for every output
-                // row, so the flank bounds hoist out of the oy loop:
-                // zero the out-of-patch flanks (when present) and
-                // bulk-copy the middle, bit-identical to the element
-                // loop in the strided branch. Narrow patches make
-                // these rows short, so the flank work is guarded to
-                // keep the per-row cost at one memcpy.
-                const int64_t lo =
-                    std::clamp<int64_t>(win.pw_b - kx, 0, ow);
+                // The valid ox range hoists out of the oy loop for
+                // *any* stride: ix = ox*sw - pw_b + kx must land in
+                // [0, view.iw), so ox lives in
+                // [ceil((pw_b - kx)/sw), ceil((view.iw + pw_b - kx)/sw)).
+                // Zero the out-of-patch flanks (when present) and
+                // fill the middle with one memcpy (stride 1) or one
+                // branch-free strided gather — bit-identical to the
+                // old per-element walk. Narrow patches make these
+                // rows short, so the flank work is guarded to keep
+                // the per-row cost at one copy.
+                const int64_t num_lo = win.pw_b - kx;
+                const int64_t lo = std::clamp<int64_t>(
+                    num_lo > 0 ? (num_lo + win.sw - 1) / win.sw : 0,
+                    0, ow);
+                const int64_t num_hi = view.iw + win.pw_b - kx;
                 const int64_t hi = std::clamp<int64_t>(
-                    view.iw + win.pw_b - kx, lo, ow);
-                const int64_t src_off = view.c0 + lo - win.pw_b + kx;
+                    num_hi > 0 ? (num_hi + win.sw - 1) / win.sw : 0,
+                    lo, ow);
+                const int64_t src_off =
+                    view.c0 + lo * win.sw - win.pw_b + kx;
                 for (int64_t oy = oy0; oy < oy1; ++oy) {
                     float *drow = dst + (oy - oy0) * row_step;
                     const int64_t iy = oy * win.sh - win.ph_b + ky;
@@ -39,31 +54,23 @@ im2colViewStrided(const float *img, int64_t c, int64_t ih, int64_t iw,
                         std::memset(drow, 0, row_bytes);
                         continue;
                     }
-                    if (win.sw == 1) {
-                        if (lo > 0)
-                            std::memset(drow, 0,
-                                        static_cast<size_t>(lo) *
-                                            sizeof(float));
-                        std::memcpy(
-                            drow + lo,
-                            chan + (view.r0 + iy) * iw + src_off,
-                            static_cast<size_t>(hi - lo) *
-                                sizeof(float));
-                        if (hi < ow)
-                            std::memset(drow + hi, 0,
-                                        static_cast<size_t>(ow - hi) *
-                                            sizeof(float));
-                    } else {
-                        const float *src_row =
-                            chan + (view.r0 + iy) * iw + view.c0;
-                        for (int64_t ox = 0; ox < ow; ++ox) {
-                            const int64_t ix =
-                                ox * win.sw - win.pw_b + kx;
-                            drow[ox] = (ix < 0 || ix >= view.iw)
-                                           ? 0.0f
-                                           : src_row[ix];
-                        }
-                    }
+                    if (lo > 0)
+                        std::memset(drow, 0,
+                                    static_cast<size_t>(lo) *
+                                        sizeof(float));
+                    if (hi < ow)
+                        std::memset(drow + hi, 0,
+                                    static_cast<size_t>(ow - hi) *
+                                        sizeof(float));
+                    const float *src =
+                        chan + (view.r0 + iy) * iw + src_off;
+                    if (win.sw == 1)
+                        std::memcpy(drow + lo, src,
+                                    static_cast<size_t>(hi - lo) *
+                                        sizeof(float));
+                    else
+                        for (int64_t ox = lo; ox < hi; ++ox)
+                            drow[ox] = src[(ox - lo) * win.sw];
                 }
             }
         }

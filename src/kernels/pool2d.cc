@@ -2,10 +2,33 @@
 
 #include <limits>
 
+#include "analysis/shadow_access.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 
 namespace scnn {
+
+namespace {
+
+/** Shadow claims for one fused pool patch: the contiguous input hull
+ * it may read and the per-channel output block it writes — exactly
+ * the spans buildSplitPoolPlan predicts for the item. */
+void
+shadowRecordPoolPatch(const float *img, int64_t c, int64_t ih,
+                      int64_t iw, const PatchView &view,
+                      const float *out, int64_t out_oh, int64_t out_ow,
+                      int64_t oy0, int64_t ox0, int64_t oh_p,
+                      int64_t ow_p)
+{
+    shadowRecord(img + view.r0 * iw + view.c0,
+                 (c - 1) * ih * iw + (view.ih - 1) * iw + view.iw,
+                 false);
+    shadowRecordSpan(out + oy0 * out_ow + ox0,
+                     {0, c, out_oh * out_ow, oh_p, out_ow, ow_p},
+                     true);
+}
+
+} // namespace
 
 Tensor
 maxPool2dForward(const Tensor &x, const Window2d &win,
@@ -182,6 +205,8 @@ maxPool2dPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
 {
     const int64_t oh_p = win.outH(view.ih);
     const int64_t ow_p = win.outW(view.iw);
+    shadowRecordPoolPatch(img, c, ih, iw, view, out, out_oh, out_ow,
+                          oy0, ox0, oh_p, ow_p);
     for (int64_t ic = 0; ic < c; ++ic) {
         const float *chan = img + ic * ih * iw;
         float *ochan = out + ic * out_oh * out_ow;
@@ -223,6 +248,8 @@ avgPool2dPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
     const int64_t oh_p = win.outH(view.ih);
     const int64_t ow_p = win.outW(view.iw);
     const float inv_area = 1.0f / static_cast<float>(win.kh * win.kw);
+    shadowRecordPoolPatch(img, c, ih, iw, view, out, out_oh, out_ow,
+                          oy0, ox0, oh_p, ow_p);
     for (int64_t ic = 0; ic < c; ++ic) {
         const float *chan = img + ic * ih * iw;
         float *ochan = out + ic * out_oh * out_ow;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/shadow_access.h"
 #include "kernels/gemm.h"
 #include "util/logging.h"
 #include "util/scratch_arena.h"
@@ -151,6 +152,11 @@ conv2dWinogradPatch(const float *img, int64_t c, int64_t ih, int64_t iw,
     const int64_t tiles = (ty1 - ty0) * tiles_x;
     if (tiles <= 0)
         return;
+    // Shadow claim: the tile gather stays inside the patch's
+    // contiguous input hull (same span im2colViewStrided claims).
+    shadowRecord(img + view.r0 * iw + view.c0,
+                 (c - 1) * ih * iw + (view.ih - 1) * iw + view.iw,
+                 false);
 
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();

@@ -36,7 +36,7 @@ AdmissionQueue::submit(const Request &request)
                    static_cast<size_t>(request.tenant) <
                        queues_.size(),
                "tenant index out of range");
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<Mutex> lock(mu_);
     if (shutdown_)
         return unavailable("admission queue is shut down");
 
@@ -82,7 +82,7 @@ std::vector<Request>
 AdmissionQueue::pop(int tenant, int64_t max_n)
 {
     std::vector<Request> out;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto &q = queues_[static_cast<size_t>(tenant)];
     while (!q.empty() && static_cast<int64_t>(out.size()) < max_n) {
         out.push_back(q.front());
@@ -97,7 +97,7 @@ AdmissionQueue::pop(int tenant, int64_t max_n)
 std::vector<TenantQueueState>
 AdmissionQueue::state() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<TenantQueueState> out(queues_.size());
     for (size_t t = 0; t < queues_.size(); ++t) {
         out[t].pending = static_cast<int64_t>(queues_[t].size());
@@ -113,7 +113,7 @@ std::vector<Request>
 AdmissionQueue::sweepExpired(double now)
 {
     std::vector<Request> expired;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto &q : queues_) {
         for (auto it = q.begin(); it != q.end();) {
             if (it->expiredAt(now)) {
@@ -133,7 +133,7 @@ AdmissionQueue::sweepExpired(double now)
 int64_t
 AdmissionQueue::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_;
 }
 
@@ -146,7 +146,7 @@ AdmissionQueue::shareOf(int tenant) const
 bool
 AdmissionQueue::waitForWork(double vtimeout)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<Mutex> lock(mu_);
     if (total_ > 0 || shutdown_)
         return true;
     const auto wall = std::chrono::duration<double>(
@@ -159,14 +159,14 @@ AdmissionQueue::waitForWork(double vtimeout)
 bool
 AdmissionQueue::isShutdown() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return shutdown_;
 }
 
 void
 AdmissionQueue::shutdown()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
     work_cv_.notify_all();
     space_cv_.notify_all();

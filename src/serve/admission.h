@@ -13,14 +13,14 @@
 #ifndef SCNN_SERVE_ADMISSION_H
 #define SCNN_SERVE_ADMISSION_H
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "serve/clock.h"
 #include "serve/request.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 namespace serve {
@@ -67,7 +67,8 @@ class AdmissionQueue
      *          accounts the request as Shed; Unavailable after
      *          shutdown().
      */
-    Status submit(const Request &request);
+    Status submit(const Request &request)
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // space_cv_ wait loop
 
     /** Pop up to @p max_n requests of @p tenant, FIFO. */
     std::vector<Request> pop(int tenant, int64_t max_n);
@@ -92,7 +93,8 @@ class AdmissionQueue
      * seconds pass, or shutdown. Returns true when work may be
      * available.
      */
-    bool waitForWork(double vtimeout);
+    bool waitForWork(double vtimeout)
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // work_cv_ wait loop
 
     /** Wake everything and refuse further submissions. */
     void shutdown();
@@ -104,12 +106,12 @@ class AdmissionQueue
     AdmissionOptions options_;
     std::vector<int64_t> share_; ///< per-tenant slot cap
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;  ///< queue became non-empty
-    std::condition_variable space_cv_; ///< slots freed
-    std::vector<std::deque<Request>> queues_;
-    int64_t total_ = 0;
-    bool shutdown_ = false;
+    mutable Mutex mu_;
+    CondVar work_cv_;  ///< queue became non-empty
+    CondVar space_cv_; ///< slots freed
+    std::vector<std::deque<Request>> queues_ SCNN_GUARDED_BY(mu_);
+    int64_t total_ SCNN_GUARDED_BY(mu_) = 0;
+    bool shutdown_ SCNN_GUARDED_BY(mu_) = false;
 };
 
 } // namespace serve

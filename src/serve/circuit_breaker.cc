@@ -25,7 +25,7 @@ CircuitBreaker::CircuitBreaker(const BreakerOptions &options)
 bool
 CircuitBreaker::allow(double now)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!open_)
         return true;
     if (now < open_until_)
@@ -41,7 +41,7 @@ CircuitBreaker::allow(double now)
 void
 CircuitBreaker::recordSuccess()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     consecutive_failures_ = 0;
     open_ = false;
     probe_in_flight_ = false;
@@ -50,7 +50,7 @@ CircuitBreaker::recordSuccess()
 bool
 CircuitBreaker::recordFailure(double now)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     probe_in_flight_ = false;
     ++consecutive_failures_;
     const bool tripped =
@@ -65,7 +65,7 @@ CircuitBreaker::recordFailure(double now)
 BreakerState
 CircuitBreaker::state(double now) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!open_)
         return BreakerState::Closed;
     return now < open_until_ ? BreakerState::Open
@@ -80,7 +80,7 @@ BreakerRegistry::BreakerRegistry(const BreakerOptions &options)
 CircuitBreaker &
 BreakerRegistry::of(const PlanKey &key)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto &slot = breakers_[key];
     if (!slot)
         slot = std::make_unique<CircuitBreaker>(options_);

@@ -13,10 +13,11 @@
 #define SCNN_SERVE_CIRCUIT_BREAKER_H
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "serve/plan_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 namespace serve {
@@ -60,11 +61,11 @@ class CircuitBreaker
 
   private:
     BreakerOptions options_;
-    mutable std::mutex mu_;
-    int consecutive_failures_ = 0;
-    bool open_ = false;
-    bool probe_in_flight_ = false;
-    double open_until_ = 0.0;
+    mutable Mutex mu_;
+    int consecutive_failures_ SCNN_GUARDED_BY(mu_) = 0;
+    bool open_ SCNN_GUARDED_BY(mu_) = false;
+    bool probe_in_flight_ SCNN_GUARDED_BY(mu_) = false;
+    double open_until_ SCNN_GUARDED_BY(mu_) = 0.0;
 };
 
 /** Lazily-created breaker per plan key. */
@@ -77,10 +78,10 @@ class BreakerRegistry
 
   private:
     BreakerOptions options_;
-    std::mutex mu_;
+    Mutex mu_;
     std::unordered_map<PlanKey, std::unique_ptr<CircuitBreaker>,
                        PlanKeyHash>
-        breakers_;
+        breakers_ SCNN_GUARDED_BY(mu_);
 };
 
 } // namespace serve

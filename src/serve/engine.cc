@@ -290,7 +290,7 @@ ServingEngine::finishAll(const std::vector<Request> &requests,
 void
 ServingEngine::pushBatch(Batch &&batch)
 {
-    std::unique_lock<std::mutex> lock(bq_mu_);
+    std::unique_lock<Mutex> lock(bq_mu_);
     // Bounded handoff: the batcher blocks when every worker is busy
     // and the buffer is full, pushing the backlog back into the
     // admission queue where shedding and deadlines handle it.
@@ -312,7 +312,7 @@ ServingEngine::pushBatch(Batch &&batch)
 std::optional<Batch>
 ServingEngine::popBatch()
 {
-    std::unique_lock<std::mutex> lock(bq_mu_);
+    std::unique_lock<Mutex> lock(bq_mu_);
     bq_cv_.wait(lock,
                 [&] { return !bq_.empty() || bq_closed_; });
     if (bq_.empty())
@@ -326,7 +326,7 @@ ServingEngine::popBatch()
 void
 ServingEngine::closeBatchQueue()
 {
-    std::lock_guard<std::mutex> lock(bq_mu_);
+    MutexLock lock(bq_mu_);
     bq_closed_ = true;
     bq_cv_.notify_all();
 }
@@ -437,11 +437,11 @@ ServingEngine::executeBatch(Batch &&batch)
     flight->batch_id = batch.id;
     flight->tenant = batch.tenant;
     {
-        std::lock_guard<std::mutex> lock(flights_mu_);
+        MutexLock lock(flights_mu_);
         flights_.push_back(flight);
     }
     auto unregister = [&] {
-        std::lock_guard<std::mutex> lock(flights_mu_);
+        MutexLock lock(flights_mu_);
         flights_.erase(
             std::remove(flights_.begin(), flights_.end(), flight),
             flights_.end());
@@ -566,7 +566,7 @@ ServingEngine::watchdogLoop()
         for (const Request &r : queue_->sweepExpired(now))
             finish(r, Outcome::DeadlineExceeded);
         // Stuck executions: cancel; the owning worker accounts.
-        std::lock_guard<std::mutex> lock(flights_mu_);
+        MutexLock lock(flights_mu_);
         for (const auto &flight : flights_) {
             if (flight->cancel.load())
                 continue;

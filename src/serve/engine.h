@@ -207,8 +207,10 @@ class ServingEngine
     void workerLoop();
     void watchdogLoop();
 
-    void pushBatch(Batch &&batch);
-    std::optional<Batch> popBatch();
+    void pushBatch(Batch &&batch)
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // bq_cv_ wait loop
+    std::optional<Batch> popBatch()
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // bq_cv_ wait loop
     void closeBatchQueue();
 
     std::vector<TenantProfile> tenants_;
@@ -228,13 +230,14 @@ class ServingEngine
     std::atomic<uint64_t> fault_index_{0};
 
     // Batcher -> workers handoff (bounded; push blocks when full).
-    std::mutex bq_mu_;
-    std::condition_variable bq_cv_;
-    std::deque<Batch> bq_;
-    bool bq_closed_ = false;
+    Mutex bq_mu_;
+    CondVar bq_cv_;
+    std::deque<Batch> bq_ SCNN_GUARDED_BY(bq_mu_);
+    bool bq_closed_ SCNN_GUARDED_BY(bq_mu_) = false;
 
-    std::mutex flights_mu_;
-    std::vector<std::shared_ptr<Flight>> flights_;
+    Mutex flights_mu_;
+    std::vector<std::shared_ptr<Flight>> flights_
+        SCNN_GUARDED_BY(flights_mu_);
 
     std::atomic<bool> watchdog_stop_{false};
     std::thread batcher_thread_;

@@ -25,7 +25,7 @@ MemoryGovernor::fitsLocked(int64_t bytes) const
 bool
 MemoryGovernor::tryReserve(int64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!fitsLocked(bytes))
         return false;
     reserved_ += bytes;
@@ -37,7 +37,7 @@ MemoryGovernor::tryReserve(int64_t bytes)
 bool
 MemoryGovernor::reserveFor(int64_t bytes, double vtimeout)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<Mutex> lock(mu_);
     const auto wall = std::chrono::duration<double>(
         std::max(vtimeout, 0.0) * clock_.timeScale());
     if (!cv_.wait_for(lock, wall,
@@ -52,7 +52,7 @@ MemoryGovernor::reserveFor(int64_t bytes, double vtimeout)
 void
 MemoryGovernor::release(int64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     reserved_ -= bytes;
     --active_;
     SCNN_CHECK(reserved_ >= 0 && active_ >= 0,
@@ -63,14 +63,14 @@ MemoryGovernor::release(int64_t bytes)
 int64_t
 MemoryGovernor::reserved() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return reserved_;
 }
 
 double
 MemoryGovernor::utilization() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<double>(reserved_) /
            static_cast<double>(capacity_);
 }
@@ -78,7 +78,7 @@ MemoryGovernor::utilization() const
 int64_t
 MemoryGovernor::peakConcurrent() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return peak_active_;
 }
 

@@ -13,11 +13,11 @@
 #ifndef SCNN_SERVE_GOVERNOR_H
 #define SCNN_SERVE_GOVERNOR_H
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "serve/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 namespace serve {
@@ -34,7 +34,8 @@ class MemoryGovernor
      * Reserve @p bytes, waiting up to @p vtimeout virtual seconds
      * for in-flight batches to release. Returns false on timeout.
      */
-    bool reserveFor(int64_t bytes, double vtimeout);
+    bool reserveFor(int64_t bytes, double vtimeout)
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // cv_ wait loop
 
     void release(int64_t bytes);
 
@@ -46,15 +47,15 @@ class MemoryGovernor
     int64_t peakConcurrent() const;
 
   private:
-    bool fitsLocked(int64_t bytes) const;
+    bool fitsLocked(int64_t bytes) const SCNN_REQUIRES(mu_);
 
     const VirtualClock &clock_;
     int64_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    int64_t reserved_ = 0;
-    int64_t active_ = 0;
-    int64_t peak_active_ = 0;
+    mutable Mutex mu_;
+    CondVar cv_;
+    int64_t reserved_ SCNN_GUARDED_BY(mu_) = 0;
+    int64_t active_ SCNN_GUARDED_BY(mu_) = 0;
+    int64_t peak_active_ SCNN_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace serve

@@ -72,7 +72,7 @@ PlanCache::get(const PlanKey &key)
 {
     std::shared_ptr<Entry> entry;
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        std::unique_lock<Mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             entry = it->second;
@@ -114,7 +114,7 @@ PlanCache::get(const PlanKey &key)
         }
     }();
 
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<Mutex> lock(mu_);
     if (built.ok()) {
         entry->state = Entry::State::Ready;
         entry->plan = built.value();
@@ -139,7 +139,7 @@ PlanCache::get(const PlanKey &key)
 void
 PlanCache::invalidate(const PlanKey &key)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end())
         return;
@@ -156,7 +156,7 @@ PlanCache::invalidate(const PlanKey &key)
 size_t
 PlanCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lru_.size();
 }
 

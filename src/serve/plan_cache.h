@@ -17,11 +17,9 @@
 #ifndef SCNN_SERVE_PLAN_CACHE_H
 #define SCNN_SERVE_PLAN_CACHE_H
 
-#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -34,7 +32,9 @@
 #include "serve/stats.h"
 #include "sim/device.h"
 #include "sim/stream_sim.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 namespace serve {
@@ -107,7 +107,8 @@ class PlanCache
      * Return the plan for @p key, building it (single-flight) on a
      * miss. Concurrent misses of the same key run the builder once.
      */
-    StatusOr<PlanPtr> get(const PlanKey &key);
+    StatusOr<PlanPtr> get(const PlanKey &key)
+        SCNN_NO_THREAD_SAFETY_ANALYSIS; // cv_ wait in single-flight
 
     /**
      * Drop @p key so the next get() replans it (e.g. after the
@@ -139,18 +140,18 @@ class PlanCache
     };
 
     void touchLocked(const std::shared_ptr<Entry> &entry,
-                     const PlanKey &key);
-    void evictLocked();
+                     const PlanKey &key) SCNN_REQUIRES(mu_);
+    void evictLocked() SCNN_REQUIRES(mu_);
 
     PlanBuilder builder_;
     size_t capacity_;
     ServeStats *stats_;
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
+    mutable Mutex mu_;
+    CondVar cv_;
     std::unordered_map<PlanKey, std::shared_ptr<Entry>, PlanKeyHash>
-        entries_;
-    std::list<PlanKey> lru_; ///< most recent at front
+        entries_ SCNN_GUARDED_BY(mu_);
+    std::list<PlanKey> lru_ SCNN_GUARDED_BY(mu_); ///< recent first
 };
 
 } // namespace serve

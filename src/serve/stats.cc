@@ -40,7 +40,7 @@ ServeStats::recordOutcome(int tenant, Outcome outcome)
         ++failed;
         break;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tenant >= 0) {
         if (per_tenant_.size() <= static_cast<size_t>(tenant))
             per_tenant_.resize(static_cast<size_t>(tenant) + 1,
@@ -53,21 +53,21 @@ ServeStats::recordOutcome(int tenant, Outcome outcome)
 std::vector<std::array<uint64_t, 4>>
 ServeStats::perTenant() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return per_tenant_;
 }
 
 void
 ServeStats::recordLatency(int tenant, double latency)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     latency_samples_.emplace_back(tenant, latency);
 }
 
 std::vector<double>
 ServeStats::latencies(int tenant) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<double> out;
     out.reserve(latency_samples_.size());
     for (const auto &[t, latency] : latency_samples_)

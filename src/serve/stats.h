@@ -12,11 +12,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/request.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 namespace serve {
@@ -103,9 +104,11 @@ class ServeStats
     StatsSnapshot snapshot() const;
 
   private:
-    mutable std::mutex mu_;
-    std::vector<std::pair<int, double>> latency_samples_;
-    std::vector<std::array<uint64_t, 4>> per_tenant_;
+    mutable Mutex mu_;
+    std::vector<std::pair<int, double>> latency_samples_
+        SCNN_GUARDED_BY(mu_);
+    std::vector<std::array<uint64_t, 4>> per_tenant_
+        SCNN_GUARDED_BY(mu_);
 };
 
 /**

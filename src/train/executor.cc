@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/parallel_model.h"
 #include "kernels/activations.h"
 #include "kernels/conv2d.h"
 #include "kernels/linear.h"
@@ -87,19 +88,13 @@ ParamStore::compatibleWith(const Graph &graph) const
     return true;
 }
 
-Executor::Executor(const Graph &graph, ParamStore &params)
-    : graph_(graph), params_(params), topo_(graph.topoOrder())
+std::vector<std::vector<NodeId>>
+computeExecutionWaves(const Graph &graph)
 {
-    SCNN_REQUIRE(params_.compatibleWith(graph_),
-                 "parameter store incompatible with graph");
-
-    // Group the topological order into dependency waves: a node's
-    // wave is 1 + the deepest wave among its input producers. The
-    // partition is a function of the graph alone.
-    std::vector<int64_t> tensor_level(graph_.tensors().size(), 0);
+    std::vector<int64_t> tensor_level(graph.tensors().size(), 0);
     std::vector<std::vector<NodeId>> waves;
-    for (NodeId id : topo_) {
-        const Node &n = graph_.node(id);
+    for (NodeId id : graph.topoOrder()) {
+        const Node &n = graph.node(id);
         int64_t level = 0;
         for (TensorId t : n.inputs)
             level = std::max(level,
@@ -109,7 +104,28 @@ Executor::Executor(const Graph &graph, ParamStore &params)
             waves.resize(static_cast<size_t>(level) + 1);
         waves[static_cast<size_t>(level)].push_back(id);
     }
-    waves_ = std::move(waves);
+    return waves;
+}
+
+Executor::Executor(const Graph &graph, ParamStore &params)
+    : graph_(graph), params_(params), topo_(graph.topoOrder()),
+      waves_(computeExecutionWaves(graph))
+{
+    SCNN_REQUIRE(params_.compatibleWith(graph_),
+                 "parameter store incompatible with graph");
+    // Debug hook: prove the wave schedule race-free before the first
+    // forward() runs it. Training mode is the superset model (it adds
+    // the deferred BN running-stat epochs).
+    if (lintParallelEnabled()) {
+        const std::vector<Diagnostic> diags =
+            analyzeParallelPlan(buildExecutorWavePlan(graph_, true));
+        SCNN_CHECK(diags.empty(),
+                   "parallel-safety lint: "
+                       << diags.size()
+                       << " finding(s) in the executor wave plan; "
+                          "first: "
+                       << diags.front().toString());
+    }
 }
 
 Tensor

@@ -62,6 +62,18 @@ struct ForwardCache
 };
 
 /**
+ * Group @p graph's topological order into dependency levels
+ * ("waves"): a node's wave is 1 + the deepest wave among its input
+ * producers, so every node in a wave depends only on earlier waves
+ * and nodes within one wave can run concurrently. The partition is a
+ * function of the graph alone (thread-count independent). Exported
+ * so the SA6xx parallel-safety analyzer
+ * (analysis/parallel_model.h) models the exact schedule the
+ * executor runs.
+ */
+std::vector<std::vector<NodeId>> computeExecutionWaves(const Graph &graph);
+
+/**
  * Graph executor bound to a graph and a parameter store.
  */
 class Executor

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros (the satellite of
+ * the SA6xx parallel-safety suite: the *compiler-checked* side of the
+ * locking discipline the static analyzer assumes).
+ *
+ * The macros expand to Clang `capability` attributes only when both
+ * hold:
+ *   - the compiler is Clang (GCC has no thread-safety analysis), and
+ *   - the build defines SCNN_THREAD_SAFETY (the CMake option of the
+ *     same name, which also turns on -Wthread-safety
+ *     -Werror=thread-safety).
+ * Everywhere else they vanish, so annotated headers stay portable.
+ *
+ * Standard-library mutexes carry no capability attributes under
+ * libstdc++, which would make every annotation vacuous; util/mutex.h
+ * provides the annotated `Mutex`/`MutexLock` wrappers the guarded
+ * code uses instead.
+ */
+#ifndef SCNN_UTIL_THREAD_ANNOTATIONS_H
+#define SCNN_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(SCNN_THREAD_SAFETY)
+#define SCNN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCNN_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define SCNN_CAPABILITY(x) SCNN_THREAD_ANNOTATION(capability(x))
+
+/** Marks a RAII type that acquires in its ctor, releases in its dtor. */
+#define SCNN_SCOPED_CAPABILITY SCNN_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the given lock. */
+#define SCNN_GUARDED_BY(x) SCNN_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the given lock. */
+#define SCNN_PT_GUARDED_BY(x) SCNN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the lock(s) already held. */
+#define SCNN_REQUIRES(...) \
+    SCNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the lock(s) and returns holding them. */
+#define SCNN_ACQUIRE(...) \
+    SCNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases lock(s) it was called holding. */
+#define SCNN_RELEASE(...) \
+    SCNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the lock on a true return. */
+#define SCNN_TRY_ACQUIRE(...) \
+    SCNN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called holding the lock(s). */
+#define SCNN_EXCLUDES(...) \
+    SCNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/**
+ * Opt a function out of the analysis. Used only where the analysis
+ * cannot follow the control flow — condition-variable wait loops
+ * release and reacquire the lock inside the wait, which the checker
+ * does not model. Each use carries a comment saying why.
+ */
+#define SCNN_NO_THREAD_SAFETY_ANALYSIS \
+    SCNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // SCNN_UTIL_THREAD_ANNOTATIONS_H

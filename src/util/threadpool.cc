@@ -39,7 +39,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -54,7 +54,7 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            std::unique_lock<Mutex> lock(mu_);
             work_cv_.wait(lock,
                           [&] { return stop_ || !queue_.empty(); });
             if (stop_ && queue_.empty())
@@ -94,7 +94,7 @@ ThreadPool::parallelFor(int64_t n,
     const int64_t base = n / chunks;
     const int64_t rem = n % chunks;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         int64_t begin = 0;
         for (int64_t i = 0; i < chunks; ++i) {
             const int64_t end = begin + base + (i < rem ? 1 : 0);

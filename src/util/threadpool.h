@@ -18,13 +18,14 @@
 #ifndef SCNN_UTIL_THREADPOOL_H
 #define SCNN_UTIL_THREADPOOL_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scnn {
 
@@ -52,16 +53,16 @@ class ThreadPool
                      const std::function<void(int64_t, int64_t)> &fn);
 
   private:
-    void workerLoop();
+    /** Blocks on work_cv_; the wait loop releases/reacquires mu_ in a
+     * way the static analysis cannot follow. */
+    void workerLoop() SCNN_NO_THREAD_SAFETY_ANALYSIS;
 
     int num_threads_;
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::queue<std::function<void()>> queue_;
-    int64_t pending_ = 0;
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar work_cv_;
+    std::queue<std::function<void()>> queue_ SCNN_GUARDED_BY(mu_);
+    bool stop_ SCNN_GUARDED_BY(mu_) = false;
 };
 
 /**

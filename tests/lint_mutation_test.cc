@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/parallel_model.h"
+#include "core/split_op.h"
 #include "core/splitter.h"
 #include "hmms/planner.h"
 #include "models/models.h"
@@ -354,6 +356,195 @@ TEST(LintMutation, BadHaloPaddingIsSA503)
     SplitScheme1d bad = cleanScheme(op, 32);
     bad.pieces[1].pad_b += 1; // halo no longer matches Eq. 5
     EXPECT_TRUE(expectCode(lintSplitScheme(op, 32, bad), "SA503"));
+}
+
+// --- SA6xx: parallel-plan corruption ---------------------------------
+
+/**
+ * Like expectCode, but additionally rejects collateral findings: the
+ * mutation must trip its own diagnostic and nothing else, proving
+ * each SA6xx rule fires independently.
+ */
+::testing::AssertionResult
+expectOnlyCode(const std::vector<Diagnostic> &diags,
+               const std::string &code)
+{
+    if (!hasCode(diags, code))
+        return ::testing::AssertionFailure()
+               << "expected " << code << ", analyzer reported:\n"
+               << renderDiagnosticsText(diags);
+    for (const Diagnostic &d : diags)
+        if (d.severity == DiagSeverity::Error && d.code != code)
+            return ::testing::AssertionFailure()
+                   << "collateral " << d.code << " beside " << code
+                   << ":\n"
+                   << renderDiagnosticsText(diags);
+    return ::testing::AssertionSuccess();
+}
+
+ParallelPlan
+cleanConvPlan()
+{
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = splitWindowOp2d(
+        win, 16, 16, evenOutputSplit(win.outH(16), 2),
+        evenOutputSplit(win.outW(16), 2), InputSplitPolicy::Center);
+    return buildSplitConvPlan(1, 3, 16, 16, 4, win, scheme);
+}
+
+ParallelPlan
+cleanPoolPlan()
+{
+    const Window2d win = Window2d::square(2, 2, 0);
+    const auto scheme = splitWindowOp2d(
+        win, 16, 16, evenOutputSplit(win.outH(16), 2),
+        evenOutputSplit(win.outW(16), 2), InputSplitPolicy::Center);
+    return buildSplitPoolPlan(1, 3, 16, 16, win, scheme);
+}
+
+TEST(LintMutation, ParallelBaselinesAreClean)
+{
+    for (const ParallelPlan &plan :
+         {cleanConvPlan(), cleanPoolPlan(),
+          buildExecutorWavePlan(Fixture::instance().graph, true)}) {
+        const auto diags = analyzeParallelPlan(plan);
+        EXPECT_FALSE(hasErrors(diags))
+            << plan.name << ":\n"
+            << renderDiagnosticsText(diags);
+    }
+}
+
+TEST(LintMutation, OverlappingPatchWritesAreSA601)
+{
+    ParallelPlan bad = cleanPoolPlan();
+    // Widen patch 0.0's output write one column into patch 0.1's
+    // block: two same-epoch items now write the same floats while
+    // the union still covers the output (no SA608 masking).
+    ASSERT_TRUE(bad.items[0].accesses[0].write);
+    bad.items[0].accesses[0].span.len += 1;
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA601"));
+}
+
+TEST(LintMutation, SpanOutsideRegionIsSA602)
+{
+    ParallelPlan bad = cleanConvPlan();
+    // A halo read past the end of the input image. Reads of
+    // read-only regions never enter the race sweep, so the bounds
+    // rule must catch this alone.
+    ParallelAccess &rin = bad.items[0].accesses[1];
+    ASSERT_FALSE(rin.write);
+    rin.span.base += bad.regions[1].size;
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA602"));
+}
+
+TEST(LintMutation, WriteToSharedPanelsIsSA603)
+{
+    ParallelPlan bad = cleanConvPlan();
+    // An aliased weight-panel cache entry shows up in the model as a
+    // work item writing the shared read-only panel region.
+    bool flipped = false;
+    for (ParallelAccess &a : bad.items[0].accesses)
+        if (a.region == 2 && !a.write) {
+            a.write = true;
+            flipped = true;
+            break;
+        }
+    ASSERT_TRUE(flipped);
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA603"));
+}
+
+TEST(LintMutation, ForeignArenaAccessIsSA604)
+{
+    ParallelPlan bad = cleanConvPlan();
+    // Retarget item 0's scratch staging at item 1's arena.
+    int own = -1, foreign = -1;
+    for (size_t r = 0; r < bad.regions.size(); ++r) {
+        if (bad.regions[r].name == "arena:0")
+            own = static_cast<int>(r);
+        if (bad.regions[r].name == "arena:1")
+            foreign = static_cast<int>(r);
+    }
+    ASSERT_GE(own, 0);
+    ASSERT_GE(foreign, 0);
+    int retargeted = 0;
+    for (ParallelAccess &a : bad.items[0].accesses)
+        if (a.region == own) {
+            a.region = foreign;
+            ++retargeted;
+        }
+    ASSERT_GT(retargeted, 0);
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA604"));
+}
+
+TEST(LintMutation, ReadBeforeWriteIsSA605)
+{
+    ParallelPlan bad =
+        buildExecutorWavePlan(Fixture::instance().graph, true);
+    // Give the earliest-wave item a read of a slot only produced in
+    // the last wave: the happens-before proof over the ordered slot
+    // region must reject it (different epochs, so no SA601).
+    size_t reader = 0, writer = 0;
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (size_t i = 0; i < bad.items.size(); ++i) {
+        const ParallelItem &item = bad.items[i];
+        const bool writes_slot = std::any_of(
+            item.accesses.begin(), item.accesses.end(),
+            [](const ParallelAccess &a) {
+                return a.region == 0 && a.write;
+            });
+        if (!writes_slot)
+            continue;
+        if (item.epoch < lo) {
+            lo = item.epoch;
+            reader = i;
+        }
+        if (item.epoch > hi) {
+            hi = item.epoch;
+            writer = i;
+        }
+    }
+    ASSERT_LT(lo, hi);
+    ParallelAccess premature;
+    premature.region = 0;
+    for (const ParallelAccess &a : bad.items[writer].accesses)
+        if (a.region == 0 && a.write)
+            premature.span = a.span;
+    bad.items[reader].accesses.push_back(premature);
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA605"));
+}
+
+TEST(LintMutation, ReorderedBnUpdateIsSA606)
+{
+    ParallelPlan bad =
+        buildExecutorWavePlan(Fixture::instance().graph, true);
+    // Two deferred running-stat updates aimed at the same parameter
+    // slots with their serial order inverted against their epoch
+    // order — the bitwise-determinism contract SA606 enforces.
+    std::vector<size_t> updates;
+    for (size_t i = 0; i < bad.items.size(); ++i)
+        if (bad.items[i].name.find(":bn_update") !=
+            std::string::npos)
+            updates.push_back(i);
+    ASSERT_GE(updates.size(), 2u);
+    ParallelItem &a = bad.items[updates[0]];
+    ParallelItem &b = bad.items[updates[1]];
+    b.accesses = a.accesses; // now share running-stat slots
+    std::swap(a.seq, b.seq); // epoch order vs serial order disagree
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA606"));
+}
+
+TEST(LintMutation, BandCoverageGapIsSA608)
+{
+    ParallelPlan bad = cleanConvPlan();
+    // Corrupted band geometry: the first band claims one output row
+    // fewer than the decomposition owes, leaving floats no item
+    // writes.
+    ParallelAccess &wout = bad.items[0].accesses[0];
+    ASSERT_TRUE(wout.write);
+    const int64_t out_w = 16;
+    ASSERT_GT(wout.span.len, out_w);
+    wout.span.len -= out_w;
+    EXPECT_TRUE(expectOnlyCode(analyzeParallelPlan(bad), "SA608"));
 }
 
 } // namespace

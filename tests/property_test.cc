@@ -7,6 +7,7 @@
 
 #include <tuple>
 
+#include "analysis/parallel_model.h"
 #include "core/splitter.h"
 #include "data/synthetic.h"
 #include "hmms/planner.h"
@@ -147,6 +148,11 @@ TEST_P(PlannerSimSweep, PlanValidatesAndSimCompletes)
     auto mem = planStaticMemory(g, assignment, plan);
     EXPECT_GT(mem.device_general_peak, 0);
     EXPECT_EQ(mem.host_pool_bytes, plan.offloaded_bytes);
+    // Parallel-execution safety: every configuration's wave schedule
+    // and per-window split decompositions must prove race-free
+    // (zero SA6xx findings).
+    const auto pdiags = analyzeParallelExecution(g, 2, 2);
+    EXPECT_FALSE(hasErrors(pdiags)) << renderDiagnosticsText(pdiags);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -182,6 +182,14 @@ def main():
             print(f"  winograd_speedup "
                   f"{fw['winograd_speedup']:.3f} "
                   f"(baseline {bw.get('winograd_speedup', '?')})")
+        fi = fresh.get("im2col_strided")
+        bi = baseline.get("im2col_strided", {})
+        if fi:
+            print(f"  im2col fill stride1 "
+                  f"{fi['stride1_fill_gbps']:.2f} GB/s "
+                  f"(baseline {bi.get('stride1_fill_gbps', '?')}), "
+                  f"stride2 {fi['stride2_fill_gbps']:.2f} GB/s "
+                  f"(baseline {bi.get('stride2_fill_gbps', '?')})")
 
     rc = 0
     summary = fresh.get("split_conv_summary")
@@ -230,6 +238,16 @@ def main():
             else:
                 print(f"ok: {depth} split_pool_overhead_ratio_1t "
                       f"{ratio:.3f} <= {max_ratio}")
+
+    # Fill rates are machine-dependent, so only presence is gated; the
+    # baseline diff above is the reviewable measurement.
+    if "im2col_strided" not in fresh:
+        rc |= fail("no im2col_strided measurement in report")
+    else:
+        i2c = fresh["im2col_strided"]
+        print(f"ok: im2col fill rates measured (stride1 "
+              f"{i2c['stride1_fill_gbps']:.2f} GB/s, stride2 "
+              f"{i2c['stride2_fill_gbps']:.2f} GB/s)")
 
     wino = fresh.get("winograd")
     if not wino:

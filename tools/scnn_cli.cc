@@ -16,6 +16,10 @@
  *       Run the static plan/graph verifier over the planned model
  *       and print diagnostics (exit 1 on any error finding).
  *       `scnn lint --codes` prints the stable SAxxx code registry.
+ *       `scnn lint --parallel [--grid HxW] [--json]` instead runs the
+ *       SA6xx parallel-execution safety suite: write-set disjointness
+ *       proofs for the executor's wave schedule and the fused split
+ *       decompositions at the given grid (default 2x2).
  *   scnn dot      <model> [--split D] [--grid HxW] [--batch N]
  *       Emit the (optionally split) computation graph as Graphviz.
  *   scnn train    [--epochs N] [--samples N] [--mode base|scnn|sscnn]
@@ -48,6 +52,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/parallel_model.h"
 #include "core/splitter.h"
 #include "data/synthetic.h"
 #include "graph/dot.h"
@@ -162,6 +167,26 @@ cmdLint(const Args &args)
     DeviceSpec spec;
     BackwardOptions bo{.recompute_bn = args.has("recompute-bn")};
     Graph g = buildFromArgs(args);
+
+    if (args.has("parallel")) {
+        // Suite 6: prove the parallel execution (executor waves +
+        // fused split decompositions at the requested grid) race-free
+        // instead of linting a memory plan.
+        const auto [gh, gw] =
+            parseGrid(args.flag("grid", "2x2")).value();
+        const auto diags = analyzeParallelExecution(g, gh, gw);
+        const std::string context =
+            args.positional(0, "vgg19") + " parallel grid=" +
+            std::to_string(gh) + "x" + std::to_string(gw) +
+            " batch=" + std::to_string(args.flagInt("batch", 64));
+        if (args.has("json"))
+            std::cout << renderDiagnosticsJson(diags, context);
+        else
+            std::cout << context << '\n'
+                      << renderDiagnosticsText(diags);
+        return hasErrors(diags) ? 1 : 0;
+    }
+
     const std::string planner = args.flag("planner", "hmms");
     PlannerKind kind = PlannerKind::Hmms;
     if (planner == "layerwise")

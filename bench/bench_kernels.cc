@@ -15,7 +15,9 @@
  * Every split measurement records the thread count it actually ran
  * with, and each split depth reports split_overhead_ratio =
  * split ms / unsplit ms at the same thread count — the number the
- * zero-copy rewrite exists to keep near 1.0.
+ * zero-copy rewrite exists to keep near 1.0. The split_backward
+ * sweep applies the same protocol to the band-fused backward pass
+ * (dgrad + wgrad + bias vs the unsplit conv2dBackward).
  */
 #include <algorithm>
 #include <chrono>
@@ -275,6 +277,54 @@ main(int argc, char **argv)
     }
     setGlobalThreads(1);
 
+    // --- band-fused split backward: depth x thread sweep --------------
+    // Same conv3-style layer as the forward sweep; the fused split
+    // backward (dgrad + wgrad + bias) is timed against the unsplit
+    // conv2dBackward at the same thread count. Both sides run the
+    // identical band-pipelined GEMM engine, so the ratio isolates the
+    // split bookkeeping (per-patch staging, halo scatter, cached W^T
+    // panel lookups) the zero-copy rewrite exists to keep near 1.0.
+    std::vector<SplitResult> backward_splits;
+    {
+        Rng brng(4);
+        Tensor bgo(Shape{4, 16, 56, 56});
+        bgo.fillNormal(brng, 0.0f, 1.0f);
+        for (int depth : depths) {
+            const auto scheme = splitWindowOp2d(
+                cwin, 56, 56, evenOutputSplit(cwin.outH(56), depth),
+                evenOutputSplit(cwin.outW(56), depth));
+            for (int threads : thread_counts) {
+                setGlobalThreads(threads);
+                SplitResult r;
+                r.depth = depth;
+                r.threads = threads;
+                r.split_ms =
+                    timeIt(
+                        [&] {
+                            Tensor gx, gb;
+                            Tensor gw(cw.shape());
+                            splitConv2dBackwardFused(cx, cw, bgo,
+                                                     cwin, scheme, gx,
+                                                     gw, gb);
+                        },
+                        11) *
+                    1e3;
+                r.unsplit_ms =
+                    timeIt(
+                        [&] {
+                            Tensor gx, gb;
+                            Tensor gw(cw.shape());
+                            conv2dBackward(cx, cw, bgo, cwin, gx, gw,
+                                           gb);
+                        },
+                        11) *
+                    1e3;
+                backward_splits.push_back(r);
+            }
+        }
+        setGlobalThreads(1);
+    }
+
     auto findIn = [](const std::vector<SplitResult> &v, int depth,
                      int threads) -> const SplitResult & {
         for (const auto &r : v)
@@ -379,6 +429,33 @@ main(int argc, char **argv)
             t1.split_ms / t4.split_ms,
             i + 1 < std::size(depths) ? "," : "");
     }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"split_backward\": [\n");
+    for (size_t i = 0; i < backward_splits.size(); ++i) {
+        const auto &r = backward_splits[i];
+        std::fprintf(
+            f,
+            "    {\"split\": \"%dx%d\", \"threads\": %d, "
+            "\"split_ms\": %.3f, \"unsplit_ms\": %.3f, "
+            "\"split_backward_overhead_ratio\": %.3f}%s\n",
+            r.depth, r.depth, r.threads, r.split_ms, r.unsplit_ms,
+            r.overheadRatio(),
+            i + 1 < backward_splits.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"split_backward_summary\": {\n");
+    for (size_t i = 0; i < std::size(depths); ++i) {
+        const int depth = depths[i];
+        const SplitResult &t1 = findIn(backward_splits, depth, 1);
+        const SplitResult &t4 = findIn(backward_splits, depth, 4);
+        std::fprintf(
+            f,
+            "    \"%dx%d\": {\"split_backward_overhead_ratio_1t\": "
+            "%.3f, \"speedup_4t\": %.2f}%s\n",
+            depth, depth, t1.overheadRatio(),
+            t1.split_ms / t4.split_ms,
+            i + 1 < std::size(depths) ? "," : "");
+    }
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -407,6 +484,11 @@ main(int argc, char **argv)
     for (const auto &r : pool_splits)
         std::printf("split pool %dx%d @ %dt: split %.3f ms, unsplit "
                     "%.3f ms, overhead %.2fx\n",
+                    r.depth, r.depth, r.threads, r.split_ms,
+                    r.unsplit_ms, r.overheadRatio());
+    for (const auto &r : backward_splits)
+        std::printf("split backward %dx%d @ %dt: split %.3f ms, "
+                    "unsplit %.3f ms, overhead %.2fx\n",
                     r.depth, r.depth, r.threads, r.split_ms,
                     r.unsplit_ms, r.overheadRatio());
     return 0;

@@ -147,6 +147,9 @@ diagnosticCodes()
         {"SA608", DiagSeverity::Error,
          "work-item write sets do not cover an exact-cover region "
          "(gap in the output tiling)"},
+        {"SA609", DiagSeverity::Error,
+         "halo-accumulation writes concurrent or out of serial order "
+         "(backward scatter-add determinism contract violation)"},
     };
     return table;
 }

@@ -263,6 +263,68 @@ checkSerialStats(const ParallelPlan &plan, int64_t region,
     }
 }
 
+/**
+ * SA609 (ordered_accum regions): the backward halo-accumulation
+ * contract. Scatter-adds into a shared gradient region may overlap
+ * (halo rows, shared weight-gradient accumulators), but every
+ * overlapping pair must come from distinct epochs — one worker's
+ * serial program order — and that epoch order must agree with the
+ * serial (seq) order, or the accumulation is either a race or
+ * nondeterministically grouped.
+ */
+void
+checkOrderedAccum(const ParallelPlan &plan, int64_t region,
+                  RegionAccesses &ra, DiagnosticSink &sink)
+{
+    const std::string &rname =
+        plan.regions[static_cast<size_t>(region)].name;
+    std::sort(ra.writes.begin(), ra.writes.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.lo < b.lo;
+              });
+    int findings = 0;
+    std::vector<const Interval *> active;
+    for (const Interval &cur : ra.writes) {
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const Interval *t) {
+                                        return t->hi <= cur.lo;
+                                    }),
+                     active.end());
+        for (const Interval *t : active) {
+            if (t->item == cur.item && t->epoch == cur.epoch)
+                continue;
+            const bool concurrent = t->epoch == cur.epoch;
+            const bool unordered = t->seq < 0 || cur.seq < 0;
+            const bool misordered =
+                !unordered && (t->epoch < cur.epoch) != (t->seq < cur.seq);
+            if (!concurrent && !unordered && !misordered)
+                continue;
+            if (findings++ >= kMaxFindingsPerRegion)
+                return;
+            std::ostringstream os;
+            os << "region '" << rname << "': halo accumulations of "
+               << parallelItemName(plan, t->item) << " and "
+               << parallelItemName(plan, cur.item) << " overlap at ["
+               << std::max(t->lo, cur.lo) << ", "
+               << std::min(t->hi, cur.hi) << ") ";
+            if (concurrent)
+                os << "in the same epoch " << cur.epoch
+                   << " (overlapping scatter-adds must be "
+                      "serialized)";
+            else if (unordered)
+                os << "without a serial order (seq unset)";
+            else
+                os << "with epoch order disagreeing with serial "
+                      "order (seq "
+                   << t->seq << " vs " << cur.seq << ")";
+            DiagLocation loc;
+            loc.step = static_cast<int>(cur.item);
+            sink.add("SA609", loc, os.str());
+        }
+        active.push_back(&cur);
+    }
+}
+
 /** SA608 (exact_cover regions): the write-set union tiles [0, size). */
 void
 checkCoverage(const ParallelPlan &plan, int64_t region,
@@ -373,6 +435,8 @@ analyzeParallelPlan(const ParallelPlan &plan)
         auto &ra = per_region[static_cast<size_t>(rg)];
         if (r.serial_stats)
             checkSerialStats(plan, rg, ra, sink);
+        else if (r.ordered_accum)
+            checkOrderedAccum(plan, rg, ra, sink);
         else
             checkSameEpochRaces(plan, rg, ra, sink);
         if (r.ordered)
@@ -589,6 +653,339 @@ buildSplitPoolPlan(int64_t n, int64_t c, int64_t ih, int64_t iw,
 }
 
 ParallelPlan
+buildSplitConvBackwardPlan(int64_t n, int64_t c, int64_t ih,
+                           int64_t iw, int64_t oc, const Window2d &win,
+                           const SplitScheme2d &scheme)
+{
+    ParallelPlan plan;
+    plan.name = "split_conv_backward";
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    const int64_t krows = c * win.kh * win.kw;
+    // The dgrad operand: W^T packed A panels (krows x oc), cached per
+    // (layer, split) like the forward panels.
+    const int64_t panel_floats = gemmPackedASize(krows, oc);
+
+    ParallelRegion gx_region;
+    gx_region.name = "grad_x";
+    gx_region.size = n * c * ih * iw;
+    gx_region.ordered_accum = true; // halo scatter-adds overlap
+    plan.regions.push_back(gx_region);
+
+    ParallelRegion go_region;
+    go_region.name = "grad_out";
+    go_region.size = n * oc * out_h * out_w;
+    go_region.read_only = true;
+    plan.regions.push_back(go_region);
+
+    ParallelRegion in_region;
+    in_region.name = "input";
+    in_region.size = n * c * ih * iw;
+    in_region.read_only = true;
+    plan.regions.push_back(in_region);
+
+    ParallelRegion w_region;
+    w_region.name = "weight_panels";
+    w_region.size = panel_floats;
+    w_region.read_only = true;
+    plan.regions.push_back(w_region);
+
+    ParallelRegion gw_region;
+    gw_region.name = "grad_w";
+    gw_region.size = oc * krows;
+    gw_region.ordered_accum = true; // reductions chain in image order
+    plan.regions.push_back(gw_region);
+
+    ParallelRegion gb_region;
+    gb_region.name = "grad_b";
+    gb_region.size = oc;
+    gb_region.ordered_accum = true;
+    plan.regions.push_back(gb_region);
+
+    // Per-image partial accumulator: the wgrad panel product chains
+    // across the image's bands (beta = 1), and the bias row sums land
+    // in the tail — both under the worker's serial band order.
+    const int64_t acc_floats = krows * oc + oc;
+    for (int64_t in = 0; in < n; ++in) {
+        ParallelRegion acc;
+        {
+            std::ostringstream os;
+            os << "wgrad_acc:img" << in;
+            acc.name = os.str();
+        }
+        acc.size = acc_floats;
+        acc.ordered_accum = true;
+        plan.regions.push_back(acc);
+    }
+    const int64_t acc_region0 = 6;
+
+    const std::vector<SplitBandItem> bands =
+        splitConvBandItems(scheme.h);
+    const int64_t n_bands = static_cast<int64_t>(bands.size());
+    int64_t max_band_rows = 0;
+    for (const SplitBandItem &b : bands)
+        max_band_rows = std::max(max_band_rows, b.oy1 - b.oy0);
+    const int64_t max_band_cols = max_band_rows * out_w;
+    // Staged columns + gradient columns + the three per-band packs.
+    const int64_t arena_floats =
+        2 * krows * max_band_cols +
+        gemmPackedASize(krows, max_band_cols) +
+        gemmPackedBSize(max_band_cols, oc) +
+        gemmPackedBSize(oc, max_band_cols);
+
+    // Band items. A worker owns a whole image and runs its bands
+    // serially ascending; epoch encodes that per-image program order
+    // (overlapping grad_x / wgrad_acc writes are intra-image only, so
+    // cross-image same-epoch pairs never constrain).
+    for (int64_t i = 0; i < n * n_bands; ++i) {
+        const int64_t in = i / n_bands;
+        const int64_t bi = i % n_bands;
+        const SplitBandItem &band = bands[static_cast<size_t>(bi)];
+        const SplitPiece1d &ph =
+            scheme.h.pieces[static_cast<size_t>(band.hi)];
+
+        ParallelRegion arena;
+        {
+            std::ostringstream os;
+            os << "arena:" << i;
+            arena.name = os.str();
+        }
+        arena.size = arena_floats;
+        arena.owner = i;
+        plan.regions.push_back(arena);
+        const int arena_region =
+            static_cast<int>(plan.regions.size()) - 1;
+
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":band" << band.hi << "."
+               << band.oy0;
+            item.name = os.str();
+        }
+        item.epoch = bi;
+        item.seq = i;
+
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            const SplitPiece1d &pw =
+                scheme.w.pieces[static_cast<size_t>(wi)];
+            const Window2d local =
+                patchWindow(win, scheme, band.hi, wi);
+
+            // dgrad scatter: the band-restricted write hull
+            // col2imViewStrided claims — patch rows [iy_lo, iy_hi)
+            // reachable from output rows [oy0, oy1), channel 0's
+            // first float through channel c-1's last.
+            const int64_t iy_lo = std::max<int64_t>(
+                0, band.oy0 * local.sh - local.ph_b);
+            const int64_t iy_hi = std::min<int64_t>(
+                ph.inLen(),
+                (band.oy1 - 1) * local.sh - local.ph_b + local.kh);
+            if (iy_lo < iy_hi) {
+                ParallelAccess wgx;
+                wgx.region = 0;
+                wgx.write = true;
+                wgx.span = StridedSpan::interval(
+                    in * c * ih * iw +
+                        (ph.in_start + iy_lo) * iw + pw.in_start,
+                    (c - 1) * ih * iw + (iy_hi - 1 - iy_lo) * iw +
+                        pw.inLen());
+                item.accesses.push_back(wgx);
+            }
+
+            // wgrad staging reads the same input hull the forward
+            // band reads.
+            ParallelAccess rin;
+            rin.region = 2;
+            const int64_t first = ph.in_start * iw + pw.in_start;
+            const int64_t last = (c - 1) * ih * iw +
+                                 (ph.in_start + ph.inLen() - 1) * iw +
+                                 pw.in_start + pw.inLen();
+            rin.span = StridedSpan::interval(
+                in * c * ih * iw + first, last - first);
+            item.accesses.push_back(rin);
+        }
+
+        // Both gradient GEMMs read the band's grad_out rows of every
+        // output channel at the parent channel stride.
+        ParallelAccess rgo;
+        rgo.region = 1;
+        rgo.span = {in * oc * out_h * out_w +
+                        (ph.out_start + band.oy0) * out_w,
+                    oc, out_h * out_w, 1, 0,
+                    (band.oy1 - band.oy0) * out_w};
+        item.accesses.push_back(rgo);
+
+        ParallelAccess rw_panels;
+        rw_panels.region = 3;
+        rw_panels.span = StridedSpan::interval(0, panel_floats);
+        item.accesses.push_back(rw_panels);
+
+        // The band chains the image's wgrad partial (beta = 1).
+        ParallelAccess wacc;
+        wacc.region = static_cast<int>(acc_region0 + in);
+        wacc.write = true;
+        wacc.span = StridedSpan::interval(0, krows * oc);
+        item.accesses.push_back(wacc);
+        ParallelAccess racc = wacc;
+        racc.write = false;
+        item.accesses.push_back(racc);
+
+        ParallelAccess warena;
+        warena.region = arena_region;
+        warena.write = true;
+        warena.span = StridedSpan::interval(0, arena_floats);
+        item.accesses.push_back(warena);
+        ParallelAccess rarena = warena;
+        rarena.write = false;
+        item.accesses.push_back(rarena);
+
+        plan.items.push_back(std::move(item));
+    }
+
+    // Per-image bias item: row sums over the whole grad_out image
+    // into the partial accumulator's tail, after the image's bands.
+    for (int64_t in = 0; in < n; ++in) {
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":bias";
+            item.name = os.str();
+        }
+        item.epoch = n_bands;
+        item.seq = n * n_bands + in;
+
+        ParallelAccess rgo;
+        rgo.region = 1;
+        rgo.span = StridedSpan::interval(
+            in * oc * out_h * out_w, oc * out_h * out_w);
+        item.accesses.push_back(rgo);
+
+        ParallelAccess wacc;
+        wacc.region = static_cast<int>(acc_region0 + in);
+        wacc.write = true;
+        wacc.span = StridedSpan::interval(krows * oc, oc);
+        item.accesses.push_back(wacc);
+
+        plan.items.push_back(std::move(item));
+    }
+
+    // Per-image reduction: serial on the caller in image order after
+    // each wave — folds the partial into the shared grad_w / grad_b.
+    for (int64_t in = 0; in < n; ++in) {
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":reduce";
+            item.name = os.str();
+        }
+        item.epoch = n_bands + 1 + in;
+        item.seq = n * n_bands + n + in;
+
+        ParallelAccess racc;
+        racc.region = static_cast<int>(acc_region0 + in);
+        racc.span = StridedSpan::interval(0, acc_floats);
+        item.accesses.push_back(racc);
+
+        ParallelAccess wgw;
+        wgw.region = 4;
+        wgw.write = true;
+        wgw.span = StridedSpan::interval(0, oc * krows);
+        item.accesses.push_back(wgw);
+        ParallelAccess rgw = wgw;
+        rgw.write = false;
+        item.accesses.push_back(rgw);
+
+        ParallelAccess wgb;
+        wgb.region = 5;
+        wgb.write = true;
+        wgb.span = StridedSpan::interval(0, oc);
+        item.accesses.push_back(wgb);
+        ParallelAccess rgb = wgb;
+        rgb.write = false;
+        item.accesses.push_back(rgb);
+
+        plan.items.push_back(std::move(item));
+    }
+    return plan;
+}
+
+ParallelPlan
+buildSplitPoolBackwardPlan(int64_t n, int64_t c, int64_t ih,
+                           int64_t iw, const Window2d &win,
+                           const SplitScheme2d &scheme)
+{
+    (void)win;
+    ParallelPlan plan;
+    plan.name = "split_pool_backward";
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+
+    ParallelRegion gx_region;
+    gx_region.name = "grad_x";
+    gx_region.size = n * c * ih * iw;
+    gx_region.ordered_accum = true; // halo scatter-adds overlap
+    plan.regions.push_back(gx_region);
+
+    ParallelRegion go_region;
+    go_region.name = "grad_out";
+    go_region.size = n * c * out_h * out_w;
+    go_region.read_only = true;
+    plan.regions.push_back(go_region);
+
+    const int hp = scheme.h.parts();
+    const int wp = scheme.w.parts();
+    const int64_t parts = int64_t(hp) * wp;
+    for (int64_t i = 0; i < n * parts; ++i) {
+        const int64_t in = i / parts;
+        const int hi = static_cast<int>((i % parts) / wp);
+        const int wi = static_cast<int>(i % wp);
+        const SplitPiece1d &ph =
+            scheme.h.pieces[static_cast<size_t>(hi)];
+        const SplitPiece1d &pw =
+            scheme.w.pieces[static_cast<size_t>(wi)];
+
+        ParallelItem item;
+        {
+            std::ostringstream os;
+            os << "img" << in << ":patch" << hi << "." << wi;
+            item.name = os.str();
+        }
+        // A worker owns the image; its patches run serially
+        // ascending, which epoch/seq encode for the overlap check.
+        item.epoch = i % parts;
+        item.seq = i;
+
+        // Every tap (max: the forward argmax; avg: the clipped
+        // window) of an output in the patch's block lies inside the
+        // patch's input rectangle — the scheme's in-range covers its
+        // outputs' windows by construction (Eqs. 1-2). Modeled as the
+        // conservative contiguous hull, like the forward reads.
+        ParallelAccess wgx;
+        wgx.region = 0;
+        wgx.write = true;
+        const int64_t first = ph.in_start * iw + pw.in_start;
+        const int64_t last = (c - 1) * ih * iw +
+                             (ph.in_start + ph.inLen() - 1) * iw +
+                             pw.in_start + pw.inLen();
+        wgx.span = StridedSpan::interval(in * c * ih * iw + first,
+                                         last - first);
+        item.accesses.push_back(wgx);
+
+        ParallelAccess rgo;
+        rgo.region = 1;
+        rgo.span = {in * c * out_h * out_w + ph.out_start * out_w +
+                        pw.out_start,
+                    c, out_h * out_w, ph.outLen(), out_w,
+                    pw.outLen()};
+        item.accesses.push_back(rgo);
+
+        plan.items.push_back(std::move(item));
+    }
+    return plan;
+}
+
+ParallelPlan
 buildExecutorWavePlan(const Graph &graph, bool training)
 {
     ParallelPlan plan;
@@ -759,6 +1156,25 @@ analyzeParallelExecution(const Graph &graph, int splits_h,
             plan.name = os.str();
         }
         append(analyzeParallelPlan(plan), n.id);
+
+        // The backward decomposition is a distinct proof obligation:
+        // halo scatter-adds into grad_x overlap between neighbouring
+        // patches, legal only under the ordered-accumulation
+        // discipline (SA609).
+        ParallelPlan bplan =
+            n.kind == OpKind::Conv2d
+                ? buildSplitConvBackwardPlan(n_model, c, ih, iw,
+                                             oshape.dim(1), n.win,
+                                             scheme)
+                : buildSplitPoolBackwardPlan(n_model, c, ih, iw,
+                                             n.win, scheme);
+        {
+            std::ostringstream os;
+            os << bplan.name << ":" << n.name << "[" << hp << "x"
+               << wp << "]";
+            bplan.name = os.str();
+        }
+        append(analyzeParallelPlan(bplan), n.id);
     }
     return diags;
 }

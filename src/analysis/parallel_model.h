@@ -24,14 +24,22 @@
  *          BN running-stat determinism contract)
  *   SA608  an `exact_cover` region whose union of write sets leaves
  *          a gap (the decomposition does not tile the output)
+ *   SA609  in an `ordered_accum` region, overlapping writes from the
+ *          same epoch or with epoch order disagreeing with serial
+ *          order — the backward halo-accumulation contract: patches
+ *          sharing halo rows scatter-add into the parent gradient,
+ *          which is only race-free *and* bitwise-deterministic when
+ *          every overlapping pair is serialized in a fixed order
+ *          (one worker owns the image; bands/patches run ascending)
  *
  * (SA607 — a *recorded* access escaping the predicted footprint — is
  * emitted by the shadow-access validator, shadow_access.h.)
  *
- * Three builders mirror the three parallel surfaces. They derive the
- * decomposition from the same shared helpers the kernels use
- * (splitConvBandItems, computeExecutionWaves), so the model cannot
- * silently diverge from the code it describes:
+ * The builders mirror the engine's parallel surfaces (forward and
+ * backward). They derive the decomposition from the same shared
+ * helpers the kernels use (splitConvBandItems,
+ * computeExecutionWaves), so the model cannot silently diverge from
+ * the code it describes:
  *
  *  - buildSplitConvPlan: splitConv2dForwardFused's image x row-band
  *    items. A band writes output rows [out_start+oy0, out_start+oy1)
@@ -126,6 +134,14 @@ struct ParallelRegion
     bool exact_cover = false; ///< write-set union must tile [0, size)
     bool ordered = false;     ///< reads need an earlier-epoch write
     bool serial_stats = false; ///< writes serialized in seq order
+    /** Scatter-accumulate region (backward gradients): overlapping
+     * writes are *expected* (halo rows, shared weight gradients) but
+     * must come from distinct epochs whose order agrees with serial
+     * (seq) order — checked as SA609. Epochs here encode per-worker
+     * serial program order (a worker owns all of an image's items),
+     * not global barriers; only overlapping pairs are constrained,
+     * and overlaps are intra-image by construction. */
+    bool ordered_accum = false;
     int64_t owner = -1; ///< owning item index, or -1 = shared
 };
 
@@ -168,6 +184,36 @@ ParallelPlan buildSplitConvPlan(int64_t n, int64_t c, int64_t ih,
 ParallelPlan buildSplitPoolPlan(int64_t n, int64_t c, int64_t ih,
                                 int64_t iw, const Window2d &win,
                                 const SplitScheme2d &scheme);
+
+/**
+ * Model splitConv2dBackwardFused: images fan out across workers, and
+ * a worker runs its image's row-band items serially ascending — so
+ * the plan's epochs encode that per-image serial order. Per band:
+ * grad_x scatter hulls (band-restricted, mirroring col2imViewStrided)
+ * land in the `ordered_accum` grad_x region, grad_out band rows and
+ * patch input hulls are read, the cached dgrad (W^T) panels are
+ * shared read-only, and the per-image wgrad/bias partial accumulator
+ * chains bands under the same ordered discipline. A per-image bias
+ * item then reduces grad_out rows, and a per-image reduction item —
+ * serialized in image order after each wave — folds the partial into
+ * the shared grad_w / grad_b regions (both `ordered_accum`).
+ */
+ParallelPlan buildSplitConvBackwardPlan(int64_t n, int64_t c,
+                                        int64_t ih, int64_t iw,
+                                        int64_t oc, const Window2d &win,
+                                        const SplitScheme2d &scheme);
+
+/**
+ * Model the fused split-pool backward paths: image x patch items
+ * scatter-adding window gradients through each patch's input hull
+ * into the `ordered_accum` grad_x region (halo rows overlap between
+ * neighbouring patches of one image; a worker owns the image and
+ * runs its patches serially ascending).
+ */
+ParallelPlan buildSplitPoolBackwardPlan(int64_t n, int64_t c,
+                                        int64_t ih, int64_t iw,
+                                        const Window2d &win,
+                                        const SplitScheme2d &scheme);
 
 /**
  * Model the executor's wave-parallel forward pass over @p graph.

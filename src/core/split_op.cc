@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -13,11 +14,13 @@
 #include "kernels/im2col.h"
 #include "kernels/microkernel.h"
 #include "kernels/pool2d.h"
+#include "kernels/rowops.h"
 #include "kernels/winograd.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/scratch_arena.h"
 #include "util/thread_annotations.h"
+#include "util/threadpool.h"
 
 namespace scnn {
 
@@ -167,6 +170,12 @@ struct PanelRef
     const float *panels = nullptr;
 };
 
+/** Which packed layout a cache entry holds. One weight tensor can be
+ * cached under several kinds at once: the forward GEMM A panels, the
+ * Winograd U tensor, and the backward dgrad panels (W^T packed as A,
+ * krows x oc) are distinct layouts keyed separately. */
+enum class PanelKind { GemmA, Winograd, Dgrad };
+
 /**
  * Keyed LRU cache of packed weight panels, shared process-wide.
  *
@@ -183,7 +192,7 @@ public:
     template <typename PackFn>
     PanelRef
     lookupOrPack(const float *w, int64_t wcount, int64_t m, int64_t k,
-                 bool winograd, int64_t panel_floats, PackFn &&pack)
+                 PanelKind kind, int64_t panel_floats, PackFn &&pack)
     {
         const uint64_t h = hashFloats(w, wcount);
         const char *kernel = activeMicrokernel().name;
@@ -191,7 +200,7 @@ public:
         ++tick_;
         for (auto &e : entries_) {
             if (e.wptr == w && e.m == m && e.k == k &&
-                e.winograd == winograd && e.kernel == kernel) {
+                e.kind == kind && e.kernel == kernel) {
                 e.tick = tick_;
                 if (e.hash == h) {
                     ++hits_;
@@ -210,7 +219,7 @@ public:
         e.wptr = w;
         e.m = m;
         e.k = k;
-        e.winograd = winograd;
+        e.kind = kind;
         e.kernel = kernel;
         e.hash = h;
         e.tick = tick_;
@@ -226,6 +235,7 @@ public:
             for (size_t i = 1; i < entries_.size(); ++i)
                 if (entries_[i].tick < entries_[oldest].tick)
                     oldest = i;
+            ++evictions_;
             entries_[oldest] = std::move(e);
             return {entries_[oldest].buf, entries_[oldest].panels};
         }
@@ -237,7 +247,7 @@ public:
     stats()
     {
         MutexLock lock(mu_);
-        return {hits_, misses_,
+        return {hits_, misses_, evictions_,
                 static_cast<int64_t>(entries_.size())};
     }
 
@@ -246,7 +256,7 @@ public:
     {
         MutexLock lock(mu_);
         entries_.clear();
-        hits_ = misses_ = 0;
+        hits_ = misses_ = evictions_ = 0;
         tick_ = 0;
     }
 
@@ -256,7 +266,7 @@ private:
         const float *wptr = nullptr;
         int64_t m = 0;
         int64_t k = 0;
-        bool winograd = false;
+        PanelKind kind = PanelKind::GemmA;
         const char *kernel = nullptr;
         uint64_t hash = 0;
         std::shared_ptr<std::vector<float>> buf;
@@ -269,6 +279,7 @@ private:
     std::vector<Entry> entries_ SCNN_GUARDED_BY(mu_);
     int64_t hits_ SCNN_GUARDED_BY(mu_) = 0;
     int64_t misses_ SCNN_GUARDED_BY(mu_) = 0;
+    int64_t evictions_ SCNN_GUARDED_BY(mu_) = 0;
     int64_t tick_ SCNN_GUARDED_BY(mu_) = 0;
 };
 
@@ -354,13 +365,13 @@ splitConv2dForwardFused(const Tensor &x, const Tensor &weight,
     PanelRef wref;
     if (use_winograd)
         wref = weightCache().lookupOrPack(
-            weight.data(), oc * krows, oc, c, true,
+            weight.data(), oc * krows, oc, c, PanelKind::Winograd,
             winogradPackedUSize(oc, c), [&](float *dst) {
                 winogradPackWeights(weight.data(), oc, c, dst);
             });
     else
         wref = weightCache().lookupOrPack(
-            weight.data(), oc * krows, oc, krows, false,
+            weight.data(), oc * krows, oc, krows, PanelKind::GemmA,
             gemmPackedASize(oc, krows), [&](float *dst) {
                 gemmPackA(oc, krows, 1.0f, weight.data(), dst);
             });
@@ -696,6 +707,682 @@ splitAvgPool2dForward(const Tensor &x, const Window2d &win,
     if (envMaterialize())
         return splitAvgPool2dForwardMaterialized(x, win, scheme);
     return splitAvgPool2dForwardFused(x, win, scheme);
+}
+
+// ---------------------------------------------------------------------------
+// Fused zero-copy split backward.
+//
+// The backward twin of the fused forward: gradient patches are
+// PatchViews into the parent tensors, never per-patch copies. Images
+// fan out across the pool in waves; a worker owns a whole image and
+// runs its row bands serially ascending, so every halo scatter-add
+// into grad_x happens in a fixed order (the SA609 ordered-accumulation
+// contract) and nothing races. Per band, every width patch stages its
+// halo-aware im2col columns into one shared column matrix ordered by
+// parent output position — exactly the forward staging — and the
+// matrix feeds *both* gradient GEMMs:
+//
+//   wgrad  gw_img[krows x oc] += packA(col) x packB(grad_out band^T)
+//          (grad_out^T packed straight from the parent tensor via
+//          gemmPackBStrided; beta = 1 chains the image's bands, and
+//          per-image partials reduce into grad_w serially in image
+//          order — bitwise-identical for any thread count),
+//   dgrad  gcol = packA(W^T) x packB(grad_out band), scattered into
+//          the parent grad_x through col2imViewStrided's hoisted
+//          flank bounds (W^T panels come from the weight-panel cache
+//          under a dgrad key).
+//
+// The materialized path (SCNN_SPLIT_EXEC=materialize) is the pinned
+// reference: it replays the identical write order while routing every
+// read through bounce copies (sliced patch rectangles, contiguous
+// grad_out bands, freshly packed panels), so fused and materialized
+// are bitwise-equal by construction and a parity failure isolates the
+// zero-copy view machinery.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+splitConv2dBackwardImpl(const Tensor &x, const Tensor &weight,
+                        const Tensor &grad_out, const Window2d &win,
+                        const SplitScheme2d &scheme, Tensor &grad_x,
+                        Tensor &grad_w, Tensor &grad_b,
+                        bool materialize)
+{
+    SCNN_REQUIRE(x.shape().rank() == 4, "split conv input must be NCHW");
+    SCNN_REQUIRE(weight.shape().rank() == 4,
+                 "split conv weight must be [OC, C, kh, kw]");
+    const int64_t n = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2);
+    const int64_t iw = x.shape().dim(3);
+    const int64_t oc = weight.shape().dim(0);
+    SCNN_REQUIRE(weight.shape().dim(1) == c,
+                 "split conv channel mismatch");
+    SCNN_REQUIRE(weight.shape().dim(2) == win.kh &&
+                     weight.shape().dim(3) == win.kw,
+                 "split conv kernel extent mismatch");
+    SCNN_CHECK(scheme.h.parts() > 0 && scheme.w.parts() > 0,
+               "empty split scheme");
+
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    SCNN_CHECK(grad_out.shape() == Shape({n, oc, out_h, out_w}),
+               "split conv grad_out shape mismatch: "
+                   << grad_out.shape().toString());
+    SCNN_CHECK(grad_w.shape() == weight.shape(),
+               "grad_w must be pre-shaped like weight");
+    const bool has_bias = grad_b.numel() > 0;
+    if (has_bias)
+        SCNN_REQUIRE(grad_b.numel() == oc,
+                     "split conv grad_b size mismatch");
+
+    for (int hi = 0; hi < scheme.h.parts(); ++hi) {
+        const SplitPiece1d &ph = scheme.h.pieces[hi];
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            const Window2d local = patchWindow(win, scheme, hi, wi);
+            SCNN_CHECK(local.outH(ph.inLen()) == ph.outLen() &&
+                           local.outW(pw.inLen()) == pw.outLen(),
+                       "split scheme geometry mismatch for patch ("
+                           << hi << ", " << wi << ")");
+        }
+    }
+
+    const int64_t krows = c * win.kh * win.kw;
+    const int64_t ospatial = out_h * out_w;
+    const int64_t panel_floats = gemmPackedASize(krows, oc);
+
+    const std::vector<SplitBandItem> bands =
+        splitConvBandItems(scheme.h);
+    const int64_t n_bands = static_cast<int64_t>(bands.size());
+    int64_t max_band_rows = 0;
+    for (const SplitBandItem &b : bands)
+        max_band_rows = std::max(max_band_rows, b.oy1 - b.oy0);
+    const int64_t max_band_cols = max_band_rows * out_w;
+
+    grad_x = Tensor(x.shape()); // zero: halo scatters accumulate
+
+    auto &arena = ScratchArena::tls();
+    auto guard = arena.scope();
+
+    // dgrad operand: W^T packed A panels, A(i, p) = weight[p*krows+i].
+    // Fused serves them from the keyed cache (a dgrad key, so one
+    // layer caches its forward and backward layouts side by side);
+    // the pinned reference packs fresh every call.
+    const float *wt_panels = nullptr;
+    PanelRef wref;
+    if (materialize) {
+        float *fresh = arena.alloc(panel_floats);
+        gemmPackAStrided(krows, oc, 1.0f, weight.data(), /*rs=*/1,
+                         /*cs=*/krows, fresh);
+        wt_panels = fresh;
+    } else {
+#ifndef NDEBUG
+        const int64_t packs_before = gemmPackACalls();
+        const SplitWeightCacheStats stats_before =
+            splitWeightCacheStats();
+#endif
+        wref = weightCache().lookupOrPack(
+            weight.data(), oc * krows, krows, oc, PanelKind::Dgrad,
+            panel_floats, [&](float *dst) {
+                gemmPackAStrided(krows, oc, 1.0f, weight.data(),
+                                 /*rs=*/1, /*cs=*/krows, dst);
+            });
+#ifndef NDEBUG
+        if (splitWeightCacheStats().hits > stats_before.hits)
+            SCNN_CHECK(gemmPackACalls() == packs_before,
+                       "weight-cache hit must not repack panels");
+#endif
+        wt_panels = wref.panels;
+    }
+
+    const int64_t wave = std::max<int64_t>(1, globalThreads());
+    float *gw_acc = arena.alloc(wave * krows * oc);
+    float *gb_acc = has_bias ? arena.alloc(wave * oc) : nullptr;
+
+    int64_t max_ph_len = 0;
+    for (const SplitPiece1d &p : scheme.h.pieces)
+        max_ph_len = std::max(max_ph_len, p.inLen());
+    int64_t max_pw_len = 0;
+    for (const SplitPiece1d &p : scheme.w.pieces)
+        max_pw_len = std::max(max_pw_len, p.inLen());
+
+    std::unique_ptr<ShadowSession> shadow;
+    if (!materialize && shadowAccessEnabled()) {
+        shadow = std::make_unique<ShadowSession>(
+            buildSplitConvBackwardPlan(n, c, ih, iw, oc, win, scheme));
+        shadow->bind("grad_x", grad_x.data());
+        shadow->bind("grad_out", grad_out.data());
+        shadow->bind("input", x.data());
+        shadow->bind("weight_panels", wt_panels);
+        shadow->bind("grad_w", grad_w.data());
+        if (has_bias)
+            shadow->bind("grad_b", grad_b.data());
+    }
+
+    for (int64_t w0 = 0; w0 < n; w0 += wave) {
+        const int64_t wn = std::min(wave, n - w0);
+        globalPool().parallelFor(wn, [&](int64_t begin, int64_t end) {
+            auto &warena = ScratchArena::tls();
+            auto wguard = warena.scope();
+            float *col = warena.alloc(krows * max_band_cols);
+            float *gcol = warena.alloc(krows * max_band_cols);
+            float *pa_col =
+                warena.alloc(gemmPackedASize(krows, max_band_cols));
+            float *pb_got =
+                warena.alloc(gemmPackedBSize(max_band_cols, oc));
+            float *pb_go =
+                warena.alloc(gemmPackedBSize(oc, max_band_cols));
+            float *patch_buf =
+                materialize ? warena.alloc(c * max_ph_len * max_pw_len)
+                            : nullptr;
+            float *go_buf =
+                materialize ? warena.alloc(oc * max_band_cols)
+                            : nullptr;
+            for (int64_t wi = begin; wi < end; ++wi) {
+                const int64_t in = w0 + wi;
+                const float *go = grad_out.data() + in * oc * ospatial;
+                const float *img = x.data() + in * c * ih * iw;
+                float *gx_img = grad_x.data() + in * c * ih * iw;
+                float *gw_img = gw_acc + wi * krows * oc;
+                for (int64_t bi = 0; bi < n_bands; ++bi) {
+                    const SplitBandItem &band =
+                        bands[static_cast<size_t>(bi)];
+                    const SplitPiece1d &ph =
+                        scheme.h.pieces[static_cast<size_t>(band.hi)];
+                    const int64_t rows = band.oy1 - band.oy0;
+                    const int64_t nb = rows * out_w;
+                    const float *go_band =
+                        go + (ph.out_start + band.oy0) * out_w;
+                    if (shadow) {
+                        shadowSetItem(in * n_bands + bi);
+                        // The band's grad_out rows of every output
+                        // channel and its shared panel read; input
+                        // reads and grad_x scatters are recorded
+                        // inside the view kernels.
+                        shadowRecordSpan(go_band,
+                                         {0, oc, ospatial, 1, 0, nb},
+                                         false);
+                        shadowRecord(wt_panels, panel_floats, false);
+                    }
+                    for (int pi = 0; pi < scheme.w.parts(); ++pi) {
+                        const SplitPiece1d &pw =
+                            scheme.w.pieces[static_cast<size_t>(pi)];
+                        const PatchView view{ph.in_start, pw.in_start,
+                                             ph.inLen(), pw.inLen()};
+                        const Window2d local =
+                            patchWindow(win, scheme, band.hi, pi);
+                        if (!materialize) {
+                            im2colViewStrided(img, c, ih, iw, view,
+                                              local, band.oy0,
+                                              band.oy1,
+                                              col + pw.out_start, nb,
+                                              out_w);
+                            continue;
+                        }
+                        // Reference: bounce-copy the patch rectangle
+                        // and stage from the copy — byte-equal
+                        // columns, but no view machinery on the read
+                        // side.
+                        for (int64_t ic = 0; ic < c; ++ic)
+                            for (int64_t y = 0; y < view.ih; ++y)
+                                std::memcpy(
+                                    patch_buf +
+                                        (ic * view.ih + y) * view.iw,
+                                    img + ic * ih * iw +
+                                        (view.r0 + y) * iw + view.c0,
+                                    static_cast<size_t>(view.iw) *
+                                        sizeof(float));
+                        im2colViewStrided(
+                            patch_buf, c, view.ih, view.iw,
+                            PatchView::full(view.ih, view.iw), local,
+                            band.oy0, band.oy1, col + pw.out_start,
+                            nb, out_w);
+                    }
+                    const float *go_src = go_band;
+                    int64_t go_ld = ospatial;
+                    if (materialize) {
+                        for (int64_t o = 0; o < oc; ++o)
+                            std::memcpy(
+                                go_buf + o * nb,
+                                go_band + o * ospatial,
+                                static_cast<size_t>(nb) *
+                                    sizeof(float));
+                        go_src = go_buf;
+                        go_ld = nb;
+                    }
+                    // wgrad: gw_img (krows x oc, grad_w transposed)
+                    // accumulates this band's columns x grad_out^T
+                    // product; beta = 1 chains bands ascending.
+                    gemmPackA(krows, nb, 1.0f, col, pa_col);
+                    gemmPackBStrided(nb, oc, go_src, /*rs=*/1,
+                                     /*cs=*/go_ld, pb_got);
+                    gemmPackedAB(krows, oc, nb, pa_col, pb_got,
+                                 bi == 0 ? 0.0f : 1.0f, gw_img, oc);
+                    // dgrad: gcol = W^T x grad_out band, scattered
+                    // per width patch in ascending order.
+                    gemmPackB(oc, nb, go_src, /*ldb=*/go_ld, pb_go);
+                    gemmPackedAB(krows, nb, oc, wt_panels, pb_go,
+                                 0.0f, gcol, nb);
+                    for (int pi = 0; pi < scheme.w.parts(); ++pi) {
+                        const SplitPiece1d &pw =
+                            scheme.w.pieces[static_cast<size_t>(pi)];
+                        const PatchView view{ph.in_start, pw.in_start,
+                                             ph.inLen(), pw.inLen()};
+                        col2imViewStrided(
+                            gcol + pw.out_start, c, ih, iw, view,
+                            patchWindow(win, scheme, band.hi, pi),
+                            band.oy0, band.oy1, gx_img, nb, out_w);
+                    }
+                }
+                if (has_bias) {
+                    float *gb = gb_acc + wi * oc;
+                    if (shadow) {
+                        shadowSetItem(n * n_bands + in);
+                        shadowRecord(go, oc * ospatial, false);
+                    }
+                    std::fill(gb, gb + oc, 0.0f);
+                    addRowSums(go, oc, ospatial, gb);
+                }
+            }
+        });
+        for (int64_t wi = 0; wi < wn; ++wi) {
+            const int64_t in = w0 + wi;
+            if (shadow) {
+                shadowSetItem(n * n_bands + n + in);
+                shadowRecord(grad_w.data(), oc * krows, true);
+                if (has_bias)
+                    shadowRecord(grad_b.data(), oc, true);
+            }
+            // gw_img is [krows x oc]; grad_w is [oc x krows].
+            const float *gw = gw_acc + wi * krows * oc;
+            float *dst = grad_w.data();
+            for (int64_t o = 0; o < oc; ++o)
+                for (int64_t r = 0; r < krows; ++r)
+                    dst[o * krows + r] += gw[r * oc + o];
+            if (has_bias) {
+                const float *gb = gb_acc + wi * oc;
+                for (int64_t o = 0; o < oc; ++o)
+                    grad_b.at(o) += gb[o];
+            }
+        }
+    }
+    if (shadow) {
+        const std::vector<Diagnostic> escapes = shadow->check();
+        SCNN_CHECK(escapes.empty(),
+                   "shadow-access validator: "
+                       << escapes.size()
+                       << " SA607 escape(s) in split conv backward; "
+                          "first: "
+                       << escapes.front().toString());
+    }
+}
+
+} // namespace
+
+void
+splitConv2dBackwardFused(const Tensor &x, const Tensor &weight,
+                         const Tensor &grad_out, const Window2d &win,
+                         const SplitScheme2d &scheme, Tensor &grad_x,
+                         Tensor &grad_w, Tensor &grad_b)
+{
+    splitConv2dBackwardImpl(x, weight, grad_out, win, scheme, grad_x,
+                            grad_w, grad_b, /*materialize=*/false);
+}
+
+void
+splitConv2dBackwardMaterialized(const Tensor &x, const Tensor &weight,
+                                const Tensor &grad_out,
+                                const Window2d &win,
+                                const SplitScheme2d &scheme,
+                                Tensor &grad_x, Tensor &grad_w,
+                                Tensor &grad_b)
+{
+    splitConv2dBackwardImpl(x, weight, grad_out, win, scheme, grad_x,
+                            grad_w, grad_b, /*materialize=*/true);
+}
+
+void
+splitConv2dBackward(const Tensor &x, const Tensor &weight,
+                    const Tensor &grad_out, const Window2d &win,
+                    const SplitScheme2d &scheme, Tensor &grad_x,
+                    Tensor &grad_w, Tensor &grad_b)
+{
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitConvBackwardPlan(
+                          std::min<int64_t>(x.shape().dim(0), 2),
+                          x.shape().dim(1), x.shape().dim(2),
+                          x.shape().dim(3), weight.shape().dim(0),
+                          win, scheme),
+                      "split conv backward");
+    if (envMaterialize()) {
+        splitConv2dBackwardMaterialized(x, weight, grad_out, win,
+                                        scheme, grad_x, grad_w,
+                                        grad_b);
+        return;
+    }
+    splitConv2dBackwardFused(x, weight, grad_out, win, scheme, grad_x,
+                             grad_w, grad_b);
+}
+
+namespace {
+
+/**
+ * Shared driver for the split pool backward paths: one image per
+ * worker, the image's patches scattered serially ascending so halo
+ * targets (k > s windows straddling a patch seam) accumulate in a
+ * fixed order. @p scatter receives the patch geometry plus the
+ * grad_out block to read — either the parent tensor directly (fused)
+ * or a bounce copy with identical contents (materialized) — and adds
+ * into grad_x through the patch's view; both paths therefore produce
+ * identical bytes.
+ */
+template <typename Scatter>
+Tensor
+splitPool2dBackwardImpl(const Shape &in_shape, const Tensor &grad_out,
+                        const SplitScheme2d &scheme, bool materialize,
+                        Scatter &&scatter)
+{
+    SCNN_REQUIRE(in_shape.rank() == 4, "split pool input must be NCHW");
+    SCNN_CHECK(scheme.h.parts() > 0 && scheme.w.parts() > 0,
+               "empty split scheme");
+    const int64_t n = in_shape.dim(0);
+    const int64_t c = in_shape.dim(1);
+    const int64_t ih = in_shape.dim(2);
+    const int64_t iw = in_shape.dim(3);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    SCNN_CHECK(grad_out.shape() == Shape({n, c, out_h, out_w}),
+               "split pool grad_out shape mismatch: "
+                   << grad_out.shape().toString());
+
+    const int hp = scheme.h.parts();
+    const int wp = scheme.w.parts();
+    const int64_t parts = int64_t(hp) * wp;
+
+    Tensor grad_x(in_shape); // zero: scatter-add target
+
+    std::unique_ptr<ShadowSession> shadow;
+    if (!materialize && shadowAccessEnabled()) {
+        shadow = std::make_unique<ShadowSession>(
+            buildSplitPoolBackwardPlan(n, c, ih, iw, Window2d{},
+                                       scheme));
+        shadow->bind("grad_x", grad_x.data());
+        shadow->bind("grad_out", grad_out.data());
+    }
+
+    globalPool().parallelFor(n, [&](int64_t nb, int64_t ne) {
+        for (int64_t in = nb; in < ne; ++in) {
+            for (int64_t pi = 0; pi < parts; ++pi) {
+                const int hi = static_cast<int>(pi / wp);
+                const int wi = static_cast<int>(pi % wp);
+                const SplitPiece1d &ph = scheme.h.pieces[hi];
+                const SplitPiece1d &pw = scheme.w.pieces[wi];
+                if (shadow) {
+                    shadowSetItem(in * parts + pi);
+                    // The patch's input-hull write and output-block
+                    // read — the spans the SA6xx backward model
+                    // predicts for this item.
+                    const int64_t first =
+                        ph.in_start * iw + pw.in_start;
+                    const int64_t last =
+                        (c - 1) * ih * iw +
+                        (ph.in_start + ph.inLen() - 1) * iw +
+                        pw.in_start + pw.inLen();
+                    shadowRecord(grad_x.data() + in * c * ih * iw +
+                                     first,
+                                 last - first, true);
+                    shadowRecordSpan(
+                        grad_out.data() + in * c * out_h * out_w +
+                            ph.out_start * out_w + pw.out_start,
+                        {0, c, out_h * out_w, ph.outLen(), out_w,
+                         pw.outLen()},
+                        false);
+                }
+                scatter(grad_x, in, hi, wi);
+            }
+        }
+    });
+    if (shadow) {
+        const std::vector<Diagnostic> escapes = shadow->check();
+        SCNN_CHECK(escapes.empty(),
+                   "shadow-access validator: "
+                       << escapes.size()
+                       << " SA607 escape(s) in split pool backward; "
+                          "first: "
+                       << escapes.front().toString());
+    }
+    return grad_x;
+}
+
+} // namespace
+
+Tensor
+splitMaxPool2dBackwardFused(const Shape &in_shape,
+                            const Tensor &grad_out,
+                            const std::vector<int64_t> &argmax,
+                            const SplitScheme2d &scheme)
+{
+    SCNN_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.numel(),
+               "argmax size mismatch");
+    const int64_t c = in_shape.dim(1);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    return splitPool2dBackwardImpl(
+        in_shape, grad_out, scheme, /*materialize=*/false,
+        [&](Tensor &gx, int64_t in, int hi, int wi) {
+            const SplitPiece1d &ph = scheme.h.pieces[hi];
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            // The forward argmax is absolute into the whole input
+            // tensor, and every argmax of an output in this block
+            // lies inside the patch's input rectangle (Eqs. 1-2).
+            for (int64_t ic = 0; ic < c; ++ic)
+                for (int64_t oy = ph.out_start; oy < ph.out_end; ++oy)
+                    for (int64_t ox = pw.out_start; ox < pw.out_end;
+                         ++ox) {
+                        const int64_t oi =
+                            ((in * c + ic) * out_h + oy) * out_w + ox;
+                        const int64_t idx =
+                            argmax[static_cast<size_t>(oi)];
+                        if (idx >= 0)
+                            gx.at(idx) += grad_out.at(oi);
+                    }
+        });
+}
+
+Tensor
+splitMaxPool2dBackwardMaterialized(const Shape &in_shape,
+                                   const Tensor &grad_out,
+                                   const std::vector<int64_t> &argmax,
+                                   const SplitScheme2d &scheme)
+{
+    SCNN_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.numel(),
+               "argmax size mismatch");
+    const int64_t c = in_shape.dim(1);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    return splitPool2dBackwardImpl(
+        in_shape, grad_out, scheme, /*materialize=*/true,
+        [&](Tensor &gx, int64_t in, int hi, int wi) {
+            const SplitPiece1d &ph = scheme.h.pieces[hi];
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            // Reference: bounce-copy the block's grad_out values and
+            // argmax slots, then scatter in the identical order.
+            const int64_t bh = ph.outLen();
+            const int64_t bw = pw.outLen();
+            std::vector<float> go_buf(
+                static_cast<size_t>(c * bh * bw));
+            std::vector<int64_t> am_buf(
+                static_cast<size_t>(c * bh * bw));
+            int64_t bo = 0;
+            for (int64_t ic = 0; ic < c; ++ic)
+                for (int64_t oy = ph.out_start; oy < ph.out_end; ++oy)
+                    for (int64_t ox = pw.out_start; ox < pw.out_end;
+                         ++ox, ++bo) {
+                        const int64_t oi =
+                            ((in * c + ic) * out_h + oy) * out_w + ox;
+                        go_buf[static_cast<size_t>(bo)] =
+                            grad_out.at(oi);
+                        am_buf[static_cast<size_t>(bo)] =
+                            argmax[static_cast<size_t>(oi)];
+                    }
+            for (int64_t i = 0; i < bo; ++i) {
+                const int64_t idx = am_buf[static_cast<size_t>(i)];
+                if (idx >= 0)
+                    gx.at(idx) += go_buf[static_cast<size_t>(i)];
+            }
+        });
+}
+
+Tensor
+splitMaxPool2dBackward(const Shape &in_shape, const Tensor &grad_out,
+                       const std::vector<int64_t> &argmax,
+                       const SplitScheme2d &scheme)
+{
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitPoolBackwardPlan(
+                          std::min<int64_t>(in_shape.dim(0), 2),
+                          in_shape.dim(1), in_shape.dim(2),
+                          in_shape.dim(3), Window2d{}, scheme),
+                      "split max-pool backward");
+    if (envMaterialize())
+        return splitMaxPool2dBackwardMaterialized(in_shape, grad_out,
+                                                  argmax, scheme);
+    return splitMaxPool2dBackwardFused(in_shape, grad_out, argmax,
+                                       scheme);
+}
+
+namespace {
+
+/** The avg-pool patch scatter: the exact adjoint of avgPool2dPatch —
+ * every in-view tap of an output in the patch block receives
+ * grad * 1/(kh*kw) (count_include_pad: out-of-view taps are parent
+ * padding and get nothing, exactly as the forward reads them as
+ * zero). @p go points at the block's first element; rows are
+ * @p go_rs apart and channels @p go_cs apart, so the fused path
+ * reads the parent grad_out in place and the reference path reads a
+ * contiguous bounce copy — same values, same order, same bytes. */
+void
+avgPoolPatchScatter(Tensor &gx, const float *go, int64_t go_rs,
+                    int64_t go_cs, int64_t in, int64_t c, int64_t ih,
+                    int64_t iw, const Window2d &win,
+                    const SplitScheme2d &scheme, int hi, int wi)
+{
+    const SplitPiece1d &ph = scheme.h.pieces[hi];
+    const SplitPiece1d &pw = scheme.w.pieces[wi];
+    const PatchView view{ph.in_start, pw.in_start, ph.inLen(),
+                         pw.inLen()};
+    const Window2d local = patchWindow(win, scheme, hi, wi);
+    const float inv_area =
+        1.0f / static_cast<float>(win.kh * win.kw);
+    const int64_t bh = ph.outLen();
+    const int64_t bw = pw.outLen();
+    for (int64_t ic = 0; ic < c; ++ic) {
+        float *chan = gx.data() + (in * c + ic) * ih * iw;
+        const float *gchan = go + ic * go_cs;
+        for (int64_t oy = 0; oy < bh; ++oy)
+            for (int64_t ox = 0; ox < bw; ++ox) {
+                const float g = gchan[oy * go_rs + ox] * inv_area;
+                for (int64_t ky = 0; ky < local.kh; ++ky) {
+                    const int64_t iy =
+                        oy * local.sh - local.ph_b + ky;
+                    if (iy < 0 || iy >= view.ih)
+                        continue;
+                    for (int64_t kx = 0; kx < local.kw; ++kx) {
+                        const int64_t ix =
+                            ox * local.sw - local.pw_b + kx;
+                        if (ix >= 0 && ix < view.iw)
+                            chan[view.parentOffset(iy, ix, iw)] += g;
+                    }
+                }
+            }
+    }
+}
+
+} // namespace
+
+Tensor
+splitAvgPool2dBackwardFused(const Shape &in_shape,
+                            const Tensor &grad_out,
+                            const Window2d &win,
+                            const SplitScheme2d &scheme)
+{
+    const int64_t c = in_shape.dim(1);
+    const int64_t ih = in_shape.dim(2);
+    const int64_t iw = in_shape.dim(3);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    return splitPool2dBackwardImpl(
+        in_shape, grad_out, scheme, /*materialize=*/false,
+        [&](Tensor &gx, int64_t in, int hi, int wi) {
+            const SplitPiece1d &ph = scheme.h.pieces[hi];
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            // Zero-copy: the scatter reads the block straight out of
+            // the parent grad_out at the parent strides.
+            const float *go = grad_out.data() +
+                              (in * c * out_h + ph.out_start) * out_w +
+                              pw.out_start;
+            avgPoolPatchScatter(gx, go, /*go_rs=*/out_w,
+                                /*go_cs=*/out_h * out_w, in, c, ih,
+                                iw, win, scheme, hi, wi);
+        });
+}
+
+Tensor
+splitAvgPool2dBackwardMaterialized(const Shape &in_shape,
+                                   const Tensor &grad_out,
+                                   const Window2d &win,
+                                   const SplitScheme2d &scheme)
+{
+    const int64_t c = in_shape.dim(1);
+    const int64_t ih = in_shape.dim(2);
+    const int64_t iw = in_shape.dim(3);
+    const int64_t out_h = scheme.h.pieces.back().out_end;
+    const int64_t out_w = scheme.w.pieces.back().out_end;
+    return splitPool2dBackwardImpl(
+        in_shape, grad_out, scheme, /*materialize=*/true,
+        [&](Tensor &gx, int64_t in, int hi, int wi) {
+            const SplitPiece1d &ph = scheme.h.pieces[hi];
+            const SplitPiece1d &pw = scheme.w.pieces[wi];
+            // Reference: bounce-copy the block, scatter from the
+            // copy in the identical order.
+            const int64_t bh = ph.outLen();
+            const int64_t bw = pw.outLen();
+            std::vector<float> block(
+                static_cast<size_t>(c * bh * bw));
+            for (int64_t ic = 0; ic < c; ++ic)
+                for (int64_t oy = 0; oy < bh; ++oy)
+                    std::memcpy(
+                        block.data() + (ic * bh + oy) * bw,
+                        grad_out.data() +
+                            ((in * c + ic) * out_h + ph.out_start +
+                             oy) *
+                                out_w +
+                            pw.out_start,
+                        static_cast<size_t>(bw) * sizeof(float));
+            avgPoolPatchScatter(gx, block.data(), /*go_rs=*/bw,
+                                /*go_cs=*/bh * bw, in, c, ih, iw, win,
+                                scheme, hi, wi);
+        });
+}
+
+Tensor
+splitAvgPool2dBackward(const Shape &in_shape, const Tensor &grad_out,
+                       const Window2d &win,
+                       const SplitScheme2d &scheme)
+{
+    if (lintParallelEnabled())
+        lintSplitPlan(buildSplitPoolBackwardPlan(
+                          std::min<int64_t>(in_shape.dim(0), 2),
+                          in_shape.dim(1), in_shape.dim(2),
+                          in_shape.dim(3), win, scheme),
+                      "split avg-pool backward");
+    if (envMaterialize())
+        return splitAvgPool2dBackwardMaterialized(in_shape, grad_out,
+                                                  win, scheme);
+    return splitAvgPool2dBackwardFused(in_shape, grad_out, win,
+                                       scheme);
 }
 
 } // namespace scnn

@@ -198,6 +198,7 @@ struct SplitWeightCacheStats
 {
     int64_t hits = 0;   ///< lookups served from cached panels
     int64_t misses = 0; ///< lookups that had to pack
+    int64_t evictions = 0; ///< entries displaced at capacity
     int64_t entries = 0; ///< live cached layers
 };
 
@@ -237,6 +238,108 @@ Tensor splitMaxPool2dForwardMaterialized(const Tensor &x,
 Tensor splitAvgPool2dForwardMaterialized(const Tensor &x,
                                          const Window2d &win,
                                          const SplitScheme2d &scheme);
+///@}
+
+/**
+ * Split convolution backward: the backward twin of the fused forward
+ * pipeline. Gradient patches are PatchViews into the parent gradient
+ * tensors — no per-patch bounce buffers. Each image's row bands run
+ * serially on one worker (images fan out across the pool); per band,
+ * every patch stages its halo-aware im2col columns into the shared
+ * column matrix exactly as the forward does, then
+ *
+ *   wgrad: the columns (packed A) contract against the band's
+ *          grad_out rows packed transposed straight from the parent
+ *          tensor (gemmPackBStrided), chaining a per-image partial
+ *          accumulator across bands (beta = 1); partials are reduced
+ *          into grad_w serially in image order, so the result is
+ *          bitwise-identical for any thread count.
+ *   dgrad: cached W^T panels (the weight-panel cache under a dgrad
+ *          key) contract against the band's grad_out rows, and each
+ *          patch scatters its slice of the gradient columns into the
+ *          parent grad_x through col2imViewStrided — halo rows
+ *          accumulate under the worker's serial band/patch order (the
+ *          SA609 ordered-accumulation discipline).
+ *
+ * The dispatcher lints buildSplitConvBackwardPlan under
+ * SCNN_LINT_PARALLEL and honors SCNN_SPLIT_EXEC=materialize.
+ *
+ * @param grad_x [out] overwritten with dL/dx at x's shape.
+ * @param grad_w [out] accumulated into (pre-shaped like weight).
+ * @param grad_b [out] accumulated into; pass an empty tensor when the
+ *        convolution has no bias.
+ */
+void splitConv2dBackward(const Tensor &x, const Tensor &weight,
+                         const Tensor &grad_out, const Window2d &win,
+                         const SplitScheme2d &scheme, Tensor &grad_x,
+                         Tensor &grad_w, Tensor &grad_b);
+
+/** The fused zero-copy backward path (see splitConv2dBackward). */
+void splitConv2dBackwardFused(const Tensor &x, const Tensor &weight,
+                              const Tensor &grad_out,
+                              const Window2d &win,
+                              const SplitScheme2d &scheme,
+                              Tensor &grad_x, Tensor &grad_w,
+                              Tensor &grad_b);
+
+/**
+ * The pinned reference path (SCNN_SPLIT_EXEC=materialize): replays
+ * the fused path's exact accumulation order while routing every
+ * *read* through materialized bounce buffers — sliced patch copies,
+ * contiguous grad_out band copies, freshly packed weight panels (no
+ * cache). Writes stay direct, so the reference is bitwise-identical
+ * to the fused path by construction and a parity failure isolates
+ * the zero-copy view machinery.
+ */
+void splitConv2dBackwardMaterialized(const Tensor &x,
+                                     const Tensor &weight,
+                                     const Tensor &grad_out,
+                                     const Window2d &win,
+                                     const SplitScheme2d &scheme,
+                                     Tensor &grad_x, Tensor &grad_w,
+                                     Tensor &grad_b);
+
+/**
+ * @name Split pooling backward
+ *
+ * Fused paths scatter gradients through each patch's PatchView into
+ * the parent grad_x: a worker owns an image and walks its patches in
+ * ascending order, so halo rows (windows straddling a patch seam
+ * when k > s) accumulate in a fixed order — bitwise-deterministic
+ * for any thread count. The materialized fallbacks bounce-copy the
+ * reads (grad_out blocks, argmax blocks) while keeping the identical
+ * scatter order, so fused and materialized are bitwise-equal.
+ *
+ * @p argmax comes from the parent-level maxPool2dForward (linear
+ * indices into the whole input tensor); every argmax of an output in
+ * a patch's block lies inside that patch's input rectangle by the
+ * scheme's construction (Eqs. 1-2).
+ */
+///@{
+Tensor splitMaxPool2dBackward(const Shape &in_shape,
+                              const Tensor &grad_out,
+                              const std::vector<int64_t> &argmax,
+                              const SplitScheme2d &scheme);
+Tensor splitMaxPool2dBackwardFused(const Shape &in_shape,
+                                   const Tensor &grad_out,
+                                   const std::vector<int64_t> &argmax,
+                                   const SplitScheme2d &scheme);
+Tensor splitMaxPool2dBackwardMaterialized(
+    const Shape &in_shape, const Tensor &grad_out,
+    const std::vector<int64_t> &argmax, const SplitScheme2d &scheme);
+
+Tensor splitAvgPool2dBackward(const Shape &in_shape,
+                              const Tensor &grad_out,
+                              const Window2d &win,
+                              const SplitScheme2d &scheme);
+Tensor splitAvgPool2dBackwardFused(const Shape &in_shape,
+                                   const Tensor &grad_out,
+                                   const Window2d &win,
+                                   const SplitScheme2d &scheme);
+Tensor splitAvgPool2dBackwardMaterialized(const Shape &in_shape,
+                                          const Tensor &grad_out,
+                                          const Window2d &win,
+                                          const SplitScheme2d &scheme);
 ///@}
 
 } // namespace scnn

@@ -100,39 +100,39 @@ conv2dBackward(const Tensor &x, const Tensor &weight,
                "grad_w must be pre-shaped like weight");
     const bool has_bias = grad_b.numel() > 0;
 
-    const int64_t wave = globalThreads();
-    if (wave <= 1) {
-        auto &arena = ScratchArena::tls();
-        auto guard = arena.scope();
-        float *col = arena.alloc(krows * ospatial);
-        float *grad_col = arena.alloc(krows * ospatial);
-        for (int64_t in = 0; in < n; ++in) {
-            const float *go = grad_out.data() + in * oc * ospatial;
-            im2col(x.data() + in * c * ih * iw, c, ih, iw, win, col);
-            // grad_w (as [oc, krows]) += go * col^T
-            gemmNT(oc, krows, ospatial, 1.0f, go, col, 1.0f,
-                   grad_w.data());
-            // grad_col = weight^T (as [krows, oc]) * go
-            gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go, 0.0f,
-                   grad_col);
-            col2im(grad_col, c, ih, iw, win,
-                   grad_x.data() + in * c * ih * iw);
-            if (has_bias)
-                addRowSums(go, oc, ospatial, grad_b.data());
-        }
-        return;
-    }
+    // Band-fused packed-GEMM pipeline, the backward twin of the split
+    // forward: each image's output rows are processed in 16-row bands
+    // whose im2col columns are staged once and consumed by *both*
+    // gradient GEMMs —
+    //
+    //   wgrad  gw_img[krows x oc] += packA(col) * packB(grad_out^T)
+    //          (grad_out^T packed straight from the parent tensor via
+    //          gemmPackBStrided, beta = 1 chains the bands' KC-style
+    //          k-accumulation in ascending band order),
+    //   dgrad  gcol[krows x nb]    = packA(W^T) * packB(grad_out band)
+    //          (W^T packed once per call via gemmPackAStrided), then
+    //          col2im-scattered with hoisted flank bounds.
+    //
+    // Images are processed in waves of `wave`; a worker owns whole
+    // images, so its dgrad scatters race with nobody and its bands run
+    // serially ascending. Per-image wgrad/bias partials are reduced
+    // serially in image order after each wave. Band order, scatter
+    // order, and reduction order are all independent of the thread
+    // count, so results are bitwise-identical for any pool size (the
+    // same contract as gemmPackedAB).
+    constexpr int64_t kBackwardRowBand = 16;
+    const int64_t band_rows = std::min(oh, kBackwardRowBand);
+    const int64_t bc_max = band_rows * ow;
 
-    // Parallel path: images are processed in waves of `wave`. Within
-    // a wave each image's weight/bias gradient contribution goes into
-    // a private buffer (gemmNT with beta = 0 yields exactly the dot
-    // products the serial beta = 1 call would have added), then the
-    // contributions are reduced serially in image order. Addition is
-    // commutative per rounding step, so grad_w ends bitwise-identical
-    // to the serial path. grad_x writes are disjoint per image.
     auto &arena = ScratchArena::tls();
     auto guard = arena.scope();
-    float *gw_acc = arena.alloc(wave * oc * krows);
+    // W^T panels: A(i, p) = weight[p * krows + i], shared read-only.
+    float *pa_wt = arena.alloc(gemmPackedASize(krows, oc));
+    gemmPackAStrided(krows, oc, 1.0f, weight.data(), /*rs=*/1,
+                     /*cs=*/krows, pa_wt);
+
+    const int64_t wave = std::max<int64_t>(1, globalThreads());
+    float *gw_acc = arena.alloc(wave * krows * oc);
     float *gb_acc = has_bias ? arena.alloc(wave * oc) : nullptr;
 
     for (int64_t w0 = 0; w0 < n; w0 += wave) {
@@ -140,19 +140,43 @@ conv2dBackward(const Tensor &x, const Tensor &weight,
         globalPool().parallelFor(wn, [&](int64_t begin, int64_t end) {
             auto &warena = ScratchArena::tls();
             auto wguard = warena.scope();
-            float *col = warena.alloc(krows * ospatial);
-            float *grad_col = warena.alloc(krows * ospatial);
+            float *col = warena.alloc(krows * bc_max);
+            float *gcol = warena.alloc(krows * bc_max);
+            float *pa_col = warena.alloc(gemmPackedASize(krows, bc_max));
+            float *pb_got = warena.alloc(gemmPackedBSize(bc_max, oc));
+            float *pb_go = warena.alloc(gemmPackedBSize(oc, bc_max));
             for (int64_t wi = begin; wi < end; ++wi) {
                 const int64_t in = w0 + wi;
                 const float *go = grad_out.data() + in * oc * ospatial;
-                im2col(x.data() + in * c * ih * iw, c, ih, iw, win,
-                       col);
-                gemmNT(oc, krows, ospatial, 1.0f, go, col, 0.0f,
-                       gw_acc + wi * oc * krows);
-                gemmTN(krows, ospatial, oc, 1.0f, weight.data(), go,
-                       0.0f, grad_col);
-                col2im(grad_col, c, ih, iw, win,
-                       grad_x.data() + in * c * ih * iw);
+                const float *img = x.data() + in * c * ih * iw;
+                float *gx_img = grad_x.data() + in * c * ih * iw;
+                float *gw_img = gw_acc + wi * krows * oc;
+                for (int64_t oy0 = 0; oy0 < oh;
+                     oy0 += kBackwardRowBand) {
+                    const int64_t oy1 =
+                        std::min(oh, oy0 + kBackwardRowBand);
+                    const int64_t nb = (oy1 - oy0) * ow;
+                    const float *go_band = go + oy0 * ow;
+                    im2colView(img, c, ih, iw, PatchView::full(ih, iw),
+                               win, oy0, oy1, col);
+                    // wgrad: gw_img (krows x oc, grad_w transposed)
+                    // accumulates this band's im2col-columns x
+                    // grad_out-panels product.
+                    gemmPackA(krows, nb, 1.0f, col, pa_col);
+                    gemmPackBStrided(nb, oc, go_band, /*rs=*/1,
+                                     /*cs=*/ospatial, pb_got);
+                    gemmPackedAB(krows, oc, nb, pa_col, pb_got,
+                                 oy0 == 0 ? 0.0f : 1.0f, gw_img, oc);
+                    // dgrad: gcol = W^T * grad_out band, scattered
+                    // back through the im2col adjoint.
+                    gemmPackB(oc, nb, go_band, /*ldb=*/ospatial,
+                              pb_go);
+                    gemmPackedAB(krows, nb, oc, pa_wt, pb_go, 0.0f,
+                                 gcol, nb);
+                    col2imView(gcol, c, ih, iw,
+                               PatchView::full(ih, iw), win, oy0, oy1,
+                               gx_img);
+                }
                 if (has_bias) {
                     float *gb = gb_acc + wi * oc;
                     std::fill(gb, gb + oc, 0.0f);
@@ -161,10 +185,12 @@ conv2dBackward(const Tensor &x, const Tensor &weight,
             }
         });
         for (int64_t wi = 0; wi < wn; ++wi) {
-            const float *gw = gw_acc + wi * oc * krows;
+            // gw_img is [krows x oc]; grad_w is [oc x krows].
+            const float *gw = gw_acc + wi * krows * oc;
             float *dst = grad_w.data();
-            for (int64_t e = 0; e < oc * krows; ++e)
-                dst[e] += gw[e];
+            for (int64_t o = 0; o < oc; ++o)
+                for (int64_t r = 0; r < krows; ++r)
+                    dst[o * krows + r] += gw[r * oc + o];
             if (has_bias) {
                 const float *gb = gb_acc + wi * oc;
                 for (int64_t o = 0; o < oc; ++o)

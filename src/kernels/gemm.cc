@@ -360,6 +360,22 @@ gemmPackA(int64_t m, int64_t k, float alpha, const float *a, float *pa)
 }
 
 void
+gemmPackAStrided(int64_t m, int64_t k, float alpha, const float *a,
+                 int64_t rs, int64_t cs, float *pa)
+{
+    g_pack_a_calls.fetch_add(1, std::memory_order_relaxed);
+    const int64_t mr = activeMicrokernel().mr;
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        for (int64_t ic = 0; ic < m; ic += MC) {
+            const int64_t mc = std::min(MC, m - ic);
+            packA(mc, kc, a + ic * rs + pc * cs, rs, cs, alpha, mr, pa);
+            pa += roundUp(mc, mr) * kc;
+        }
+    }
+}
+
+void
 gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
             const float *b, float beta, float *c)
 {
@@ -419,6 +435,31 @@ void
 gemmPackB(int64_t k, int64_t n, const float *b, int64_t ldb, float *pb)
 {
     gemmPackBPanels(k, n, b, ldb, 0, gemmPackedBPanels(n), pb);
+}
+
+void
+gemmPackBStrided(int64_t k, int64_t n, const float *b, int64_t rs,
+                 int64_t cs, float *pb)
+{
+    const int64_t nr = activeMicrokernel().nr;
+    const int64_t n_round = roundUp(n, nr);
+    for (int64_t pc = 0; pc < k; pc += KC) {
+        const int64_t kc = std::min(KC, k - pc);
+        float *slab = pb + pc * n_round;
+        const int64_t panels = gemmPackedBPanels(n);
+        for (int64_t j = 0; j < panels; ++j) {
+            const int64_t jc = j * nr;
+            const int64_t cols = std::min(nr, n - jc);
+            float *dst = slab + j * kc * nr;
+            const float *src = b + pc * rs + jc * cs;
+            for (int64_t p = 0; p < kc; ++p) {
+                for (int64_t jj = 0; jj < cols; ++jj)
+                    *dst++ = src[p * rs + jj * cs];
+                for (int64_t jj = cols; jj < nr; ++jj)
+                    *dst++ = 0.0f;
+            }
+        }
+    }
 }
 
 void

@@ -105,6 +105,17 @@ void gemmPackedA(int64_t m, int64_t n, int64_t k, const float *pa,
  * split executor's weight-panel cache asserts packs == layers with
  * this counter; it is cheap enough to keep in release builds. */
 int64_t gemmPackACalls();
+
+/**
+ * gemmPackA with explicit element strides: A(i, p) is read from
+ * a[i*rs + p*cs], so a transposed operand packs without a transpose
+ * copy — the backward pass packs W^T (rs = 1, cs = K of the forward
+ * weight matrix) straight from the forward weight tensor. Identical
+ * block walk and panel layout to gemmPackA (gemmPackA is the
+ * rs = k, cs = 1 special case), and counted by gemmPackACalls().
+ */
+void gemmPackAStrided(int64_t m, int64_t k, float alpha, const float *a,
+                      int64_t rs, int64_t cs, float *pa);
 ///@}
 
 /**
@@ -137,6 +148,17 @@ void gemmPackBPanels(int64_t k, int64_t n, const float *b, int64_t ldb,
 
 /** Number of nr-wide column panels a KxN pack is divided into. */
 int64_t gemmPackedBPanels(int64_t n);
+
+/**
+ * gemmPackB with explicit element strides: B(p, j) is read from
+ * b[p*rs + j*cs], so a transposed operand packs without a transpose
+ * copy — wgrad packs grad_out^T (rs = 1, cs = the output spatial
+ * stride) straight from the parent gradient tensor. Identical slab
+ * walk and panel layout to gemmPackB (gemmPackB is the rs = ldb,
+ * cs = 1 special case).
+ */
+void gemmPackBStrided(int64_t k, int64_t n, const float *b, int64_t rs,
+                      int64_t cs, float *pb);
 
 /** C = packedA * packedB + beta * C, with C row stride @p ldc.
  * Bit-identical to gemmBlocked for the same operands under the same

@@ -67,6 +67,37 @@ void im2colViewStrided(const float *img, int64_t c, int64_t ih,
 void col2im(const float *col, int64_t c, int64_t ih, int64_t iw,
             const Window2d &win, float *img);
 
+/**
+ * Scatter-add output rows [oy0, oy1) of a patch-view column buffer
+ * back into the *parent* image: the adjoint of im2colView. Window
+ * elements falling in the patch's local padding are dropped; in-patch
+ * elements accumulate (`+=`) at their parent offsets, so halo rows
+ * shared with a neighbouring patch receive both patches'
+ * contributions — the caller sequences overlapping patches (the
+ * split backward runs one image per worker, patches in ascending
+ * order, which pins the accumulation order bitwise). The valid ox
+ * flanks hoist out of the row loop exactly as in im2colViewStrided.
+ * @p img must be zero-initialized (or hold a prior accumulation) by
+ * the caller.
+ */
+void col2imView(const float *col, int64_t c, int64_t ih, int64_t iw,
+                const PatchView &view, const Window2d &win, int64_t oy0,
+                int64_t oy1, float *img);
+
+/**
+ * col2imView reading from a strided slice of a larger column matrix:
+ * window element row r of patch-output pixel (oy, ox) is read from
+ * col[r*col_ld + (oy-oy0)*row_step + ox] — the exact layout
+ * im2colViewStrided stages and the band-level dgrad GEMM writes, so
+ * the split backward scatters each patch straight out of the shared
+ * gradient-column matrix. col2imView is the contiguous special case
+ * (col_ld = (oy1-oy0)*outW, row_step = outW).
+ */
+void col2imViewStrided(const float *col, int64_t c, int64_t ih,
+                       int64_t iw, const PatchView &view,
+                       const Window2d &win, int64_t oy0, int64_t oy1,
+                       float *img, int64_t col_ld, int64_t row_step);
+
 } // namespace scnn
 
 #endif // SCNN_KERNELS_IM2COL_H

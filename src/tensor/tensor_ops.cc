@@ -166,6 +166,37 @@ axpy(float scale, const Tensor &a, Tensor &out)
         po[i] += scale * pa[i];
 }
 
+void
+addWindow2d(const Tensor &src, int64_t h0, int64_t w0, Tensor &dst)
+{
+    SCNN_REQUIRE(src.shape().rank() == 4 && dst.shape().rank() == 4,
+                 "addWindow2d needs NCHW tensors");
+    const int64_t n = src.shape().dim(0);
+    const int64_t c = src.shape().dim(1);
+    const int64_t h = src.shape().dim(2);
+    const int64_t w = src.shape().dim(3);
+    const int64_t dh = dst.shape().dim(2);
+    const int64_t dw = dst.shape().dim(3);
+    SCNN_REQUIRE(dst.shape().dim(0) == n && dst.shape().dim(1) == c,
+                 "addWindow2d batch/channel mismatch");
+    SCNN_REQUIRE(h0 >= 0 && w0 >= 0 && h0 + h <= dh && w0 + w <= dw,
+                 "addWindow2d window [" << h0 << ", " << h0 + h
+                                        << ") x [" << w0 << ", "
+                                        << w0 + w
+                                        << ") escapes destination "
+                                        << dst.shape().toString());
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        const float *splane = src.data() + nc * h * w;
+        float *dplane = dst.data() + nc * dh * dw;
+        for (int64_t y = 0; y < h; ++y) {
+            const float *srow = splane + y * w;
+            float *drow = dplane + (h0 + y) * dw + w0;
+            for (int64_t x = 0; x < w; ++x)
+                drow[x] += srow[x];
+        }
+    }
+}
+
 Tensor
 add(const Tensor &a, const Tensor &b)
 {

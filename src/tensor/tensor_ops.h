@@ -48,6 +48,16 @@ Tensor pad2d(const Tensor &t, int64_t ph_b, int64_t ph_e, int64_t pw_b,
 /** out += scale * a; shapes must match. */
 void axpy(float scale, const Tensor &a, Tensor &out);
 
+/**
+ * Windowed scatter-accumulate: dst[n, c, h0+y, w0+x] += src[n, c, y, x]
+ * for every element of the rank-4 NCHW @p src. The adjoint of a
+ * spatial crop — the Slice backward accumulates a patch gradient into
+ * its parent slot without materializing a full-canvas intermediate
+ * (src must fit inside dst at offset (h0, w0)).
+ */
+void addWindow2d(const Tensor &src, int64_t h0, int64_t w0,
+                 Tensor &dst);
+
 /** Elementwise a + b. */
 Tensor add(const Tensor &a, const Tensor &b);
 

@@ -399,12 +399,15 @@ Executor::backward(const ForwardCache &cache, const Tensor &grad_output)
                 accum(t, go);
             break;
           case OpKind::Slice: {
-            // Scatter the patch gradient back into a zero canvas.
+            // Scatter-accumulate the patch gradient straight into the
+            // parent slot — no full-canvas intermediate. Sibling
+            // patches of one parent run in reverse topological order,
+            // so halo overlaps accumulate deterministically.
             const Shape &in_shape = graph_.tensor(n.inputs[0]).shape;
-            Tensor gx =
-                pad2d(go, n.h_start, in_shape.dim(2) - n.h_end,
-                      n.w_start, in_shape.dim(3) - n.w_end);
-            accum(n.inputs[0], std::move(gx));
+            auto &slot = grads[static_cast<size_t>(n.inputs[0])];
+            if (!slot.has_value())
+                slot = Tensor(in_shape); // zero scatter target
+            addWindow2d(go, n.h_start, n.w_start, *slot);
             break;
           }
           case OpKind::Concat: {

@@ -352,6 +352,88 @@ TEST(ParallelDeterminism, FusedSplitConvSimdMatchesScalarClosely)
     EXPECT_LT(max_rel, 1e-5);
 }
 
+TEST(ParallelDeterminism, SplitConvBackwardBitwiseAcrossThreads)
+{
+    // The wave decomposition serializes every overlapping
+    // accumulation (a worker owns its image's bands; per-image wgrad
+    // partials reduce in image order after each wave), so dgrad,
+    // wgrad and bias gradients are bitwise-identical for any thread
+    // count under either microkernel.
+    Rng rng(23);
+    Tensor x(Shape{5, 3, 20, 18});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{6, 3, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.4f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = splitWindowOp2d(
+        win, 20, 18, evenOutputSplit(win.outH(20), 2),
+        evenOutputSplit(win.outW(18), 3));
+    Tensor go(Shape{5, 6, win.outH(20), win.outW(18)});
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    for (const bool simd : {false, true}) {
+        if (simd && !simdAvailable())
+            continue;
+        ScopedSimd pin(simd);
+        Tensor gx1, gb1(Shape{6});
+        Tensor gw1(w.shape());
+        {
+            ThreadGuard g(1);
+            splitConv2dBackwardFused(x, w, go, win, scheme, gx1, gw1,
+                                     gb1);
+        }
+        for (int threads : {2, 4, 8}) {
+            ThreadGuard g(threads);
+            Tensor gx, gb(Shape{6});
+            Tensor gw(w.shape());
+            splitConv2dBackwardFused(x, w, go, win, scheme, gx, gw,
+                                     gb);
+            EXPECT_TRUE(bitwiseEqual(gx, gx1))
+                << threads << " threads, simd=" << simd;
+            EXPECT_TRUE(bitwiseEqual(gw, gw1))
+                << threads << " threads, simd=" << simd;
+            EXPECT_TRUE(bitwiseEqual(gb, gb1))
+                << threads << " threads, simd=" << simd;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, SplitPoolBackwardBitwiseAcrossThreads)
+{
+    // Image-parallel scatter with patches serial ascending inside
+    // each image: halo accumulation order is pinned per image, so
+    // both fused pool backwards are bitwise across thread counts.
+    Rng rng(29);
+    Tensor x(Shape{5, 4, 17, 15});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = splitWindowOp2d(
+        win, 17, 15, evenOutputSplit(win.outH(17), 2),
+        evenOutputSplit(win.outW(15), 2));
+    std::vector<int64_t> argmax;
+    const Tensor out = maxPool2dForward(x, win, argmax);
+    Tensor go(out.shape());
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    Tensor max1, avg1;
+    {
+        ThreadGuard g(1);
+        max1 = splitMaxPool2dBackwardFused(x.shape(), go, argmax,
+                                           scheme);
+        avg1 = splitAvgPool2dBackwardFused(x.shape(), go, win,
+                                           scheme);
+    }
+    for (int threads : {2, 4, 8}) {
+        ThreadGuard g(threads);
+        const Tensor maxg = splitMaxPool2dBackwardFused(
+            x.shape(), go, argmax, scheme);
+        const Tensor avgg =
+            splitAvgPool2dBackwardFused(x.shape(), go, win, scheme);
+        EXPECT_TRUE(bitwiseEqual(maxg, max1)) << threads << " threads";
+        EXPECT_TRUE(bitwiseEqual(avgg, avg1)) << threads << " threads";
+    }
+}
+
 /** One training forward/backward on a split graph; returns logits and
  * leaves gradients + BN running stats in the param store. */
 Tensor

@@ -1,0 +1,596 @@
+/**
+ * @file
+ * Band-fused split backward pass: fused-vs-materialized bitwise
+ * parity over the halo geometry grid, correctness against a composed
+ * per-patch reference and against the unsplit backward where the
+ * split semantics coincide, the adjoint identity against the fused
+ * forward, weight-panel cache behaviour under the dgrad key
+ * (separate keying, zero repacks on the second step, eviction
+ * accounting), SA609 static proofs for the backward plans, and
+ * shadow-access validation of the fused kernels against the model.
+ *
+ * Every test lives in the SplitBackward suite so the TSan and
+ * shadow-validation CI jobs can select the whole file with a
+ * `:SplitBackward*` filter.
+ */
+#include "core/split_op.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "analysis/parallel_model.h"
+#include "analysis/shadow_access.h"
+#include "kernels/conv2d.h"
+#include "kernels/microkernel.h"
+#include "kernels/pool2d.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace scnn {
+namespace {
+
+SplitScheme2d
+makeScheme(const Window2d &win, int64_t ih, int64_t iw, int nh, int nw)
+{
+    return splitWindowOp2d(win, ih, iw,
+                           evenOutputSplit(win.outH(ih), nh),
+                           evenOutputSplit(win.outW(iw), nw),
+                           InputSplitPolicy::Center);
+}
+
+/** Pin the microkernel selection for a test body. */
+class ScopedSimd
+{
+  public:
+    explicit ScopedSimd(bool enabled) : prev_(simdEnabled())
+    {
+        setSimdEnabled(enabled);
+    }
+    ~ScopedSimd() { setSimdEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** Force shadow recording on for a test body. */
+class ScopedShadow
+{
+  public:
+    ScopedShadow() { setShadowAccessForTesting(1); }
+    ~ScopedShadow() { setShadowAccessForTesting(-1); }
+};
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    if (!(a.shape() == b.shape()))
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+/** The same halo geometries the forward equivalence tests sweep. */
+struct HaloCase
+{
+    const char *name;
+    int64_t ih, iw;  ///< input extents
+    int64_t k, s, p; ///< square kernel/stride/pad
+    int nh, nw;      ///< split parts per axis
+};
+
+const HaloCase kHaloCases[] = {
+    {"borders_1px", 9, 9, 3, 1, 1, 3, 3},  // 1px output borders
+    {"uneven", 17, 19, 3, 1, 1, 3, 4},     // uneven patch extents
+    {"stride2", 18, 22, 3, 2, 1, 2, 3},    // strided windows
+    {"big_halo", 16, 16, 5, 1, 2, 2, 2},   // 2-row halos
+    {"no_pad", 14, 12, 3, 1, 0, 2, 2},     // halo only, no zeros
+    {"tiny_patches", 7, 7, 3, 1, 1, 3, 3}, // patches of 2-3 rows
+};
+
+/** Copy the input rectangle of patch (hi, wi) into its own tensor. */
+Tensor
+materializePatch(const Tensor &x, const SplitScheme2d &scheme, int hi,
+                 int wi)
+{
+    const auto &ph = scheme.h.pieces[static_cast<size_t>(hi)];
+    const auto &pw = scheme.w.pieces[static_cast<size_t>(wi)];
+    const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+    const int64_t ih = x.shape().dim(2), iw = x.shape().dim(3);
+    Tensor patch(Shape{n, c, ph.inLen(), pw.inLen()});
+    for (int64_t nc = 0; nc < n * c; ++nc)
+        for (int64_t y = 0; y < ph.inLen(); ++y)
+            std::memcpy(patch.data() +
+                            (nc * ph.inLen() + y) * pw.inLen(),
+                        x.data() + (nc * ih + ph.in_start + y) * iw +
+                            pw.in_start,
+                        static_cast<size_t>(pw.inLen()) *
+                            sizeof(float));
+    return patch;
+}
+
+/** Slice the grad_out block of patch (hi, wi) out of the parent. */
+Tensor
+sliceGradOutBlock(const Tensor &go, const SplitScheme2d &scheme,
+                  int hi, int wi)
+{
+    const auto &ph = scheme.h.pieces[static_cast<size_t>(hi)];
+    const auto &pw = scheme.w.pieces[static_cast<size_t>(wi)];
+    const int64_t n = go.shape().dim(0), oc = go.shape().dim(1);
+    const int64_t oh = go.shape().dim(2), ow = go.shape().dim(3);
+    Tensor block(Shape{n, oc, ph.outLen(), pw.outLen()});
+    for (int64_t nc = 0; nc < n * oc; ++nc)
+        for (int64_t y = 0; y < ph.outLen(); ++y)
+            std::memcpy(block.data() +
+                            (nc * ph.outLen() + y) * pw.outLen(),
+                        go.data() + (nc * oh + ph.out_start + y) * ow +
+                            pw.out_start,
+                        static_cast<size_t>(pw.outLen()) *
+                            sizeof(float));
+    return block;
+}
+
+/**
+ * Composed reference: run the unsplit conv2dBackward on every
+ * materialized patch with its patch-local window, scatter-add the
+ * patch input gradients into the parent canvas, and accumulate
+ * grad_w / grad_b across patches — the split backward a training
+ * loop over materialized patch tensors would compute.
+ */
+void
+composedConvBackward(const Tensor &x, const Tensor &w,
+                     const Tensor &go, const Window2d &win,
+                     const SplitScheme2d &scheme, bool bias,
+                     Tensor &gx, Tensor &gw, Tensor &gb)
+{
+    gx = Tensor(x.shape());
+    gw = Tensor(w.shape());
+    gb = bias ? Tensor(Shape{w.shape().dim(0)}) : Tensor();
+    for (int hi = 0; hi < scheme.h.parts(); ++hi) {
+        for (int wi = 0; wi < scheme.w.parts(); ++wi) {
+            const Tensor patch = materializePatch(x, scheme, hi, wi);
+            const Tensor block =
+                sliceGradOutBlock(go, scheme, hi, wi);
+            const Window2d local = patchWindow(win, scheme, hi, wi);
+            Tensor gxp;
+            conv2dBackward(patch, w, block, local, gxp, gw, gb);
+            addWindow2d(
+                gxp, scheme.h.pieces[static_cast<size_t>(hi)].in_start,
+                scheme.w.pieces[static_cast<size_t>(wi)].in_start, gx);
+        }
+    }
+}
+
+TEST(SplitBackward, ConvFusedMatchesMaterializedBitwise)
+{
+    // The materialized path replays the fused path's accumulation
+    // order on bounce-buffered reads, so parity is bitwise under
+    // either microkernel — a mismatch isolates the zero-copy view
+    // machinery (strided im2col staging, strided grad_out packing,
+    // cached W^T panels).
+    uint32_t seed = 60;
+    for (const bool simd : {false, true}) {
+        if (simd && !simdAvailable())
+            continue;
+        ScopedSimd pin(simd);
+        for (const auto &hc : kHaloCases) {
+            for (const bool bias : {false, true}) {
+                Rng rng(++seed);
+                Tensor x(Shape{2, 3, hc.ih, hc.iw});
+                x.fillNormal(rng, 0.0f, 1.0f);
+                Tensor w(Shape{4, 3, hc.k, hc.k});
+                w.fillNormal(rng, 0.0f, 0.4f);
+                const Window2d win =
+                    Window2d::square(hc.k, hc.s, hc.p);
+                const auto scheme =
+                    makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+                Tensor go(Shape{2, 4, win.outH(hc.ih),
+                                win.outW(hc.iw)});
+                go.fillNormal(rng, 0.0f, 1.0f);
+
+                Tensor gx_f, gb_f, gx_m, gb_m;
+                Tensor gw_f(w.shape()), gw_m(w.shape());
+                if (bias) {
+                    gb_f = Tensor(Shape{4});
+                    gb_m = Tensor(Shape{4});
+                }
+                splitConv2dBackwardFused(x, w, go, win, scheme, gx_f,
+                                         gw_f, gb_f);
+                splitConv2dBackwardMaterialized(x, w, go, win, scheme,
+                                                gx_m, gw_m, gb_m);
+                EXPECT_TRUE(bitwiseEqual(gx_f, gx_m))
+                    << hc.name << " grad_x, simd=" << simd;
+                EXPECT_TRUE(bitwiseEqual(gw_f, gw_m))
+                    << hc.name << " grad_w, simd=" << simd;
+                if (bias) {
+                    EXPECT_TRUE(bitwiseEqual(gb_f, gb_m))
+                        << hc.name << " grad_b, simd=" << simd;
+                }
+            }
+        }
+    }
+}
+
+TEST(SplitBackward, ConvMatchesComposedPerPatchReference)
+{
+    uint32_t seed = 80;
+    for (const auto &hc : kHaloCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        Tensor w(Shape{4, 3, hc.k, hc.k});
+        w.fillNormal(rng, 0.0f, 0.4f);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor go(Shape{2, 4, win.outH(hc.ih), win.outW(hc.iw)});
+        go.fillNormal(rng, 0.0f, 1.0f);
+
+        Tensor gx, gb(Shape{4});
+        Tensor gw(w.shape());
+        splitConv2dBackward(x, w, go, win, scheme, gx, gw, gb);
+
+        Tensor rgx, rgw, rgb;
+        composedConvBackward(x, w, go, win, scheme, true, rgx, rgw,
+                             rgb);
+        EXPECT_LT(maxAbsDiff(gx, rgx), 1e-3f) << hc.name;
+        EXPECT_LT(maxAbsDiff(gw, rgw), 5e-3f) << hc.name;
+        EXPECT_LT(maxAbsDiff(gb, rgb), 1e-3f) << hc.name;
+    }
+}
+
+TEST(SplitBackward, NaturalSplitConvMatchesUnsplitBackward)
+{
+    // k == s: splitting is non-intrusive, so the split backward must
+    // agree with the unsplit conv2dBackward (up to summation order).
+    Rng rng(31);
+    Tensor x(Shape{2, 2, 12, 12});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{3, 2, 2, 2});
+    w.fillNormal(rng, 0.0f, 0.5f);
+    const Window2d win = Window2d::square(2, 2, 0);
+    const auto scheme = makeScheme(win, 12, 12, 3, 2);
+    Tensor go(Shape{2, 3, win.outH(12), win.outW(12)});
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    Tensor gx_s, gb_s(Shape{3}), gx_u, gb_u(Shape{3});
+    Tensor gw_s(w.shape()), gw_u(w.shape());
+    splitConv2dBackward(x, w, go, win, scheme, gx_s, gw_s, gb_s);
+    conv2dBackward(x, w, go, win, gx_u, gw_u, gb_u);
+    EXPECT_LT(maxAbsDiff(gx_s, gx_u), 1e-4f);
+    EXPECT_LT(maxAbsDiff(gw_s, gw_u), 1e-3f);
+    EXPECT_LT(maxAbsDiff(gb_s, gb_u), 1e-4f);
+}
+
+TEST(SplitBackward, ConvIsAdjointOfFusedForward)
+{
+    // The split conv is linear in x (w fixed) and in w (x fixed), so
+    // the backward must satisfy <go, F(x, w)> = <grad_x, x> and
+    // <go, F(x, w)> = <grad_w, w> — an independent check against the
+    // fused forward, covering the halo semantics end to end.
+    for (const auto &hc : kHaloCases) {
+        Rng rng(97);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        Tensor w(Shape{4, 3, hc.k, hc.k});
+        w.fillNormal(rng, 0.0f, 0.4f);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        const Tensor out =
+            splitConv2dForward(x, w, Tensor(), win, scheme);
+        Tensor go(out.shape());
+        Rng grng(98);
+        go.fillNormal(grng, 0.0f, 1.0f);
+
+        Tensor gx, gb;
+        Tensor gw(w.shape());
+        splitConv2dBackward(x, w, go, win, scheme, gx, gw, gb);
+
+        double lhs = 0.0, via_x = 0.0, via_w = 0.0;
+        for (int64_t i = 0; i < out.numel(); ++i)
+            lhs += static_cast<double>(go.at(i)) * out.at(i);
+        for (int64_t i = 0; i < x.numel(); ++i)
+            via_x += static_cast<double>(gx.at(i)) * x.at(i);
+        for (int64_t i = 0; i < w.numel(); ++i)
+            via_w += static_cast<double>(gw.at(i)) * w.at(i);
+        const double tol = 1e-3 * (1.0 + std::abs(lhs));
+        EXPECT_NEAR(lhs, via_x, tol) << hc.name;
+        EXPECT_NEAR(lhs, via_w, tol) << hc.name;
+    }
+}
+
+TEST(SplitBackward, MaxPoolFusedMatchesMaterializedAndUnsplit)
+{
+    uint32_t seed = 120;
+    for (const auto &hc : kHaloCases) {
+        Rng rng(++seed);
+        Tensor x(Shape{2, 3, hc.ih, hc.iw});
+        x.fillNormal(rng, 0.0f, 1.0f);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        std::vector<int64_t> argmax;
+        const Tensor out = maxPool2dForward(x, win, argmax);
+        Tensor go(out.shape());
+        go.fillNormal(rng, 0.0f, 1.0f);
+
+        const Tensor fused = splitMaxPool2dBackwardFused(
+            x.shape(), go, argmax, scheme);
+        const Tensor mat = splitMaxPool2dBackwardMaterialized(
+            x.shape(), go, argmax, scheme);
+        EXPECT_TRUE(bitwiseEqual(fused, mat)) << hc.name;
+
+        // Patches tile the output exactly and every output element
+        // scatters to its unique argmax, so the split backward
+        // matches the unsplit one up to summation order at shared
+        // argmax targets.
+        const Tensor unsplit =
+            maxPool2dBackward(x.shape(), go, argmax);
+        EXPECT_LT(maxAbsDiff(fused, unsplit), 1e-5f) << hc.name;
+    }
+}
+
+TEST(SplitBackward, AvgPoolFusedMatchesMaterializedBitwise)
+{
+    uint32_t seed = 140;
+    for (const auto &hc : kHaloCases) {
+        Rng rng(++seed);
+        const Window2d win = Window2d::square(hc.k, hc.s, hc.p);
+        const auto scheme =
+            makeScheme(win, hc.ih, hc.iw, hc.nh, hc.nw);
+        Tensor go(Shape{2, 3, win.outH(hc.ih), win.outW(hc.iw)});
+        go.fillNormal(rng, 0.0f, 1.0f);
+
+        const Tensor fused = splitAvgPool2dBackwardFused(
+            Shape{2, 3, hc.ih, hc.iw}, go, win, scheme);
+        const Tensor mat = splitAvgPool2dBackwardMaterialized(
+            Shape{2, 3, hc.ih, hc.iw}, go, win, scheme);
+        EXPECT_TRUE(bitwiseEqual(fused, mat)) << hc.name;
+    }
+}
+
+TEST(SplitBackward, NaturalSplitAvgPoolMatchesUnsplitBackward)
+{
+    // k == s with original padding: windows never cross a patch
+    // boundary, so the patch-clipped taps coincide with the unsplit
+    // count-include-pad taps.
+    Rng rng(33);
+    const Window2d win = Window2d::square(2, 2, 1);
+    const auto scheme = makeScheme(win, 14, 14, 2, 2);
+    Tensor go(Shape{1, 2, win.outH(14), win.outW(14)});
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    const Tensor split =
+        splitAvgPool2dBackward(Shape{1, 2, 14, 14}, go, win, scheme);
+    const Tensor unsplit =
+        avgPool2dBackward(Shape{1, 2, 14, 14}, go, win);
+    EXPECT_LT(maxAbsDiff(split, unsplit), 1e-6f);
+}
+
+// --- weight-panel cache under the dgrad key --------------------------
+
+TEST(SplitBackward, DgradPanelsAreKeyedSeparatelyFromForward)
+{
+    splitWeightCacheClear();
+    Rng rng(41);
+    Tensor x(Shape{1, 3, 12, 12});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{4, 3, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.4f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 12, 12, 2, 2);
+    Tensor go(Shape{1, 4, 12, 12});
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    Tensor gx, gb;
+    Tensor gw(w.shape());
+    splitConv2dBackwardFused(x, w, go, win, scheme, gx, gw, gb);
+    const auto after_bwd = splitWeightCacheStats();
+    EXPECT_EQ(after_bwd.misses, 1);
+    EXPECT_EQ(after_bwd.entries, 1);
+
+    // The forward packs its own panel for the *same* weight tensor:
+    // the dgrad (W^T) entry must not be returned for it.
+    splitConv2dForward(x, w, Tensor(), win, scheme);
+    const auto after_fwd = splitWeightCacheStats();
+    EXPECT_EQ(after_fwd.misses, 2);
+    EXPECT_EQ(after_fwd.entries, 2);
+    splitWeightCacheClear();
+}
+
+TEST(SplitBackward, SecondTrainingStepPacksNoNewPanels)
+{
+    // The bench gate in `scnn bench` asserts the same invariant on a
+    // multi-layer loop; this is the unit-level version. Step 1 packs
+    // one forward and one dgrad panel per layer; step 2 must be all
+    // hits (weights unchanged between the two steps here — the
+    // content hash would force a repack after an optimizer update).
+    splitWeightCacheClear();
+    Rng rng(43);
+    Tensor x(Shape{1, 3, 16, 16});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    std::vector<Tensor> weights;
+    for (int l = 0; l < 2; ++l) {
+        weights.emplace_back(Shape{3, 3, 3, 3});
+        weights.back().fillNormal(rng, 0.0f, 0.4f);
+    }
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 16, 16, 2, 2);
+
+    auto step = [&] {
+        Tensor cur = x;
+        std::vector<Tensor> acts;
+        for (const auto &w : weights) {
+            acts.push_back(cur);
+            cur = splitConv2dForward(cur, w, Tensor(), win, scheme);
+        }
+        Tensor go(cur.shape());
+        Rng grng(44);
+        go.fillNormal(grng, 0.0f, 1.0f);
+        for (size_t l = weights.size(); l-- > 0;) {
+            Tensor gx, gb;
+            Tensor gw(weights[l].shape());
+            splitConv2dBackwardFused(acts[l], weights[l], go, win,
+                                     scheme, gx, gw, gb);
+            go = std::move(gx);
+        }
+    };
+
+    step();
+    const auto after1 = splitWeightCacheStats();
+    EXPECT_EQ(after1.misses, 4); // 2 layers x (forward + dgrad)
+    step();
+    const auto after2 = splitWeightCacheStats();
+    EXPECT_EQ(after2.misses, after1.misses)
+        << "second step repacked panels";
+    EXPECT_GT(after2.hits, after1.hits);
+    splitWeightCacheClear();
+}
+
+TEST(SplitBackward, CacheEvictionsAreCounted)
+{
+    splitWeightCacheClear();
+    Rng rng(47);
+    Tensor x(Shape{1, 2, 10, 10});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 10, 10, 2, 2);
+    Tensor go(Shape{1, 3, 10, 10});
+    go.fillNormal(rng, 0.0f, 1.0f);
+
+    // More live weight tensors than the LRU capacity (8): the dgrad
+    // panels must recycle slots and say so in the stats.
+    std::vector<Tensor> weights;
+    for (int i = 0; i < 10; ++i) {
+        weights.emplace_back(Shape{3, 2, 3, 3});
+        weights.back().fillNormal(rng, 0.0f, 0.4f);
+    }
+    for (const auto &w : weights) {
+        Tensor gx, gb;
+        Tensor gw(w.shape());
+        splitConv2dBackwardFused(x, w, go, win, scheme, gx, gw, gb);
+    }
+    const auto stats = splitWeightCacheStats();
+    EXPECT_GE(stats.evictions, 2);
+    EXPECT_LE(stats.entries, 8);
+    splitWeightCacheClear();
+}
+
+// --- SA609 static proofs and shadow validation ------------------------
+
+TEST(SplitBackward, PlansAreCleanAcrossGeometries)
+{
+    struct Case
+    {
+        int64_t k, s, p, ih, iw;
+        int nh, nw;
+    };
+    for (const Case &cs : {Case{3, 1, 1, 16, 16, 2, 2},
+                           Case{3, 2, 1, 17, 19, 2, 3},
+                           Case{5, 1, 2, 12, 12, 3, 2},
+                           Case{1, 1, 0, 8, 8, 2, 2},
+                           Case{7, 2, 3, 32, 32, 4, 4}}) {
+        const Window2d win = Window2d::square(cs.k, cs.s, cs.p);
+        const auto scheme =
+            makeScheme(win, cs.ih, cs.iw, cs.nh, cs.nw);
+        const auto conv_diags =
+            analyzeParallelPlan(buildSplitConvBackwardPlan(
+                2, 3, cs.ih, cs.iw, 4, win, scheme));
+        EXPECT_FALSE(hasErrors(conv_diags))
+            << "conv k=" << cs.k << " s=" << cs.s << " grid=" << cs.nh
+            << "x" << cs.nw << '\n'
+            << renderDiagnosticsText(conv_diags);
+        const auto pool_diags =
+            analyzeParallelPlan(buildSplitPoolBackwardPlan(
+                2, 3, cs.ih, cs.iw, win, scheme));
+        EXPECT_FALSE(hasErrors(pool_diags))
+            << "pool k=" << cs.k << " s=" << cs.s << " grid=" << cs.nh
+            << "x" << cs.nw << '\n'
+            << renderDiagnosticsText(pool_diags);
+    }
+}
+
+TEST(SplitBackward, CollapsedEpochsSurfaceAsSA609)
+{
+    // Flattening every item into one epoch makes the halo
+    // scatter-adds (and the grad_w reductions of different images)
+    // concurrent — exactly the ordered-accumulation violation SA609
+    // exists to catch.
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 16, 16, 2, 2);
+    ParallelPlan plan =
+        buildSplitConvBackwardPlan(2, 3, 16, 16, 4, win, scheme);
+    for (auto &item : plan.items)
+        item.epoch = 0;
+    const auto diags = analyzeParallelPlan(plan);
+    ASSERT_TRUE(hasErrors(diags));
+    bool found = false;
+    for (const auto &d : diags)
+        found = found || d.code == "SA609";
+    EXPECT_TRUE(found) << renderDiagnosticsText(diags);
+}
+
+TEST(SplitBackward, ReversedSerialOrderSurfacesAsSA609)
+{
+    // Keeping the epochs distinct but flipping the serial (seq)
+    // order of the per-image grad_w reductions breaks the "epoch
+    // order agrees with serial order" half of the contract.
+    const Window2d win = Window2d::square(3, 1, 1);
+    const auto scheme = makeScheme(win, 16, 16, 2, 2);
+    ParallelPlan plan =
+        buildSplitConvBackwardPlan(2, 3, 16, 16, 4, win, scheme);
+    std::vector<ParallelItem *> reduces;
+    for (auto &item : plan.items)
+        if (item.name.find("reduce") != std::string::npos)
+            reduces.push_back(&item);
+    ASSERT_EQ(reduces.size(), 2u);
+    std::swap(reduces[0]->seq, reduces[1]->seq);
+    const auto diags = analyzeParallelPlan(plan);
+    ASSERT_TRUE(hasErrors(diags));
+    bool found = false;
+    for (const auto &d : diags)
+        found = found || d.code == "SA609";
+    EXPECT_TRUE(found) << renderDiagnosticsText(diags);
+}
+
+TEST(SplitBackward, ShadowValidatesFusedBackwardAgainstModel)
+{
+    ScopedShadow shadow;
+    shadowAccessResetStats();
+    Rng rng(53);
+    Tensor x(Shape{2, 3, 17, 19});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape{4, 3, 3, 3});
+    w.fillNormal(rng, 0.0f, 0.5f);
+
+    // Stride-1 overlapping windows and a downsampling geometry, with
+    // and without bias, plus both fused pool backwards.
+    for (const int64_t stride : {int64_t{1}, int64_t{2}}) {
+        const Window2d win = Window2d::square(3, stride, 1);
+        const auto scheme = makeScheme(win, 17, 19, 2, 3);
+        Tensor go(Shape{2, 4, win.outH(17), win.outW(19)});
+        go.fillNormal(rng, 0.0f, 1.0f);
+        Tensor gx, gb(Shape{4});
+        Tensor gw(w.shape());
+        splitConv2dBackwardFused(x, w, go, win, scheme, gx, gw, gb);
+
+        std::vector<int64_t> argmax;
+        Tensor pout = maxPool2dForward(x, win, argmax);
+        Tensor pgo(pout.shape());
+        pgo.fillNormal(rng, 0.0f, 1.0f);
+        splitMaxPool2dBackwardFused(x.shape(), pgo, argmax, scheme);
+        splitAvgPool2dBackwardFused(x.shape(), pgo, win, scheme);
+    }
+
+    const ShadowAccessStats stats = shadowAccessStats();
+    EXPECT_GE(stats.sessions_checked, 6);
+    EXPECT_GT(stats.records_checked, 0);
+    EXPECT_EQ(stats.violations, 0);
+}
+
+} // namespace
+} // namespace scnn

@@ -52,6 +52,15 @@ SPLIT_POOL_OVERHEAD_MAX = {
     "2x2": 1.1,
     "4x4": 1.1,
 }
+# Band-fused split backward (dgrad + wgrad + bias) vs the unsplit
+# conv2dBackward at 1 thread. Both sides run the same band-pipelined
+# GEMM engine and the split side reuses cached W^T panels, so the
+# ratio isolates the per-patch staging and halo-scatter bookkeeping
+# (measured ~1.0x at both depths on the reference container).
+SPLIT_BACKWARD_OVERHEAD_MAX = {
+    "2x2": 1.15,
+    "4x4": 1.15,
+}
 # The batched-GEMM Winograd kernel is benched on a shape the cost
 # model selects it for (64 channels), so it must not be materially
 # slower than im2col there (measured ~1.07x; 0.9 absorbs CI noise).
@@ -176,6 +185,14 @@ def main():
                   f"{s['split_pool_overhead_ratio_1t']:.3f} "
                   f"(baseline "
                   f"{b.get('split_pool_overhead_ratio_1t', '?')})")
+        base_bwd = baseline.get("split_backward_summary", {})
+        for depth, s in fresh.get("split_backward_summary",
+                                  {}).items():
+            b = base_bwd.get(depth, {})
+            print(f"  backward {depth}: overhead_1t "
+                  f"{s['split_backward_overhead_ratio_1t']:.3f} "
+                  f"(baseline "
+                  f"{b.get('split_backward_overhead_ratio_1t', '?')})")
         fw = fresh.get("winograd")
         bw = baseline.get("winograd", {})
         if fw:
@@ -237,6 +254,23 @@ def main():
                            f"{ratio:.3f} > {max_ratio}")
             else:
                 print(f"ok: {depth} split_pool_overhead_ratio_1t "
+                      f"{ratio:.3f} <= {max_ratio}")
+
+    bwd = fresh.get("split_backward_summary")
+    if not bwd:
+        rc |= fail("no split_backward_summary in report")
+    else:
+        for depth, max_ratio in SPLIT_BACKWARD_OVERHEAD_MAX.items():
+            if depth not in bwd:
+                rc |= fail(f"no {depth} split-backward measurement "
+                           f"in report")
+                continue
+            ratio = bwd[depth]["split_backward_overhead_ratio_1t"]
+            if ratio > max_ratio:
+                rc |= fail(f"{depth} split_backward_overhead_ratio_1t "
+                           f"{ratio:.3f} > {max_ratio}")
+            else:
+                print(f"ok: {depth} split_backward_overhead_ratio_1t "
                       f"{ratio:.3f} <= {max_ratio}")
 
     # Fill rates are machine-dependent, so only presence is gated; the
